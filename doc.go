@@ -1,0 +1,14 @@
+// Package repro is a pure-Go reproduction of "PyTorch Distributed:
+// Experiences on Accelerating Data Parallel Training" (Li et al.,
+// VLDB 2020): a DistributedDataParallel implementation with gradient
+// bucketing, communication/computation overlap, no_sync, and
+// unused-parameter detection, built on a from-scratch tensor/autograd
+// stack and a c10d-style collective communication layer, plus a
+// calibrated simulator regenerating every figure of the paper's
+// evaluation.
+//
+// See README.md for a tour, DESIGN.md for the system inventory, and
+// EXPERIMENTS.md for paper-vs-measured results. The benchmarks in
+// bench_test.go regenerate each table and figure; cmd/ddpbench prints
+// them as full tables.
+package repro

@@ -1,0 +1,112 @@
+// The tinybert example trains a miniature BERT-style encoder (real
+// multi-head attention, pre-norm blocks) under DDP across 4 goroutine
+// ranks, using a round-robin composite process group (rr3, the paper's
+// Section 5.4 technique) — the configuration where the paper saw its
+// largest round-robin gains. A denoising objective makes the task
+// self-supervised: reconstruct clean token embeddings from corrupted
+// inputs.
+//
+//	go run ./examples/tinybert
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"sync"
+
+	"repro/internal/autograd"
+	"repro/internal/comm"
+	"repro/internal/ddp"
+	"repro/internal/models"
+	"repro/internal/optim"
+	"repro/internal/tensor"
+)
+
+const (
+	world  = 4
+	dim    = 16
+	heads  = 4
+	ff     = 32
+	layers = 2
+	tokens = 6
+	iters  = 80
+	rrSize = 3
+)
+
+func main() {
+	// Build rr3: three independent in-process groups per rank, composed
+	// round-robin. Collectives rotate across them, letting multiple
+	// buckets' AllReduces proceed concurrently (Section 5.4).
+	subGroups := make([][]comm.ProcessGroup, rrSize)
+	for i := range subGroups {
+		subGroups[i] = comm.NewInProcGroups(world, comm.Options{})
+	}
+	rr := make([]comm.ProcessGroup, world)
+	for r := 0; r < world; r++ {
+		gs := make([]comm.ProcessGroup, rrSize)
+		for i := range gs {
+			gs[i] = subGroups[i][r]
+		}
+		g, err := comm.NewRoundRobin(gs...)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rr[r] = g
+	}
+	defer func() {
+		for _, g := range rr {
+			g.Close()
+		}
+	}()
+
+	finals := make([]float32, world)
+	transformers := make([]*ddp.DDP, world)
+	var wg sync.WaitGroup
+	for rank := 0; rank < world; rank++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			model := models.NewTinyTransformer(21, dim, heads, ff, layers)
+			d, err := ddp.New(model, rr[rank], ddp.Options{
+				BucketCapBytes: 2048, // small buckets: several AllReduces per step
+			})
+			if err != nil {
+				log.Fatalf("rank %d: %v", rank, err)
+			}
+			transformers[rank] = d
+			opt := optim.NewAdam(d.Parameters(), 0.003)
+			dataRng := rand.New(rand.NewSource(int64(50 + rank)))
+			for it := 0; it < iters; it++ {
+				clean := tensor.RandN(dataRng, 1, tokens, dim)
+				noisy := clean.Clone()
+				for i := range noisy.Data() {
+					noisy.Data()[i] += 0.3 * float32(dataRng.NormFloat64())
+				}
+				opt.ZeroGrad()
+				out := d.Forward(autograd.Constant(noisy))
+				loss := autograd.MSELoss(out, autograd.Constant(clean))
+				finals[rank] = loss.Value.Item()
+				if err := d.Backward(loss); err != nil {
+					log.Fatalf("rank %d iter %d: %v", rank, it, err)
+				}
+				opt.Step()
+				if rank == 0 && (it+1)%20 == 0 {
+					fmt.Printf("iter %3d  denoising loss %.4f  (buckets %d over rr%d groups)\n",
+						it+1, finals[rank], d.NumBuckets(), rrSize)
+				}
+			}
+		}(rank)
+	}
+	wg.Wait()
+
+	identical := true
+	for i, p := range transformers[0].Parameters() {
+		if !p.Value.Equal(transformers[1].Parameters()[i].Value) {
+			identical = false
+			break
+		}
+	}
+	fmt.Printf("\nfinal loss %.4f; replicas identical across round-robin groups: %v\n",
+		finals[0], identical)
+}

@@ -1,0 +1,171 @@
+// The zero1 example contrasts DDP's replicated-optimizer design with
+// the ZeRO-style sharded optimizer of the paper's Section 7: both train
+// the same model on the same data to the same weights (sharding a
+// momentum update is mathematically free), but the sharded optimizer
+// keeps only 1/world of the momentum state per rank, trading DDP's
+// single overlapped AllReduce for an explicit ReduceScatter +
+// AllGather.
+//
+//	go run ./examples/zero1
+package main
+
+import (
+	"fmt"
+	"log"
+	"sync"
+
+	"repro/internal/autograd"
+	"repro/internal/comm"
+	"repro/internal/data"
+	"repro/internal/ddp"
+	"repro/internal/models"
+	"repro/internal/nn"
+	"repro/internal/optim"
+	"repro/internal/tensor"
+)
+
+const (
+	world = 4
+	iters = 60
+	batch = 16
+)
+
+func main() {
+	dataset := data.NewSynthetic(17, 2048, 24, 6)
+
+	ddpWeights, ddpStateBytes := trainDDP(dataset)
+	zeroWeights, zeroStateBytes := trainZero(dataset)
+
+	var maxDiff float32
+	for i := range ddpWeights {
+		if d := ddpWeights[i].MaxAbsDiff(zeroWeights[i]); d > maxDiff {
+			maxDiff = d
+		}
+	}
+	fmt.Printf("\nmax |DDP - ZeRO| over all weights after %d iterations: %v\n", iters, maxDiff)
+	fmt.Printf("optimizer state per rank: DDP %d bytes, ZeRO shard %d bytes (%.1fx smaller)\n",
+		ddpStateBytes, zeroStateBytes, float64(ddpStateBytes)/float64(zeroStateBytes))
+}
+
+func trainDDP(dataset *data.Synthetic) ([]*tensor.Tensor, int) {
+	groups := comm.NewInProcGroups(world, comm.Options{})
+	defer closeAll(groups)
+	var weights []*tensor.Tensor
+	var stateBytes int
+	run(groups, dataset, func(rank int, m nn.Module, pg comm.ProcessGroup) trainer {
+		d, err := ddp.New(m, pg, ddp.Options{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		opt := optim.NewSGD(d.Parameters(), 0.05)
+		opt.Momentum = 0.9
+		return trainer{
+			step: func(x *autograd.Variable, labels []int) float32 {
+				opt.ZeroGrad()
+				out := d.Forward(x)
+				loss := autograd.CrossEntropyLoss(out, labels)
+				if err := d.Backward(loss); err != nil {
+					log.Fatal(err)
+				}
+				opt.Step()
+				return loss.Value.Item()
+			},
+			finish: func() {
+				if rank == 0 {
+					weights = snapshot(m)
+					stateBytes = 4 * nn.NumParams(m) // full velocity on every rank
+				}
+			},
+		}
+	})
+	return weights, stateBytes
+}
+
+func trainZero(dataset *data.Synthetic) ([]*tensor.Tensor, int) {
+	groups := comm.NewInProcGroups(world, comm.Options{})
+	defer closeAll(groups)
+	var weights []*tensor.Tensor
+	var stateBytes int
+	run(groups, dataset, func(rank int, m nn.Module, pg comm.ProcessGroup) trainer {
+		opt, err := optim.NewZeroSGD(m.Parameters(), pg, 0.05)
+		if err != nil {
+			log.Fatal(err)
+		}
+		opt.Momentum = 0.9
+		return trainer{
+			step: func(x *autograd.Variable, labels []int) float32 {
+				opt.ZeroGrad()
+				out := m.Forward(x)
+				loss := autograd.CrossEntropyLoss(out, labels)
+				autograd.Backward(loss, nil)
+				if err := opt.Step(); err != nil {
+					log.Fatal(err)
+				}
+				return loss.Value.Item()
+			},
+			finish: func() {
+				if rank == 0 {
+					weights = snapshot(m)
+					stateBytes = opt.ShardBytes()
+				}
+			},
+		}
+	})
+	return weights, stateBytes
+}
+
+type trainer struct {
+	step   func(x *autograd.Variable, labels []int) float32
+	finish func()
+}
+
+func run(groups []comm.ProcessGroup, dataset *data.Synthetic, build func(int, nn.Module, comm.ProcessGroup) trainer) {
+	var wg sync.WaitGroup
+	for rank := 0; rank < world; rank++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			m := models.NewMLP(33, dataset.Features(), 32, dataset.Classes())
+			tr := build(rank, m, groups[rank])
+			sampler, err := data.NewDistributedSampler(dataset.Len(), rank, world)
+			if err != nil {
+				log.Fatal(err)
+			}
+			loader, err := data.NewLoader(dataset, sampler, batch)
+			if err != nil {
+				log.Fatal(err)
+			}
+			loader.Reset(0)
+			epoch := int64(0)
+			var loss float32
+			for it := 0; it < iters; it++ {
+				x, labels, ok := loader.Next()
+				if !ok {
+					epoch++
+					loader.Reset(epoch)
+					x, labels, _ = loader.Next()
+				}
+				loss = tr.step(autograd.Constant(x), labels)
+				if rank == 0 && (it+1)%20 == 0 {
+					fmt.Printf("  iter %3d loss %.4f\n", it+1, loss)
+				}
+			}
+			tr.finish()
+		}(rank)
+	}
+	wg.Wait()
+}
+
+func snapshot(m nn.Module) []*tensor.Tensor {
+	out := make([]*tensor.Tensor, 0, len(m.Parameters()))
+	for _, p := range m.Parameters() {
+		out = append(out, p.Value.Clone())
+	}
+	return out
+}
+
+func closeAll(groups []comm.ProcessGroup) {
+	for _, g := range groups {
+		g.Close()
+	}
+}

@@ -1,0 +1,139 @@
+package autograd
+
+import (
+	"fmt"
+
+	"repro/internal/tensor"
+)
+
+// Backward runs reverse-mode differentiation from root, seeding the
+// root gradient with grad (or ones if grad is nil, which is only allowed
+// for one-element roots, matching loss.backward()).
+//
+// Gradients for leaf variables with RequiresGrad are accumulated into
+// their Grad field; post-accumulation hooks fire immediately after each
+// leaf's gradient is complete for this pass — leaves therefore become
+// "ready" one at a time while the pass is still executing, which is what
+// lets DDP overlap AllReduce with the remaining backward computation.
+func Backward(root *Variable, grad *tensor.Tensor) {
+	if grad == nil {
+		if root.Value.Size() != 1 {
+			panic(fmt.Sprintf("autograd: Backward without explicit gradient on tensor of %d elements", root.Value.Size()))
+		}
+		grad = tensor.Ones(root.Value.Shape()...)
+	}
+	if !grad.SameShape(root.Value) {
+		panic(fmt.Sprintf("autograd: gradient shape %v does not match root %v", grad.Shape(), root.Value.Shape()))
+	}
+	if root.node == nil {
+		if root.requiresGrad {
+			root.accumulate(grad)
+			for _, h := range root.hooks {
+				h(root)
+			}
+		}
+		return
+	}
+
+	// Count, over the subgraph reachable from root, how many consumers
+	// each variable has. A variable's gradient is complete once all of
+	// its consumers have contributed.
+	uses := make(map[*Variable]int)
+	visited := make(map[*Variable]bool)
+	var dfs func(v *Variable)
+	dfs = func(v *Variable) {
+		if visited[v] {
+			return
+		}
+		visited[v] = true
+		if v.node == nil {
+			return
+		}
+		for _, in := range v.node.inputs {
+			uses[in]++
+			dfs(in)
+		}
+	}
+	dfs(root)
+
+	grads := map[*Variable]*tensor.Tensor{root: grad.Clone()}
+	pending := uses // alias: pending contributions remaining per variable
+	queue := []*Variable{root}
+
+	for len(queue) > 0 {
+		v := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		g := grads[v]
+		delete(grads, v)
+
+		if v.node == nil {
+			if v.requiresGrad {
+				v.accumulate(g)
+				for _, h := range v.hooks {
+					h(v)
+				}
+			}
+			continue
+		}
+
+		inGrads := v.node.backward(g)
+		if len(inGrads) != len(v.node.inputs) {
+			panic(fmt.Sprintf("autograd: op %s returned %d gradients for %d inputs", v.node.op, len(inGrads), len(v.node.inputs)))
+		}
+		for i, in := range v.node.inputs {
+			gi := inGrads[i]
+			if gi != nil {
+				if !gi.SameShape(in.Value) {
+					panic(fmt.Sprintf("autograd: op %s produced gradient shape %v for input shape %v", v.node.op, gi.Shape(), in.Value.Shape()))
+				}
+				if acc, ok := grads[in]; ok {
+					tensor.AddInPlace(acc, gi)
+				} else {
+					grads[in] = gi.Clone()
+				}
+			}
+			pending[in]--
+			if pending[in] == 0 {
+				if _, ok := grads[in]; ok {
+					queue = append(queue, in)
+				}
+			}
+		}
+	}
+}
+
+// Leaves returns every leaf variable reachable from root through the
+// autograd graph, in a deterministic discovery order. DDP traverses the
+// graph from the forward output exactly this way to find which
+// parameters participate in the current iteration (Algorithm 1, line 10).
+func Leaves(root *Variable) []*Variable {
+	var out []*Variable
+	seen := make(map[*Variable]bool)
+	var dfs func(v *Variable)
+	dfs = func(v *Variable) {
+		if seen[v] {
+			return
+		}
+		seen[v] = true
+		if v.node == nil {
+			if v.requiresGrad {
+				out = append(out, v)
+			}
+			return
+		}
+		for _, in := range v.node.inputs {
+			dfs(in)
+		}
+	}
+	dfs(root)
+	return out
+}
+
+// LeafSet returns the reachable leaves as a set for O(1) membership tests.
+func LeafSet(root *Variable) map[*Variable]bool {
+	set := make(map[*Variable]bool)
+	for _, v := range Leaves(root) {
+		set[v] = true
+	}
+	return set
+}

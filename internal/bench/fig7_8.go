@@ -1,0 +1,81 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/hw"
+	"repro/internal/simnet"
+	"repro/internal/stats"
+)
+
+// BucketSweepRow is one box of the Figs 7/8 box-whisker plots.
+type BucketSweepRow struct {
+	Model    string
+	Backend  hw.Backend
+	CapMB    int
+	Summary  stats.Summary
+	NBuckets int
+}
+
+// BucketSizeSweep reproduces Fig 7 (world=16) or Fig 8 (world=32):
+// per-iteration latency distributions across bucket_cap_mb values, over
+// iters jittered iterations per configuration.
+func BucketSizeSweep(world, iters int) ([]BucketSweepRow, error) {
+	var rows []BucketSweepRow
+	for _, wl := range evaluationWorkloads() {
+		for _, backend := range allBackends {
+			for _, mb := range wl.caps {
+				cfg := simnet.Config{
+					ParamSizes:       wl.profile.Sizes(),
+					ComputeIntensity: wl.profile.ComputeIntensity,
+					BucketCapBytes:   capBytes(mb),
+					World:            world,
+					Backend:          backend,
+					Device:           hw.GPU,
+					Overlap:          true,
+					Jitter:           true,
+					Seed:             int64(world*1000 + mb),
+				}
+				lat, err := simnet.Run(cfg, iters)
+				if err != nil {
+					return nil, err
+				}
+				b, err := simnet.SimulateIteration(cfg)
+				if err != nil {
+					return nil, err
+				}
+				rows = append(rows, BucketSweepRow{
+					Model:    wl.profile.Name,
+					Backend:  backend,
+					CapMB:    mb,
+					Summary:  stats.Summarize(lat),
+					NBuckets: b.Buckets,
+				})
+			}
+		}
+	}
+	return rows, nil
+}
+
+func printBucketSweep(w io.Writer, fig string, world, iters int) error {
+	rows, err := BucketSizeSweep(world, iters)
+	if err != nil {
+		return err
+	}
+	header(w, fmt.Sprintf("Fig %s: per-iteration latency vs bucket size, %d GPUs (%d iterations per box)", fig, world, iters))
+	fmt.Fprintf(w, "%-10s %-6s %8s %8s %10s %10s %10s %10s %10s\n",
+		"model", "comm", "cap(MB)", "buckets", "min", "p25", "median", "p75", "max")
+	for _, r := range rows {
+		s := r.Summary
+		fmt.Fprintf(w, "%-10s %-6s %8d %8d %10.4f %10.4f %10.4f %10.4f %10.4f\n",
+			r.Model, r.Backend, r.CapMB, r.NBuckets, s.Min, s.P25, s.Median, s.P75, s.Max)
+	}
+	return nil
+}
+
+// Fig7 prints the 16-GPU bucket-size sweep.
+func Fig7(w io.Writer, iters int) error { return printBucketSweep(w, "7", 16, iters) }
+
+// Fig8 prints the 32-GPU bucket-size sweep.
+func Fig8(w io.Writer, iters int) error { return printBucketSweep(w, "8", 32, iters) }

@@ -1,0 +1,170 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/hw"
+	"repro/internal/models"
+	"repro/internal/simnet"
+)
+
+var scalabilityWorlds = []int{1, 2, 4, 8, 16, 32, 64, 128, 256}
+
+// ScalabilityPoint is one point of Fig 9's latency-vs-GPUs curves.
+type ScalabilityPoint struct {
+	Model       string
+	Backend     hw.Backend
+	World       int
+	MeanSeconds float64
+}
+
+// Fig9Scalability reproduces Fig 9: mean per-iteration latency of
+// ResNet50 and BERT on NCCL and Gloo from 1 to 256 GPUs. Beyond 32 GPUs
+// the paper moves to the shared entitlement, so the cluster model adds
+// host-variance and congestion there.
+func Fig9Scalability(iters int) ([]ScalabilityPoint, error) {
+	var points []ScalabilityPoint
+	for _, wl := range []*models.Profile{models.ResNet50(), models.BERTLarge()} {
+		for _, backend := range allBackends {
+			for _, world := range scalabilityWorlds {
+				cluster := hw.DefaultCluster()
+				cluster.SharedEntitlement = world > 32
+				mean, err := simnet.MeanLatency(simnet.Config{
+					ParamSizes:       wl.Sizes(),
+					ComputeIntensity: wl.ComputeIntensity,
+					World:            world,
+					Backend:          backend,
+					Device:           hw.GPU,
+					Cluster:          cluster,
+					Overlap:          true,
+					Jitter:           true,
+					Seed:             int64(world),
+				}, iters)
+				if err != nil {
+					return nil, err
+				}
+				points = append(points, ScalabilityPoint{
+					Model: wl.Name, Backend: backend, World: world, MeanSeconds: mean,
+				})
+			}
+		}
+	}
+	return points, nil
+}
+
+// Fig9 prints the scalability table and the paper's headline scaling
+// factor.
+func Fig9(w io.Writer, iters int) error {
+	points, err := Fig9Scalability(iters)
+	if err != nil {
+		return err
+	}
+	header(w, "Fig 9: per-iteration latency vs number of GPUs")
+	fmt.Fprintf(w, "%-10s %-6s", "model", "comm")
+	for _, world := range scalabilityWorlds {
+		fmt.Fprintf(w, " %8d", world)
+	}
+	fmt.Fprintln(w)
+	i := 0
+	for _, wl := range []string{"resnet50", "bert-large"} {
+		for _, backend := range allBackends {
+			fmt.Fprintf(w, "%-10s %-6s", wl, backend)
+			var first, last float64
+			for range scalabilityWorlds {
+				p := points[i]
+				if p.World == 1 {
+					first = p.MeanSeconds
+				}
+				last = p.MeanSeconds
+				fmt.Fprintf(w, " %8.4f", p.MeanSeconds)
+				i++
+			}
+			slowdown := last / first
+			fmt.Fprintf(w, "   (256-GPU slowdown %.2fx -> scaling factor %.0f/256)\n",
+				slowdown, 256/slowdown)
+		}
+	}
+	fmt.Fprintln(w, "\npaper: ResNet50/NCCL ~2x slower at 256 GPUs (scaling factor ~128/256);")
+	fmt.Fprintln(w, "Gloo degrades ~3x (ResNet) / ~6x (BERT); latency jumps from 128 to 256 GPUs.")
+	return nil
+}
+
+// SkipSyncPoint is one point of Fig 10's amortized-latency curves.
+type SkipSyncPoint struct {
+	Backend     hw.Backend
+	SyncEvery   int
+	World       int
+	MeanSeconds float64
+}
+
+// Fig10SkipSync reproduces Fig 10: average per-iteration latency of
+// ResNet50 when synchronizing gradients every 1, 2, 4, and 8 iterations,
+// on NCCL and Gloo, from 1 to 256 GPUs.
+func Fig10SkipSync(iters int) ([]SkipSyncPoint, error) {
+	sizes := models.ResNet50().Sizes()
+	var points []SkipSyncPoint
+	for _, backend := range allBackends {
+		for _, every := range []int{1, 2, 4, 8} {
+			for _, world := range scalabilityWorlds {
+				cluster := hw.DefaultCluster()
+				cluster.SharedEntitlement = world > 32
+				mean, err := simnet.MeanLatency(simnet.Config{
+					ParamSizes: sizes,
+					World:      world,
+					Backend:    backend,
+					Device:     hw.GPU,
+					Cluster:    cluster,
+					Overlap:    true,
+					SyncEveryN: every,
+					Jitter:     true,
+					Seed:       int64(world*10 + every),
+				}, iters)
+				if err != nil {
+					return nil, err
+				}
+				points = append(points, SkipSyncPoint{
+					Backend: backend, SyncEvery: every, World: world, MeanSeconds: mean,
+				})
+			}
+		}
+	}
+	return points, nil
+}
+
+// Fig10 prints the skip-synchronization table with the paper's headline
+// savings at 256 GPUs.
+func Fig10(w io.Writer, iters int) error {
+	points, err := Fig10SkipSync(iters)
+	if err != nil {
+		return err
+	}
+	header(w, "Fig 10: average per-iteration latency, ResNet50, sync every n iterations")
+	fmt.Fprintf(w, "%-6s %-10s", "comm", "sync-every")
+	for _, world := range scalabilityWorlds {
+		fmt.Fprintf(w, " %8d", world)
+	}
+	fmt.Fprintln(w)
+	i := 0
+	for _, backend := range allBackends {
+		baseline256 := 0.0
+		for _, every := range []int{1, 2, 4, 8} {
+			fmt.Fprintf(w, "%-6s %-10d", backend, every)
+			var last float64
+			for range scalabilityWorlds {
+				p := points[i]
+				fmt.Fprintf(w, " %8.4f", p.MeanSeconds)
+				last = p.MeanSeconds
+				i++
+			}
+			if every == 1 {
+				baseline256 = last
+				fmt.Fprintln(w)
+			} else {
+				fmt.Fprintf(w, "   (%.0f%% faster at 256)\n", 100*(1-last/baseline256))
+			}
+		}
+	}
+	fmt.Fprintln(w, "\npaper: sync-every-8 gives ~38% (NCCL) and ~57% (Gloo) speedup at 256 GPUs.")
+	return nil
+}

@@ -1,0 +1,53 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+)
+
+// Table1Row is one solution of the paper's Table 1 taxonomy.
+type Table1Row struct {
+	Solution string
+	// The six scheme columns: Synchronous / Asynchronous update,
+	// Cross- / Intra-iteration parallelism, Data / Model parallelism.
+	S, A, C, I, D, M bool
+}
+
+// Table1Taxonomy returns the paper's Table 1: which schemes each
+// distributed training solution supports.
+func Table1Taxonomy() []Table1Row {
+	return []Table1Row{
+		{"PT DDP", true, false, false, true, true, false},
+		{"PT RPC", true, true, true, true, false, true},
+		{"TF MultiWorkerMirrored", true, false, false, true, true, false},
+		{"TF ParameterServer", true, true, false, true, true, false},
+		{"Mesh TensorFlow", true, false, false, true, true, true},
+		{"GPipe", true, false, true, false, false, true},
+		{"Horovod", true, false, false, true, true, false},
+		{"GradientFlow", true, false, false, true, true, false},
+		{"SlowMo", true, false, false, true, true, false},
+		{"PipeDream", true, true, true, true, true, true},
+		{"ZeRO", true, false, false, true, true, true},
+		{"Parallax", true, true, false, true, true, false},
+		{"ByteScheduler", true, true, false, true, true, false},
+		{"TicTac", true, true, false, true, true, false},
+		{"PACE", true, false, false, true, true, false},
+	}
+}
+
+// Table1 prints the taxonomy in the paper's layout.
+func Table1(w io.Writer) error {
+	header(w, "Table 1: distributed training solutions (S/A = sync/async update, C/I = cross/intra-iteration, D/M = data/model parallel)")
+	fmt.Fprintf(w, "%-24s %2s %2s %2s %2s %2s %2s\n", "scheme", "S", "A", "C", "I", "D", "M")
+	mark := func(b bool) string {
+		if b {
+			return "x"
+		}
+		return ""
+	}
+	for _, r := range Table1Taxonomy() {
+		fmt.Fprintf(w, "%-24s %2s %2s %2s %2s %2s %2s\n",
+			r.Solution, mark(r.S), mark(r.A), mark(r.C), mark(r.I), mark(r.D), mark(r.M))
+	}
+	return nil
+}

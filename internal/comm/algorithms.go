@@ -1,0 +1,298 @@
+package comm
+
+import (
+	"fmt"
+
+	"repro/internal/transport"
+)
+
+// Algorithm selects the AllReduce implementation, standing in for the
+// algorithm choices inside NCCL/Gloo that the paper discusses
+// (ring-based vs tree-based AllReduce, Section 2.3).
+type Algorithm int
+
+// Supported AllReduce algorithms.
+const (
+	// Ring uses reduce-scatter followed by all-gather around a ring:
+	// bandwidth-optimal for large tensors, 2(k-1) latency terms.
+	Ring Algorithm = iota
+	// Tree reduces along a binomial tree to rank 0 and broadcasts back:
+	// log(k) latency, good for small tensors.
+	Tree
+	// Naive has every rank exchange full vectors with every peer and
+	// reduce locally — the paper's strawman baseline.
+	Naive
+)
+
+// String returns the algorithm name.
+func (a Algorithm) String() string {
+	switch a {
+	case Ring:
+		return "ring"
+	case Tree:
+		return "tree"
+	case Naive:
+		return "naive"
+	default:
+		return fmt.Sprintf("Algorithm(%d)", int(a))
+	}
+}
+
+// sendAsync issues m.Send on its own goroutine so a matching Recv can
+// proceed concurrently, preventing head-of-line deadlock on large
+// messages.
+func sendAsync(m transport.Mesh, to int, tag uint64, data []float32) <-chan error {
+	errc := make(chan error, 1)
+	go func() { errc <- m.Send(to, tag, data) }()
+	return errc
+}
+
+// chunkBounds splits n elements into k nearly-equal chunks, returning
+// the [start, end) of chunk i.
+func chunkBounds(n, k, i int) (int, int) {
+	base, rem := n/k, n%k
+	start := i*base + min(i, rem)
+	size := base
+	if i < rem {
+		size++
+	}
+	return start, start + size
+}
+
+// ringAllReduce performs reduce-scatter + all-gather around the ring.
+// After it returns, every rank holds bitwise-identical reduced data:
+// each chunk's final value is computed on exactly one rank and then
+// propagated verbatim, which is what lets DDP guarantee identical
+// gradients (and therefore identical models) on every replica.
+func ringAllReduce(m transport.Mesh, tag uint64, data []float32, op ReduceOp) error {
+	k := m.Size()
+	if k == 1 {
+		if op == Avg {
+			return nil
+		}
+		return nil
+	}
+	rank := m.Rank()
+	right := (rank + 1) % k
+	left := (rank - 1 + k) % k
+	n := len(data)
+
+	// Phase 1: reduce-scatter. After k-1 steps, chunk (rank+1)%k on this
+	// rank holds the full reduction.
+	for step := 0; step < k-1; step++ {
+		sendIdx := (rank - step + k) % k
+		recvIdx := (rank - step - 1 + k) % k
+		ss, se := chunkBounds(n, k, sendIdx)
+		rs, re := chunkBounds(n, k, recvIdx)
+		errc := sendAsync(m, right, tag, data[ss:se])
+		buf, err := m.Recv(left, tag)
+		if err != nil {
+			<-errc
+			return err
+		}
+		if err := <-errc; err != nil {
+			return err
+		}
+		if len(buf) != re-rs {
+			return fmt.Errorf("comm: ring chunk size mismatch: got %d want %d", len(buf), re-rs)
+		}
+		reduceInto(data[rs:re], buf, op)
+	}
+
+	// Phase 2: all-gather the finished chunks around the ring.
+	for step := 0; step < k-1; step++ {
+		sendIdx := (rank + 1 - step + k) % k
+		recvIdx := (rank - step + k) % k
+		ss, se := chunkBounds(n, k, sendIdx)
+		rs, re := chunkBounds(n, k, recvIdx)
+		errc := sendAsync(m, right, tag, data[ss:se])
+		buf, err := m.Recv(left, tag)
+		if err != nil {
+			<-errc
+			return err
+		}
+		if err := <-errc; err != nil {
+			return err
+		}
+		copy(data[rs:re], buf)
+	}
+
+	if op == Avg {
+		scale := 1 / float32(k)
+		for i := range data {
+			data[i] *= scale
+		}
+	}
+	return nil
+}
+
+// treeAllReduce reduces along a binomial tree into rank 0, then
+// broadcasts the result back down the same tree.
+func treeAllReduce(m transport.Mesh, tag uint64, data []float32, op ReduceOp) error {
+	k := m.Size()
+	if k > 1 {
+		rank := m.Rank()
+		// Reduce up: at each round, odd multiples of `mask` send to their
+		// even neighbour and drop out.
+		for mask := 1; mask < k; mask <<= 1 {
+			if rank&mask != 0 {
+				if err := m.Send(rank-mask, tag, data); err != nil {
+					return err
+				}
+				break
+			}
+			peer := rank + mask
+			if peer < k {
+				buf, err := m.Recv(peer, tag)
+				if err != nil {
+					return err
+				}
+				reduceInto(data, buf, op)
+			}
+		}
+		if err := binomialBroadcast(m, tag, data, 0); err != nil {
+			return err
+		}
+	}
+	if op == Avg {
+		scale := 1 / float32(k)
+		for i := range data {
+			data[i] *= scale
+		}
+	}
+	return nil
+}
+
+// naiveAllReduce is the paper's strawman: every rank broadcasts its full
+// input to all peers and reduces locally. Reduction order is fixed by
+// rank so all replicas compute bitwise-identical results.
+func naiveAllReduce(m transport.Mesh, tag uint64, data []float32, op ReduceOp) error {
+	k := m.Size()
+	if k > 1 {
+		rank := m.Rank()
+		local := append([]float32(nil), data...)
+		errcs := make([]<-chan error, 0, k-1)
+		for peer := 0; peer < k; peer++ {
+			if peer != rank {
+				errcs = append(errcs, sendAsync(m, peer, tag, local))
+			}
+		}
+		contributions := make([][]float32, k)
+		contributions[rank] = local
+		for peer := 0; peer < k; peer++ {
+			if peer == rank {
+				continue
+			}
+			buf, err := m.Recv(peer, tag)
+			if err != nil {
+				return err
+			}
+			contributions[peer] = buf
+		}
+		for _, errc := range errcs {
+			if err := <-errc; err != nil {
+				return err
+			}
+		}
+		copy(data, contributions[0])
+		for peer := 1; peer < k; peer++ {
+			reduceInto(data, contributions[peer], op)
+		}
+	}
+	if op == Avg {
+		scale := 1 / float32(k)
+		for i := range data {
+			data[i] *= scale
+		}
+	}
+	return nil
+}
+
+// binomialBroadcast propagates root's data to all ranks along a binomial
+// tree rooted at root.
+func binomialBroadcast(m transport.Mesh, tag uint64, data []float32, root int) error {
+	k := m.Size()
+	if k == 1 {
+		return nil
+	}
+	// Work in a rotated rank space where the root is rank 0.
+	vrank := (m.Rank() - root + k) % k
+
+	// Find the highest power of two covering k.
+	top := 1
+	for top < k {
+		top <<= 1
+	}
+	// Receive once from the appropriate ancestor (non-roots only).
+	if vrank != 0 {
+		mask := 1
+		for vrank&mask == 0 {
+			mask <<= 1
+		}
+		src := (vrank - mask + root + k) % k
+		buf, err := m.Recv(src, tag)
+		if err != nil {
+			return err
+		}
+		if len(buf) != len(data) {
+			return fmt.Errorf("comm: broadcast size mismatch: got %d want %d", len(buf), len(data))
+		}
+		copy(data, buf)
+	}
+	// Forward to descendants: masks below our own set bit.
+	lowest := top
+	if vrank != 0 {
+		lowest = 1
+		for vrank&lowest == 0 {
+			lowest <<= 1
+		}
+	}
+	for mask := lowest >> 1; mask >= 1; mask >>= 1 {
+		dst := vrank + mask
+		if dst < k {
+			if err := m.Send((dst+root)%k, tag, data); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// allGather distributes src from every rank into dst[rank] on all ranks
+// using pairwise exchange.
+func allGather(m transport.Mesh, tag uint64, dst [][]float32, src []float32) error {
+	k := m.Size()
+	rank := m.Rank()
+	if len(dst) != k {
+		return fmt.Errorf("comm: allgather dst has %d slots for world %d", len(dst), k)
+	}
+	copy(dst[rank], src)
+	if k == 1 {
+		return nil
+	}
+	errcs := make([]<-chan error, 0, k-1)
+	for peer := 0; peer < k; peer++ {
+		if peer != rank {
+			errcs = append(errcs, sendAsync(m, peer, tag, src))
+		}
+	}
+	for peer := 0; peer < k; peer++ {
+		if peer == rank {
+			continue
+		}
+		buf, err := m.Recv(peer, tag)
+		if err != nil {
+			return err
+		}
+		if len(buf) != len(dst[peer]) {
+			return fmt.Errorf("comm: allgather size mismatch from rank %d", peer)
+		}
+		copy(dst[peer], buf)
+	}
+	for _, errc := range errcs {
+		if err := <-errc; err != nil {
+			return err
+		}
+	}
+	return nil
+}

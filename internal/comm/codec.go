@@ -1,0 +1,140 @@
+package comm
+
+import "math"
+
+// Codec models the gradient compression direction of Section 6.2.3:
+// gradients are projected into a lower-precision representation before
+// communication and reconstructed afterwards. In this pure-Go
+// reproduction the accuracy effect is faithful (values are actually
+// quantized); the byte-volume effect shows up in the simulator, which
+// scales communication cost by CompressionRatio.
+type Codec interface {
+	// Name identifies the codec in benchmark output.
+	Name() string
+	// CompressionRatio is original bytes / compressed bytes.
+	CompressionRatio() float64
+	// Quantize applies the round trip through the compressed
+	// representation to data in place, before AllReduce.
+	Quantize(data []float32)
+}
+
+// Float16Codec rounds values through IEEE half precision (2x smaller).
+type Float16Codec struct{}
+
+// Name implements Codec.
+func (Float16Codec) Name() string { return "fp16" }
+
+// CompressionRatio implements Codec.
+func (Float16Codec) CompressionRatio() float64 { return 2 }
+
+// Quantize rounds every element to the nearest representable float16.
+func (Float16Codec) Quantize(data []float32) {
+	for i, v := range data {
+		data[i] = Float16Round(v)
+	}
+}
+
+// OneBitCodec keeps only the sign of each gradient element, scaled by
+// the mean magnitude, with error feedback carrying the quantization
+// residual into the next iteration (Seide et al., the 1-bit SGD scheme
+// the paper cites). One codec instance must be used per bucket so the
+// residual lines up.
+type OneBitCodec struct {
+	residual []float32
+}
+
+// Name implements Codec.
+func (c *OneBitCodec) Name() string { return "1bit" }
+
+// CompressionRatio implements Codec.
+func (c *OneBitCodec) CompressionRatio() float64 { return 32 }
+
+// Quantize replaces data with sign(data+residual) * mean|data+residual|
+// and stores the quantization error for the next call.
+func (c *OneBitCodec) Quantize(data []float32) {
+	if len(c.residual) != len(data) {
+		c.residual = make([]float32, len(data))
+	}
+	var meanAbs float64
+	for i := range data {
+		data[i] += c.residual[i]
+		meanAbs += math.Abs(float64(data[i]))
+	}
+	scale := float32(meanAbs / float64(len(data)))
+	for i, v := range data {
+		q := scale
+		if v < 0 {
+			q = -scale
+		}
+		c.residual[i] = v - q
+		data[i] = q
+	}
+}
+
+// Float16Round converts f to IEEE 754 half precision and back,
+// round-to-nearest-even, saturating to ±Inf outside the range.
+func Float16Round(f float32) float32 {
+	return float16ToFloat32(float32ToFloat16(f))
+}
+
+// float32ToFloat16 converts to binary16 representation bits.
+func float32ToFloat16(f float32) uint16 {
+	bits := math.Float32bits(f)
+	sign := uint16(bits>>16) & 0x8000
+	exp := int32(bits>>23&0xff) - 127 + 15
+	mant := bits & 0x7fffff
+
+	switch {
+	case exp <= 0:
+		if exp < -10 {
+			return sign // underflow to zero
+		}
+		// Subnormal: shift mantissa (with implicit leading 1).
+		mant |= 0x800000
+		shift := uint32(14 - exp)
+		half := uint32(1) << (shift - 1)
+		rounded := (mant + half) >> shift
+		return sign | uint16(rounded)
+	case exp >= 0x1f:
+		if exp == 128-127+15 && mant != 0 {
+			return sign | 0x7e00 // NaN
+		}
+		return sign | 0x7c00 // Inf / overflow
+	default:
+		// Round mantissa from 23 to 10 bits, to nearest even.
+		rounded := mant + 0xfff + ((mant >> 13) & 1)
+		if rounded&0x800000 != 0 {
+			rounded = 0
+			exp++
+			if exp >= 0x1f {
+				return sign | 0x7c00
+			}
+		}
+		return sign | uint16(exp)<<10 | uint16(rounded>>13)
+	}
+}
+
+// float16ToFloat32 expands binary16 bits to float32.
+func float16ToFloat32(h uint16) float32 {
+	sign := uint32(h&0x8000) << 16
+	exp := uint32(h >> 10 & 0x1f)
+	mant := uint32(h & 0x3ff)
+	switch exp {
+	case 0:
+		if mant == 0 {
+			return math.Float32frombits(sign)
+		}
+		// Subnormal: normalize.
+		e := uint32(127 - 15 + 1)
+		for mant&0x400 == 0 {
+			mant <<= 1
+			e--
+		}
+		mant &= 0x3ff
+		return math.Float32frombits(sign | e<<23 | mant<<13)
+	case 0x1f:
+		return math.Float32frombits(sign | 0xff<<23 | mant<<13)
+	default:
+		return math.Float32frombits(sign | (exp+127-15)<<23 | mant<<13)
+	}
+}

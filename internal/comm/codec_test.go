@@ -1,0 +1,112 @@
+package comm
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestFloat16RoundExactValues(t *testing.T) {
+	// Values exactly representable in fp16 must survive unchanged.
+	for _, v := range []float32{0, 1, -1, 0.5, 2, 1024, -0.25, 65504} {
+		if got := Float16Round(v); got != v {
+			t.Fatalf("Float16Round(%v) = %v", v, got)
+		}
+	}
+}
+
+func TestFloat16RoundError(t *testing.T) {
+	// fp16 has ~3 decimal digits; relative error must be < 2^-10.
+	f := func(v float32) bool {
+		if math.IsNaN(float64(v)) || math.IsInf(float64(v), 0) {
+			return true
+		}
+		if v > 65000 || v < -65000 || (v != 0 && math.Abs(float64(v)) < 6.2e-5) {
+			return true // outside normal fp16 range
+		}
+		got := Float16Round(v)
+		if v == 0 {
+			return got == 0
+		}
+		rel := math.Abs(float64(got-v)) / math.Abs(float64(v))
+		return rel <= 1.0/1024
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFloat16Overflow(t *testing.T) {
+	if !math.IsInf(float64(Float16Round(1e20)), 1) {
+		t.Fatal("large values must saturate to +Inf")
+	}
+	if !math.IsInf(float64(Float16Round(-1e20)), -1) {
+		t.Fatal("large negatives must saturate to -Inf")
+	}
+}
+
+func TestFloat16Subnormals(t *testing.T) {
+	// 1e-7 is below the subnormal threshold; must flush to zero.
+	if got := Float16Round(1e-8); got != 0 {
+		t.Fatalf("tiny value = %v, want 0", got)
+	}
+	// Smallest fp16 subnormal is ~5.96e-8; 1e-5 is subnormal but
+	// representable.
+	got := Float16Round(1e-5)
+	if got == 0 || math.Abs(float64(got-1e-5))/1e-5 > 0.05 {
+		t.Fatalf("subnormal round-trip = %v", got)
+	}
+}
+
+func TestFloat16CodecQuantizesInPlace(t *testing.T) {
+	c := Float16Codec{}
+	if c.Name() != "fp16" || c.CompressionRatio() != 2 {
+		t.Fatal("codec metadata wrong")
+	}
+	data := []float32{0.1, 0.2, 0.3}
+	c.Quantize(data)
+	for _, v := range data {
+		if Float16Round(v) != v {
+			t.Fatalf("%v is not an fp16 value", v)
+		}
+	}
+}
+
+func TestOneBitCodecSignsAndScale(t *testing.T) {
+	c := &OneBitCodec{}
+	if c.Name() != "1bit" || c.CompressionRatio() != 32 {
+		t.Fatal("codec metadata wrong")
+	}
+	data := []float32{1, -2, 3, -4}
+	c.Quantize(data)
+	// mean |x| = 2.5; outputs must be ±2.5 matching input signs.
+	want := []float32{2.5, -2.5, 2.5, -2.5}
+	for i := range data {
+		if data[i] != want[i] {
+			t.Fatalf("quantized = %v, want %v", data, want)
+		}
+	}
+}
+
+func TestOneBitCodecErrorFeedbackConverges(t *testing.T) {
+	// With error feedback, repeatedly quantizing the same gradient must
+	// transmit, on average, the true value: the accumulated transmitted
+	// sum converges to n * true gradient.
+	c := &OneBitCodec{}
+	truth := []float32{0.5, -1.5, 0.25}
+	var sent [3]float64
+	const iters = 400
+	for it := 0; it < iters; it++ {
+		buf := append([]float32(nil), truth...)
+		c.Quantize(buf)
+		for i, v := range buf {
+			sent[i] += float64(v)
+		}
+	}
+	for i := range truth {
+		avg := sent[i] / iters
+		if math.Abs(avg-float64(truth[i])) > 0.05 {
+			t.Fatalf("element %d average transmitted %v, want %v", i, avg, truth[i])
+		}
+	}
+}

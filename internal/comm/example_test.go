@@ -1,0 +1,83 @@
+package comm_test
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/comm"
+)
+
+// ExampleProcessGroup shows the asynchronous collective API: AllReduce
+// returns a Work handle immediately, so callers can overlap computation
+// with communication — the property DDP's bucket overlap is built on.
+func ExampleProcessGroup() {
+	const world = 3
+	groups := comm.NewInProcGroups(world, comm.Options{Algorithm: comm.Ring})
+	defer func() {
+		for _, g := range groups {
+			g.Close()
+		}
+	}()
+
+	results := make([]float32, world)
+	var wg sync.WaitGroup
+	for rank := 0; rank < world; rank++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			data := []float32{float32(rank + 1)} // 1, 2, 3
+			work := groups[rank].AllReduce(data, comm.Sum)
+			// ... other computation could run here ...
+			if err := work.Wait(); err != nil {
+				panic(err)
+			}
+			results[rank] = data[0]
+		}(rank)
+	}
+	wg.Wait()
+	fmt.Println("sum on every rank:", results)
+	// Output: sum on every rank: [6 6 6]
+}
+
+// ExampleNewRoundRobin composes sub-groups so successive collectives
+// rotate across them (paper Section 5.4).
+func ExampleNewRoundRobin() {
+	const world = 2
+	a := comm.NewInProcGroups(world, comm.Options{})
+	b := comm.NewInProcGroups(world, comm.Options{})
+
+	rrs := make([]comm.ProcessGroup, world)
+	for r := 0; r < world; r++ {
+		rr, err := comm.NewRoundRobin(a[r], b[r])
+		if err != nil {
+			panic(err)
+		}
+		rrs[r] = rr
+	}
+	defer func() {
+		for _, g := range rrs {
+			g.Close()
+		}
+	}()
+
+	sums := make([][]float32, world)
+	var wg sync.WaitGroup
+	for rank := 0; rank < world; rank++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			// Two collectives land on the two different sub-groups.
+			x := []float32{1}
+			y := []float32{10}
+			w1 := rrs[rank].AllReduce(x, comm.Sum)
+			w2 := rrs[rank].AllReduce(y, comm.Sum)
+			if err := comm.WaitAll(w1, w2); err != nil {
+				panic(err)
+			}
+			sums[rank] = []float32{x[0], y[0]}
+		}(rank)
+	}
+	wg.Wait()
+	fmt.Println(sums[0])
+	// Output: [2 20]
+}

@@ -1,0 +1,225 @@
+package comm
+
+import (
+	"fmt"
+
+	"repro/internal/transport"
+)
+
+// The extended collectives round out the c10d API surface:
+// ReduceScatter and Gather/Scatter are what sharded-optimizer schemes
+// like ZeRO (discussed in the paper's Section 7) build on, and
+// ReduceScatter is also the first phase of the ring AllReduce.
+
+// ReduceScatter reduces equal chunks of src across ranks and leaves this
+// rank's reduced chunk in dst: src holds Size() chunks of len(dst), and
+// rank r receives the reduction of every rank's r-th chunk.
+func (g *meshGroup) ReduceScatter(dst, src []float32, op ReduceOp) Work {
+	world := g.Size()
+	if len(src) != world*len(dst) {
+		return CompletedWork(fmt.Errorf("comm: reduce-scatter src %d != world %d * dst %d", len(src), world, len(dst)))
+	}
+	return g.submit(func(tag uint64) error {
+		return reduceScatter(g.mesh, tag, dst, src, op)
+	})
+}
+
+// Gather collects src from every rank into dst on root (dst is ignored
+// on other ranks; on root it must have Size() slices of len(src)).
+func (g *meshGroup) Gather(dst [][]float32, src []float32, root int) Work {
+	if root < 0 || root >= g.Size() {
+		return CompletedWork(fmt.Errorf("comm: gather root %d out of range", root))
+	}
+	return g.submit(func(tag uint64) error {
+		return gather(g.mesh, tag, dst, src, root)
+	})
+}
+
+// Scatter distributes root's src slices to every rank's dst (src is
+// ignored on non-roots; on root it must have Size() slices of len(dst)).
+func (g *meshGroup) Scatter(dst []float32, src [][]float32, root int) Work {
+	if root < 0 || root >= g.Size() {
+		return CompletedWork(fmt.Errorf("comm: scatter root %d out of range", root))
+	}
+	return g.submit(func(tag uint64) error {
+		return scatter(g.mesh, tag, dst, src, root)
+	})
+}
+
+// AllToAll exchanges chunk j of every rank's src with rank j: dst ends
+// up holding [rank 0's chunk-for-me, rank 1's chunk-for-me, ...]. Both
+// src and dst hold Size() equal chunks. This is the primitive layer-
+// sharding schemes (Mesh-TensorFlow style, paper Section 7) build on.
+func (g *meshGroup) AllToAll(dst, src []float32) Work {
+	world := g.Size()
+	if len(src) != len(dst) || len(src)%world != 0 {
+		return CompletedWork(fmt.Errorf("comm: all-to-all needs equal chunked buffers, got src %d dst %d world %d", len(src), len(dst), world))
+	}
+	return g.submit(func(tag uint64) error {
+		return allToAll(g.mesh, tag, dst, src)
+	})
+}
+
+// ExtendedGroup is the optional interface for the collectives beyond
+// the core ProcessGroup API. The mesh-backed groups implement it;
+// composite groups may not.
+type ExtendedGroup interface {
+	ProcessGroup
+	ReduceScatter(dst, src []float32, op ReduceOp) Work
+	Gather(dst [][]float32, src []float32, root int) Work
+	Scatter(dst []float32, src [][]float32, root int) Work
+	AllToAll(dst, src []float32) Work
+}
+
+var _ ExtendedGroup = (*meshGroup)(nil)
+
+// reduceScatter runs the ring reduce-scatter over explicit chunks: after
+// k-1 steps, rank r holds the full reduction of chunk r.
+func reduceScatter(m transport.Mesh, tag uint64, dst, src []float32, op ReduceOp) error {
+	k := m.Size()
+	rank := m.Rank()
+	n := len(dst)
+	if k == 1 {
+		copy(dst, src)
+		return nil
+	}
+	right := (rank + 1) % k
+	left := (rank - 1 + k) % k
+	// Work on a copy so src is not clobbered.
+	buf := append([]float32(nil), src...)
+	for step := 0; step < k-1; step++ {
+		sendIdx := (rank - step + k) % k
+		recvIdx := (rank - step - 1 + k) % k
+		errc := sendAsync(m, right, tag, buf[sendIdx*n:(sendIdx+1)*n])
+		in, err := m.Recv(left, tag)
+		if err != nil {
+			<-errc
+			return err
+		}
+		if err := <-errc; err != nil {
+			return err
+		}
+		if len(in) != n {
+			return fmt.Errorf("comm: reduce-scatter chunk size %d, want %d", len(in), n)
+		}
+		reduceInto(buf[recvIdx*n:(recvIdx+1)*n], in, op)
+	}
+	// After k-1 steps the fully reduced chunk at this rank is chunk
+	// (rank+1)%k; the API contract gives rank its own index, so rotate
+	// once more: receive chunk `rank` from the left neighbour, which
+	// finished it.
+	finished := (rank + 1) % k
+	errc := sendAsync(m, right, tag, buf[finished*n:(finished+1)*n])
+	in, err := m.Recv(left, tag)
+	if err != nil {
+		<-errc
+		return err
+	}
+	if err := <-errc; err != nil {
+		return err
+	}
+	copy(dst, in)
+	if op == Avg {
+		scale := 1 / float32(k)
+		for i := range dst {
+			dst[i] *= scale
+		}
+	}
+	return nil
+}
+
+// allToAll performs the pairwise chunk exchange.
+func allToAll(m transport.Mesh, tag uint64, dst, src []float32) error {
+	k := m.Size()
+	rank := m.Rank()
+	n := len(src) / k
+	copy(dst[rank*n:(rank+1)*n], src[rank*n:(rank+1)*n])
+	if k == 1 {
+		return nil
+	}
+	errcs := make([]<-chan error, 0, k-1)
+	for peer := 0; peer < k; peer++ {
+		if peer != rank {
+			errcs = append(errcs, sendAsync(m, peer, tag, src[peer*n:(peer+1)*n]))
+		}
+	}
+	for peer := 0; peer < k; peer++ {
+		if peer == rank {
+			continue
+		}
+		buf, err := m.Recv(peer, tag)
+		if err != nil {
+			return err
+		}
+		if len(buf) != n {
+			return fmt.Errorf("comm: all-to-all chunk from rank %d has %d elements, want %d", peer, len(buf), n)
+		}
+		copy(dst[peer*n:(peer+1)*n], buf)
+	}
+	for _, errc := range errcs {
+		if err := <-errc; err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// gather collects src into dst on root via direct sends.
+func gather(m transport.Mesh, tag uint64, dst [][]float32, src []float32, root int) error {
+	k := m.Size()
+	rank := m.Rank()
+	if rank != root {
+		return m.Send(root, tag, src)
+	}
+	if len(dst) != k {
+		return fmt.Errorf("comm: gather dst has %d slots for world %d", len(dst), k)
+	}
+	copy(dst[rank], src)
+	for peer := 0; peer < k; peer++ {
+		if peer == rank {
+			continue
+		}
+		buf, err := m.Recv(peer, tag)
+		if err != nil {
+			return err
+		}
+		if len(buf) != len(dst[peer]) {
+			return fmt.Errorf("comm: gather size mismatch from rank %d", peer)
+		}
+		copy(dst[peer], buf)
+	}
+	return nil
+}
+
+// scatter distributes src chunks from root via direct sends.
+func scatter(m transport.Mesh, tag uint64, dst []float32, src [][]float32, root int) error {
+	k := m.Size()
+	rank := m.Rank()
+	if rank == root {
+		if len(src) != k {
+			return fmt.Errorf("comm: scatter src has %d slots for world %d", len(src), k)
+		}
+		copy(dst, src[rank])
+		errcs := make([]<-chan error, 0, k-1)
+		for peer := 0; peer < k; peer++ {
+			if peer != rank {
+				errcs = append(errcs, sendAsync(m, peer, tag, src[peer]))
+			}
+		}
+		for _, errc := range errcs {
+			if err := <-errc; err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	buf, err := m.Recv(root, tag)
+	if err != nil {
+		return err
+	}
+	if len(buf) != len(dst) {
+		return fmt.Errorf("comm: scatter size mismatch: got %d want %d", len(buf), len(dst))
+	}
+	copy(dst, buf)
+	return nil
+}

@@ -1,0 +1,299 @@
+package comm
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+func asExtended(t *testing.T, groups []ProcessGroup) []ExtendedGroup {
+	t.Helper()
+	out := make([]ExtendedGroup, len(groups))
+	for i, g := range groups {
+		eg, ok := g.(ExtendedGroup)
+		if !ok {
+			t.Fatalf("group %d does not implement ExtendedGroup", i)
+		}
+		out[i] = eg
+	}
+	return out
+}
+
+func TestReduceScatterSum(t *testing.T) {
+	for _, world := range []int{1, 2, 3, 4, 5} {
+		groups := asExtended(t, NewInProcGroups(world, Options{}))
+		const chunk = 3
+		outs := make([][]float32, world)
+		var wg sync.WaitGroup
+		errs := make([]error, world)
+		for r := 0; r < world; r++ {
+			wg.Add(1)
+			go func(rank int) {
+				defer wg.Done()
+				// src chunk c from rank r = 100*r + c (each element).
+				src := make([]float32, world*chunk)
+				for c := 0; c < world; c++ {
+					for j := 0; j < chunk; j++ {
+						src[c*chunk+j] = float32(100*rank + c)
+					}
+				}
+				dst := make([]float32, chunk)
+				errs[rank] = groups[rank].ReduceScatter(dst, src, Sum).Wait()
+				outs[rank] = dst
+			}(r)
+		}
+		wg.Wait()
+		for rank, err := range errs {
+			if err != nil {
+				t.Fatalf("world %d rank %d: %v", world, rank, err)
+			}
+			// sum over ranks of (100*r + rank) for chunk index = rank.
+			want := float32(0)
+			for r := 0; r < world; r++ {
+				want += float32(100*r + rank)
+			}
+			for j := 0; j < chunk; j++ {
+				if outs[rank][j] != want {
+					t.Fatalf("world %d rank %d elem %d = %v, want %v", world, rank, j, outs[rank][j], want)
+				}
+			}
+		}
+		for _, g := range groups {
+			g.Close()
+		}
+	}
+}
+
+func TestReduceScatterAvg(t *testing.T) {
+	const world = 4
+	groups := asExtended(t, NewInProcGroups(world, Options{}))
+	defer func() {
+		for _, g := range groups {
+			g.Close()
+		}
+	}()
+	outs := make([][]float32, world)
+	var wg sync.WaitGroup
+	for r := 0; r < world; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			src := make([]float32, world)
+			for c := range src {
+				src[c] = float32(rank)
+			}
+			dst := make([]float32, 1)
+			if err := groups[rank].ReduceScatter(dst, src, Avg).Wait(); err != nil {
+				t.Error(err)
+			}
+			outs[rank] = dst
+		}(r)
+	}
+	wg.Wait()
+	for rank := 0; rank < world; rank++ {
+		if math.Abs(float64(outs[rank][0]-1.5)) > 1e-6 {
+			t.Fatalf("rank %d avg = %v, want 1.5", rank, outs[rank][0])
+		}
+	}
+}
+
+func TestReduceScatterSizeValidation(t *testing.T) {
+	groups := asExtended(t, NewInProcGroups(2, Options{}))
+	defer func() {
+		for _, g := range groups {
+			g.Close()
+		}
+	}()
+	if err := groups[0].ReduceScatter(make([]float32, 3), make([]float32, 5), Sum).Wait(); err == nil {
+		t.Fatal("mismatched sizes must error")
+	}
+}
+
+func TestGatherToEachRoot(t *testing.T) {
+	const world = 3
+	for root := 0; root < world; root++ {
+		groups := asExtended(t, NewInProcGroups(world, Options{}))
+		collected := make([][][]float32, world)
+		var wg sync.WaitGroup
+		for r := 0; r < world; r++ {
+			wg.Add(1)
+			go func(rank int) {
+				defer wg.Done()
+				var dst [][]float32
+				if rank == root {
+					dst = make([][]float32, world)
+					for i := range dst {
+						dst[i] = make([]float32, 2)
+					}
+				}
+				src := []float32{float32(rank), float32(rank * 2)}
+				if err := groups[rank].Gather(dst, src, root).Wait(); err != nil {
+					t.Error(err)
+				}
+				collected[rank] = dst
+			}(r)
+		}
+		wg.Wait()
+		for peer := 0; peer < world; peer++ {
+			got := collected[root][peer]
+			if got[0] != float32(peer) || got[1] != float32(peer*2) {
+				t.Fatalf("root %d slot %d = %v", root, peer, got)
+			}
+		}
+		for _, g := range groups {
+			g.Close()
+		}
+	}
+}
+
+func TestScatterFromRoot(t *testing.T) {
+	const world = 4
+	groups := asExtended(t, NewInProcGroups(world, Options{}))
+	defer func() {
+		for _, g := range groups {
+			g.Close()
+		}
+	}()
+	received := make([][]float32, world)
+	var wg sync.WaitGroup
+	for r := 0; r < world; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			var src [][]float32
+			if rank == 1 { // root
+				src = make([][]float32, world)
+				for i := range src {
+					src[i] = []float32{float32(10 * i)}
+				}
+			}
+			dst := make([]float32, 1)
+			if err := groups[rank].Scatter(dst, src, 1).Wait(); err != nil {
+				t.Error(err)
+			}
+			received[rank] = dst
+		}(r)
+	}
+	wg.Wait()
+	for rank := 0; rank < world; rank++ {
+		if received[rank][0] != float32(10*rank) {
+			t.Fatalf("rank %d got %v, want %v", rank, received[rank][0], 10*rank)
+		}
+	}
+}
+
+func TestScatterGatherRoundTrip(t *testing.T) {
+	// scatter(x) then gather must reassemble x at the root.
+	const world = 3
+	groups := asExtended(t, NewInProcGroups(world, Options{}))
+	defer func() {
+		for _, g := range groups {
+			g.Close()
+		}
+	}()
+	original := [][]float32{{1, 2}, {3, 4}, {5, 6}}
+	result := make([][]float32, world)
+	for i := range result {
+		result[i] = make([]float32, 2)
+	}
+	var wg sync.WaitGroup
+	for r := 0; r < world; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			dst := make([]float32, 2)
+			var src [][]float32
+			if rank == 0 {
+				src = original
+			}
+			if err := groups[rank].Scatter(dst, src, 0).Wait(); err != nil {
+				t.Error(err)
+				return
+			}
+			var gatherDst [][]float32
+			if rank == 0 {
+				gatherDst = result
+			}
+			if err := groups[rank].Gather(gatherDst, dst, 0).Wait(); err != nil {
+				t.Error(err)
+			}
+		}(r)
+	}
+	wg.Wait()
+	for i := range original {
+		for j := range original[i] {
+			if result[i][j] != original[i][j] {
+				t.Fatalf("round trip mangled slot %d: %v vs %v", i, result[i], original[i])
+			}
+		}
+	}
+}
+
+func TestAllToAll(t *testing.T) {
+	const world = 4
+	groups := asExtended(t, NewInProcGroups(world, Options{}))
+	defer func() {
+		for _, g := range groups {
+			g.Close()
+		}
+	}()
+	results := make([][]float32, world)
+	var wg sync.WaitGroup
+	for r := 0; r < world; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			// src chunk j = 10*rank + j.
+			src := make([]float32, world*2)
+			for j := 0; j < world; j++ {
+				src[2*j] = float32(10*rank + j)
+				src[2*j+1] = float32(10*rank + j)
+			}
+			dst := make([]float32, world*2)
+			if err := groups[rank].AllToAll(dst, src).Wait(); err != nil {
+				t.Error(err)
+			}
+			results[rank] = dst
+		}(r)
+	}
+	wg.Wait()
+	// dst chunk j on rank r = rank j's chunk r = 10*j + r.
+	for rank := 0; rank < world; rank++ {
+		for j := 0; j < world; j++ {
+			want := float32(10*j + rank)
+			if results[rank][2*j] != want || results[rank][2*j+1] != want {
+				t.Fatalf("rank %d chunk %d = %v, want %v", rank, j, results[rank][2*j], want)
+			}
+		}
+	}
+}
+
+func TestAllToAllValidation(t *testing.T) {
+	groups := asExtended(t, NewInProcGroups(2, Options{}))
+	defer func() {
+		for _, g := range groups {
+			g.Close()
+		}
+	}()
+	if err := groups[0].AllToAll(make([]float32, 3), make([]float32, 3)).Wait(); err == nil {
+		t.Fatal("non-divisible buffer must error")
+	}
+	if err := groups[0].AllToAll(make([]float32, 2), make([]float32, 4)).Wait(); err == nil {
+		t.Fatal("mismatched buffer lengths must error")
+	}
+}
+
+func TestExtendedInvalidRoots(t *testing.T) {
+	groups := asExtended(t, NewInProcGroups(2, Options{}))
+	defer func() {
+		for _, g := range groups {
+			g.Close()
+		}
+	}()
+	if err := groups[0].Gather(nil, []float32{1}, 7).Wait(); err == nil {
+		t.Fatal("gather with bad root must error")
+	}
+	if err := groups[0].Scatter(make([]float32, 1), nil, -1).Wait(); err == nil {
+		t.Fatal("scatter with bad root must error")
+	}
+}

@@ -1,0 +1,157 @@
+package comm
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/store"
+	"repro/internal/transport"
+)
+
+// Options configures a ProcessGroup.
+type Options struct {
+	// Algorithm selects the AllReduce implementation (default Ring).
+	Algorithm Algorithm
+	// QueueDepth bounds the number of queued-but-unstarted collectives
+	// (default 1024). DDP launches at most one AllReduce per bucket per
+	// iteration, so the default is generous.
+	QueueDepth int
+}
+
+func (o Options) withDefaults() Options {
+	if o.QueueDepth == 0 {
+		o.QueueDepth = 1024
+	}
+	return o
+}
+
+// meshGroup is a ProcessGroup over a point-to-point Mesh. A dedicated
+// worker goroutine executes collectives in submission order — the
+// analogue of the dedicated NCCL communication stream in Section 3.3.
+type meshGroup struct {
+	mesh transport.Mesh
+	opts Options
+
+	mu      sync.Mutex
+	nextTag uint64
+	closed  bool
+	ops     chan func()
+	done    chan struct{}
+}
+
+// NewGroup wraps a mesh in a ProcessGroup.
+func NewGroup(mesh transport.Mesh, opts Options) ProcessGroup {
+	opts = opts.withDefaults()
+	g := &meshGroup{
+		mesh: mesh,
+		opts: opts,
+		ops:  make(chan func(), opts.QueueDepth),
+		done: make(chan struct{}),
+	}
+	go g.worker()
+	return g
+}
+
+// NewInProcGroups creates `world` fully-connected in-process groups, one
+// per goroutine rank. This is the fixture single-process tests and
+// examples use.
+func NewInProcGroups(world int, opts Options) []ProcessGroup {
+	meshes := transport.NewInProcMeshes(world)
+	groups := make([]ProcessGroup, world)
+	for r := range groups {
+		groups[r] = NewGroup(meshes[r], opts)
+	}
+	return groups
+}
+
+// NewTCPGroup creates this process's member of a TCP-connected group,
+// rendezvousing through st. Name distinguishes independent groups that
+// share a store (e.g. round-robin sub-groups).
+func NewTCPGroup(rank, world int, st store.Store, name string, opts Options) (ProcessGroup, error) {
+	mesh, err := transport.NewTCPMesh(rank, world, st, "pg/"+name)
+	if err != nil {
+		return nil, fmt.Errorf("comm: building group %q: %w", name, err)
+	}
+	return NewGroup(mesh, opts), nil
+}
+
+func (g *meshGroup) worker() {
+	for fn := range g.ops {
+		fn()
+	}
+	close(g.done)
+}
+
+func (g *meshGroup) Rank() int { return g.mesh.Rank() }
+func (g *meshGroup) Size() int { return g.mesh.Size() }
+
+// submit enqueues a collective and returns its async handle. The tag
+// counter advances identically on every rank because all ranks submit
+// the same collectives in the same order (the paper's ProcessGroup
+// contract); the transports verify it.
+func (g *meshGroup) submit(run func(tag uint64) error) Work {
+	g.mu.Lock()
+	if g.closed {
+		g.mu.Unlock()
+		return CompletedWork(ErrClosed)
+	}
+	tag := g.nextTag
+	g.nextTag++
+	w := newPendingWork()
+	g.mu.Unlock()
+
+	g.ops <- func() { w.finish(run(tag)) }
+	return w
+}
+
+func (g *meshGroup) AllReduce(data []float32, op ReduceOp) Work {
+	return g.submit(func(tag uint64) error {
+		switch g.opts.Algorithm {
+		case Ring:
+			return ringAllReduce(g.mesh, tag, data, op)
+		case Tree:
+			return treeAllReduce(g.mesh, tag, data, op)
+		case Naive:
+			return naiveAllReduce(g.mesh, tag, data, op)
+		default:
+			return fmt.Errorf("comm: unknown algorithm %v", g.opts.Algorithm)
+		}
+	})
+}
+
+func (g *meshGroup) Broadcast(data []float32, root int) Work {
+	if root < 0 || root >= g.Size() {
+		return CompletedWork(fmt.Errorf("comm: broadcast root %d out of range", root))
+	}
+	return g.submit(func(tag uint64) error {
+		return binomialBroadcast(g.mesh, tag, data, root)
+	})
+}
+
+func (g *meshGroup) AllGather(dst [][]float32, src []float32) Work {
+	return g.submit(func(tag uint64) error {
+		return allGather(g.mesh, tag, dst, src)
+	})
+}
+
+func (g *meshGroup) Barrier() Work {
+	return g.submit(func(tag uint64) error {
+		one := []float32{1}
+		return ringAllReduce(g.mesh, tag, one, Sum)
+	})
+}
+
+func (g *meshGroup) Close() error {
+	g.mu.Lock()
+	if g.closed {
+		g.mu.Unlock()
+		return nil
+	}
+	g.closed = true
+	g.mu.Unlock()
+	close(g.ops)
+	<-g.done
+	return g.mesh.Close()
+}
+
+var _ ProcessGroup = (*meshGroup)(nil)

@@ -1,0 +1,93 @@
+package comm
+
+import (
+	"fmt"
+	"sync"
+)
+
+// RoundRobin is the composite ProcessGroup of Section 5.4: it dispatches
+// successive collectives to a list of sub-groups in round-robin order,
+// working around per-group concurrency limits (one worker goroutine per
+// group here; one set of NCCL streams or Gloo threads in the paper) so
+// that multiple buckets' AllReduces genuinely proceed in parallel.
+//
+// Every rank must construct the RoundRobin wrapper over sub-groups in
+// the same order; the shared dispatch counter then stays aligned across
+// ranks because all ranks submit collectives in the same order.
+type RoundRobin struct {
+	groups []ProcessGroup
+
+	mu   sync.Mutex
+	next int
+}
+
+// NewRoundRobin composes sub-groups into a round-robin group. All
+// sub-groups must have the same rank and size.
+func NewRoundRobin(groups ...ProcessGroup) (*RoundRobin, error) {
+	if len(groups) == 0 {
+		return nil, fmt.Errorf("comm: round-robin needs at least one group")
+	}
+	for _, g := range groups[1:] {
+		if g.Rank() != groups[0].Rank() || g.Size() != groups[0].Size() {
+			return nil, fmt.Errorf("comm: round-robin sub-groups disagree on rank/size")
+		}
+	}
+	return &RoundRobin{groups: groups}, nil
+}
+
+// NumGroups returns the number of sub-groups being rotated over.
+func (r *RoundRobin) NumGroups() int { return len(r.groups) }
+
+func (r *RoundRobin) pick() ProcessGroup {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g := r.groups[r.next]
+	r.next = (r.next + 1) % len(r.groups)
+	return g
+}
+
+// Rank returns the shared rank of the sub-groups.
+func (r *RoundRobin) Rank() int { return r.groups[0].Rank() }
+
+// Size returns the shared size of the sub-groups.
+func (r *RoundRobin) Size() int { return r.groups[0].Size() }
+
+// AllReduce dispatches to the next sub-group.
+func (r *RoundRobin) AllReduce(data []float32, op ReduceOp) Work {
+	return r.pick().AllReduce(data, op)
+}
+
+// Broadcast dispatches to the next sub-group.
+func (r *RoundRobin) Broadcast(data []float32, root int) Work {
+	return r.pick().Broadcast(data, root)
+}
+
+// AllGather dispatches to the next sub-group.
+func (r *RoundRobin) AllGather(dst [][]float32, src []float32) Work {
+	return r.pick().AllGather(dst, src)
+}
+
+// Barrier synchronizes through every sub-group so no in-flight work on
+// any of them can cross the barrier.
+func (r *RoundRobin) Barrier() Work {
+	works := make([]Work, len(r.groups))
+	for i, g := range r.groups {
+		works[i] = g.Barrier()
+	}
+	w := newPendingWork()
+	go func() { w.finish(WaitAll(works...)) }()
+	return w
+}
+
+// Close closes every sub-group.
+func (r *RoundRobin) Close() error {
+	var first error
+	for _, g := range r.groups {
+		if err := g.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+var _ ProcessGroup = (*RoundRobin)(nil)

@@ -1,0 +1,199 @@
+package data
+
+import (
+	"testing"
+)
+
+func TestSyntheticDeterministic(t *testing.T) {
+	a := NewSynthetic(1, 100, 16, 4)
+	b := NewSynthetic(1, 100, 16, 4)
+	for i := 0; i < 100; i++ {
+		xa, la := a.Sample(i)
+		xb, lb := b.Sample(i)
+		if la != lb {
+			t.Fatal("labels differ across identically-seeded datasets")
+		}
+		for j := range xa {
+			if xa[j] != xb[j] {
+				t.Fatal("features differ across identically-seeded datasets")
+			}
+		}
+	}
+	if a.Len() != 100 || a.Features() != 16 || a.Classes() != 4 {
+		t.Fatal("metadata wrong")
+	}
+}
+
+func TestSyntheticIsLearnable(t *testing.T) {
+	// Nearest-prototype classification must beat chance by a wide
+	// margin, otherwise Fig 11's convergence experiment is meaningless.
+	d := NewSynthetic(2, 500, 32, 5)
+	correct := 0
+	for i := 0; i < d.Len(); i++ {
+		x, label := d.Sample(i)
+		best, bestDist := -1, float32(0)
+		for c := 0; c < 5; c++ {
+			var dist float32
+			for j, v := range x {
+				diff := v - d.prototypes[c][j]
+				dist += diff * diff
+			}
+			if best == -1 || dist < bestDist {
+				best, bestDist = c, dist
+			}
+		}
+		if best == label {
+			correct++
+		}
+	}
+	if acc := float64(correct) / float64(d.Len()); acc < 0.9 {
+		t.Fatalf("nearest-prototype accuracy %v, want > 0.9", acc)
+	}
+}
+
+func TestDistributedSamplerPartitions(t *testing.T) {
+	const n, world = 103, 4
+	samplers := make([]*DistributedSampler, world)
+	counts := make(map[int]int)
+	perRank := 0
+	for r := 0; r < world; r++ {
+		s, err := NewDistributedSampler(n, r, world)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.SetEpoch(7)
+		samplers[r] = s
+		idx := s.Indices()
+		if perRank == 0 {
+			perRank = len(idx)
+		}
+		if len(idx) != perRank {
+			t.Fatalf("rank %d got %d indices, others %d", r, len(idx), perRank)
+		}
+		for _, i := range idx {
+			counts[i]++
+		}
+	}
+	if perRank != samplers[0].PerRank() {
+		t.Fatal("PerRank inconsistent with Indices")
+	}
+	// Every sample covered at least once (padding may duplicate a few).
+	if len(counts) != n {
+		t.Fatalf("covered %d of %d samples", len(counts), n)
+	}
+}
+
+func TestDistributedSamplerEpochChangesOrder(t *testing.T) {
+	s, _ := NewDistributedSampler(50, 0, 2)
+	s.SetEpoch(0)
+	e0 := s.Indices()
+	s.SetEpoch(1)
+	e1 := s.Indices()
+	same := true
+	for i := range e0 {
+		if e0[i] != e1[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different epochs must shuffle differently")
+	}
+}
+
+func TestDistributedSamplerValidation(t *testing.T) {
+	if _, err := NewDistributedSampler(10, 5, 4); err == nil {
+		t.Fatal("rank out of range must error")
+	}
+	if _, err := NewDistributedSampler(0, 0, 1); err == nil {
+		t.Fatal("empty dataset must error")
+	}
+}
+
+func TestLoaderBatchesAndEpochEnd(t *testing.T) {
+	d := NewSynthetic(3, 40, 8, 3)
+	s, _ := NewDistributedSampler(d.Len(), 0, 2) // 20 per rank
+	l, err := NewLoader(d, s, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Reset(0)
+	batches := 0
+	for {
+		x, labels, ok := l.Next()
+		if !ok {
+			break
+		}
+		if x.Dims(0) != 6 || x.Dims(1) != 8 || len(labels) != 6 {
+			t.Fatalf("batch shape %v, %d labels", x.Shape(), len(labels))
+		}
+		batches++
+	}
+	if batches != 3 { // floor(20/6)
+		t.Fatalf("batches = %d, want 3 (short batch dropped)", batches)
+	}
+}
+
+func TestLoaderRejectsBadBatch(t *testing.T) {
+	d := NewSynthetic(3, 10, 4, 2)
+	s, _ := NewDistributedSampler(d.Len(), 0, 1)
+	if _, err := NewLoader(d, s, 0); err == nil {
+		t.Fatal("batch 0 must error")
+	}
+}
+
+func TestShardsDisjointWhenEvenlyDivisible(t *testing.T) {
+	// With n divisible by world there is no padding, so rank shards must
+	// partition the dataset exactly: every sample appears exactly once.
+	const n, world = 120, 4
+	counts := map[int]int{}
+	for r := 0; r < world; r++ {
+		s, err := NewDistributedSampler(n, r, world)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.SetEpoch(3)
+		for _, idx := range s.Indices() {
+			counts[idx]++
+		}
+	}
+	if len(counts) != n {
+		t.Fatalf("covered %d of %d samples", len(counts), n)
+	}
+	for idx, c := range counts {
+		if c != 1 {
+			t.Fatalf("sample %d appeared %d times", idx, c)
+		}
+	}
+}
+
+func TestAllRanksAgreeOnEpochPermutation(t *testing.T) {
+	// The DDP contract: all ranks derive their shard from the same
+	// epoch permutation, so the union of shards in rank-interleaved
+	// order reconstructs one shared shuffle.
+	const n, world = 8, 2
+	shards := make([][]int, world)
+	for r := 0; r < world; r++ {
+		s, _ := NewDistributedSampler(n, r, world)
+		s.SetEpoch(5)
+		shards[r] = s.Indices()
+	}
+	seen := map[int]bool{}
+	for i := 0; i < len(shards[0]); i++ {
+		for r := 0; r < world; r++ {
+			seen[shards[r][i]] = true
+		}
+	}
+	if len(seen) != n {
+		t.Fatalf("interleaved shards saw %d distinct samples, want %d", len(seen), n)
+	}
+}
+
+func TestLoaderAutoResets(t *testing.T) {
+	d := NewSynthetic(4, 20, 4, 2)
+	s, _ := NewDistributedSampler(d.Len(), 0, 1)
+	l, _ := NewLoader(d, s, 5)
+	if _, _, ok := l.Next(); !ok {
+		t.Fatal("first Next must auto-reset to epoch 0")
+	}
+}

@@ -1,0 +1,468 @@
+package ddp
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"repro/internal/autograd"
+	"repro/internal/comm"
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// DefaultBucketCapBytes matches the paper's 25MB default for
+// bucket_cap_mb (Section 4.2, "Bucket Allreduce").
+const DefaultBucketCapBytes = 25 << 20
+
+// Options are the configurable knobs of Section 4.1.
+type Options struct {
+	// BucketCapBytes bounds each gradient bucket (bucket_cap_mb).
+	// Zero selects DefaultBucketCapBytes; negative values mean one
+	// bucket per parameter (the paper's "0MB" baseline).
+	BucketCapBytes int
+	// FindUnusedParameters enables the autograd-graph traversal and
+	// bitmap AllReduce that let DDP cope with iterations touching only
+	// a sub-graph (Fig 3(b), Section 3.2.3). It costs one extra
+	// AllReduce per iteration, so it is off by default, exactly as in
+	// PyTorch.
+	FindUnusedParameters bool
+	// Codec optionally compresses bucket gradients before communication
+	// (Section 6.2.3 extension). One codec instance is cloned per bucket
+	// via the factory so error-feedback state stays per-bucket.
+	NewCodec func() comm.Codec
+	// AutoRebuildBuckets enables the gradient-order-prediction
+	// improvement of Section 6.2.1: the reducer traces the order in
+	// which gradients actually became ready during the first
+	// synchronized backward pass, and before the next synchronized
+	// forward pass rebuilds the buckets to follow that order. Rank 0's
+	// observed order is broadcast so all ranks agree even if their local
+	// arrival orders differed (the Fig 3(a) hazard applied to
+	// rebuilding). Rebuilding happens once — the paper notes
+	// re-allocation is expensive and should be infrequent.
+	AutoRebuildBuckets bool
+}
+
+// DDP wraps an nn.Module and transparently synchronizes gradients
+// across the process group during the backward pass, exactly as
+// torch.nn.parallel.DistributedDataParallel wraps a local model.
+type DDP struct {
+	module nn.Module
+	pg     comm.ProcessGroup
+	opts   Options
+
+	params []*nn.Parameter
+	sizes  []int // element counts, model order
+	assign *Assignment
+	bucket []*bucketState
+	codecs []comm.Codec
+
+	// Per-iteration reducer state.
+	noSync           bool
+	syncThisBackward bool
+	nextToLaunch     int
+	observedReady    []int // param indices in ready order (for RebuildBuckets)
+
+	// Unused-parameter tracking (accumulates across no_sync iterations).
+	usedLocally  []bool
+	bitmap       []float32
+	bitmapWork   comm.Work
+	globallyUsed []bool
+
+	// Buffer handling: sync pending means the next synchronized forward
+	// must broadcast buffers from rank 0 first (Section 4.1).
+	bufferSyncPending bool
+
+	// Gradient-order tracing (Section 6.2.1): rebuildPending means the
+	// next synchronized forward starts by rebuilding buckets from the
+	// traced order; rebuilt records that the one-shot rebuild happened.
+	rebuildPending bool
+	rebuilt        bool
+}
+
+// bucketState is the runtime companion of one Assignment bucket
+// (reducer.cpp's Bucket).
+type bucketState struct {
+	members  []int // param indices
+	flat     []float32
+	pending  int
+	ready    bool
+	launched bool
+	work     comm.Work
+}
+
+// New wraps module for distributed data parallel training over pg.
+// Like the PyTorch constructor it broadcasts the model state (parameters
+// and buffers) from rank 0 so all replicas start identically, builds the
+// parameter-to-bucket mapping in reverse Parameters() order, and
+// installs one autograd post-hook per parameter (Algorithm 1).
+func New(module nn.Module, pg comm.ProcessGroup, opts Options) (*DDP, error) {
+	if opts.BucketCapBytes == 0 {
+		opts.BucketCapBytes = DefaultBucketCapBytes
+	}
+	d := &DDP{module: module, pg: pg, opts: opts, params: module.Parameters()}
+	if len(d.params) == 0 {
+		return nil, errors.New("ddp: module has no parameters")
+	}
+	d.sizes = make([]int, len(d.params))
+	for i, p := range d.params {
+		d.sizes[i] = p.Value.Size()
+	}
+
+	// Align replicas: broadcast parameters and buffers from rank 0.
+	var works []comm.Work
+	for _, p := range d.params {
+		works = append(works, pg.Broadcast(p.Value.Data(), 0))
+	}
+	for _, b := range module.Buffers() {
+		works = append(works, pg.Broadcast(b.Data.Data(), 0))
+	}
+	if err := comm.WaitAll(works...); err != nil {
+		return nil, fmt.Errorf("ddp: broadcasting initial state: %w", err)
+	}
+
+	assign, err := AssignBuckets(d.sizes, opts.BucketCapBytes, 4, ReverseOrder(len(d.params)))
+	if err != nil {
+		return nil, err
+	}
+	d.installAssignment(assign)
+
+	d.usedLocally = make([]bool, len(d.params))
+	d.bitmap = make([]float32, len(d.params))
+	d.globallyUsed = make([]bool, len(d.params))
+
+	for i, p := range d.params {
+		idx := i
+		p.RegisterPostAccumulateHook(func(*autograd.Variable) { d.autogradHook(idx) })
+	}
+	return d, nil
+}
+
+// installAssignment (re)builds bucket runtime state for an assignment.
+func (d *DDP) installAssignment(assign *Assignment) {
+	d.assign = assign
+	d.bucket = make([]*bucketState, assign.NumBuckets())
+	for b, members := range assign.Buckets {
+		d.bucket[b] = &bucketState{
+			members: members,
+			flat:    make([]float32, assign.BucketElems[b]),
+		}
+	}
+	d.codecs = nil
+	if d.opts.NewCodec != nil {
+		d.codecs = make([]comm.Codec, assign.NumBuckets())
+		for b := range d.codecs {
+			d.codecs[b] = d.opts.NewCodec()
+		}
+	}
+}
+
+// Module returns the wrapped local model.
+func (d *DDP) Module() nn.Module { return d.module }
+
+// Parameters exposes the wrapped model's parameters (for optimizers).
+func (d *DDP) Parameters() []*nn.Parameter { return d.params }
+
+// Buffers exposes the wrapped model's buffers.
+func (d *DDP) Buffers() []*nn.Buffer { return d.module.Buffers() }
+
+// SetTraining toggles the wrapped model's mode.
+func (d *DDP) SetTraining(t bool) { d.module.SetTraining(t) }
+
+// NumBuckets reports how many gradient buckets the current assignment
+// uses.
+func (d *DDP) NumBuckets() int { return d.assign.NumBuckets() }
+
+// Assignment returns the current parameter-to-bucket mapping.
+func (d *DDP) Assignment() *Assignment { return d.assign }
+
+// NoSync runs fn with gradient synchronization disabled, the context
+// manager of Section 3.2.4: backward passes inside fn accumulate
+// gradients locally, and the first synchronized backward afterwards
+// reduces the accumulated gradients in one shot.
+func (d *DDP) NoSync(fn func() error) error {
+	d.noSync = true
+	defer func() { d.noSync = false }()
+	return fn()
+}
+
+// Forward runs the wrapped model's forward pass, performing DDP's
+// bookkeeping around it (Algorithm 1, Function forward): broadcasting
+// buffers if the previous backward synchronized, resetting the reducer,
+// and — with FindUnusedParameters — traversing the autograd graph from
+// the output to proactively mark unused parameters as ready.
+func (d *DDP) Forward(x *autograd.Variable) *autograd.Variable {
+	d.syncThisBackward = !d.noSync
+	if d.syncThisBackward {
+		if d.rebuildPending {
+			d.rebuildFromTracedOrder()
+			d.rebuildPending = false
+			d.rebuilt = true
+		}
+		d.broadcastBuffersIfPending()
+		d.resetReducer()
+	}
+	out := d.module.Forward(x)
+	if d.opts.FindUnusedParameters {
+		used := autograd.LeafSet(out)
+		for i, p := range d.params {
+			if used[p.Variable] {
+				d.usedLocally[i] = true
+			}
+		}
+		if d.syncThisBackward {
+			// Launch the bitmap AllReduce now; it overlaps with the
+			// backward pass and is consumed during finalization. Max
+			// works as logical OR over {0,1}.
+			for i := range d.bitmap {
+				if d.usedLocally[i] {
+					d.bitmap[i] = 1
+				} else {
+					d.bitmap[i] = 0
+				}
+			}
+			d.bitmapWork = d.pg.AllReduce(d.bitmap, comm.Max)
+			// Mark parameters outside this iteration's graph as ready so
+			// their buckets do not wait forever (Fig 3(b) fix). A
+			// parameter that accumulated gradients during earlier
+			// no_sync iterations still contributes them here, even if
+			// the current graph skips it.
+			for i, p := range d.params {
+				if !used[p.Variable] {
+					if p.Grad != nil {
+						d.copyGradToBucket(i)
+					}
+					d.markReady(i)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Backward runs autograd from loss and, if this iteration synchronizes,
+// finishes the gradient reduction: waits for all bucket AllReduces,
+// writes averaged gradients back into parameter .Grad fields, and
+// resolves globally unused parameters. It replaces loss.backward() in
+// the PyTorch API; the hook-driven overlap happens inside.
+func (d *DDP) Backward(loss *autograd.Variable) error {
+	autograd.Backward(loss, nil)
+	if !d.syncThisBackward {
+		return nil
+	}
+	return d.finalizeBackward()
+}
+
+// broadcastBuffersIfPending pushes rank 0's buffer values to all ranks
+// before a synchronized forward pass, if the previous synchronized
+// backward has happened since the last broadcast.
+func (d *DDP) broadcastBuffersIfPending() {
+	if !d.bufferSyncPending {
+		return
+	}
+	buffers := d.module.Buffers()
+	if len(buffers) == 0 {
+		d.bufferSyncPending = false
+		return
+	}
+	works := make([]comm.Work, len(buffers))
+	for i, b := range buffers {
+		works[i] = d.pg.Broadcast(b.Data.Data(), 0)
+	}
+	// Buffers are read by the imminent forward pass; block here.
+	if err := comm.WaitAll(works...); err != nil {
+		panic(fmt.Sprintf("ddp: buffer broadcast failed: %v", err))
+	}
+	d.bufferSyncPending = false
+}
+
+// resetReducer replenishes per-bucket pending counts and clears bucket
+// buffers for a new synchronized iteration (Section 4.2: "In the next
+// forward pass, DDP replenishes the pending gradient count").
+func (d *DDP) resetReducer() {
+	for _, b := range d.bucket {
+		for i := range b.flat {
+			b.flat[i] = 0
+		}
+		b.pending = len(b.members)
+		b.ready = false
+		b.launched = false
+		b.work = nil
+	}
+	d.nextToLaunch = 0
+	d.observedReady = d.observedReady[:0]
+	d.bitmapWork = nil
+}
+
+// autogradHook is Algorithm 1's autograd_hook: fired by the engine after
+// a parameter's gradient is fully accumulated. In no_sync iterations it
+// does nothing (hooks disabled); otherwise it copies the gradient into
+// the bucket and marks the parameter ready.
+func (d *DDP) autogradHook(idx int) {
+	if !d.syncThisBackward {
+		return
+	}
+	d.copyGradToBucket(idx)
+	d.markReady(idx)
+}
+
+// copyGradToBucket writes the parameter's (possibly no_sync-accumulated)
+// gradient into its bucket view.
+func (d *DDP) copyGradToBucket(idx int) {
+	p := d.params[idx]
+	b := d.bucket[d.assign.BucketOf[idx]]
+	off := d.assign.OffsetOf[idx]
+	copy(b.flat[off:off+d.sizes[idx]], p.Grad.Data())
+}
+
+// markReady decrements the bucket's pending count and launches
+// AllReduce on ready buckets in bucket-index order — never bucket i+1
+// before bucket i, so the AllReduce sequence is identical on every rank
+// regardless of local gradient arrival order (the Fig 3(a) fix).
+func (d *DDP) markReady(idx int) {
+	d.observedReady = append(d.observedReady, idx)
+	b := d.bucket[d.assign.BucketOf[idx]]
+	if b.pending <= 0 {
+		panic(fmt.Sprintf("ddp: parameter %d marked ready twice in one iteration", idx))
+	}
+	b.pending--
+	if b.pending == 0 {
+		b.ready = true
+		d.launchReadyBuckets()
+	}
+}
+
+// launchReadyBuckets starts asynchronous AllReduces for the maximal
+// in-order prefix of ready buckets.
+func (d *DDP) launchReadyBuckets() {
+	for d.nextToLaunch < len(d.bucket) && d.bucket[d.nextToLaunch].ready {
+		b := d.bucket[d.nextToLaunch]
+		if d.codecs != nil {
+			d.codecs[d.nextToLaunch].Quantize(b.flat)
+		}
+		b.work = d.pg.AllReduce(b.flat, comm.Avg)
+		b.launched = true
+		d.nextToLaunch++
+	}
+}
+
+// finalizeBackward is the finishing step Algorithm 1 leaves implicit:
+// wait for outstanding AllReduces and write averaged gradients back.
+func (d *DDP) finalizeBackward() error {
+	// Detect the Fig 3(b) hang instead of reproducing it: if some bucket
+	// never became ready, parameters were skipped by this iteration's
+	// graph while FindUnusedParameters was off.
+	if d.nextToLaunch < len(d.bucket) {
+		var missing []string
+		for _, b := range d.bucket[d.nextToLaunch:] {
+			for _, idx := range b.members {
+				if d.params[idx].Grad == nil {
+					missing = append(missing, d.params[idx].Name)
+				}
+			}
+		}
+		return fmt.Errorf(
+			"ddp: backward pass finished with %d bucket(s) incomplete; parameters %s received no gradient — if the forward pass uses only a sub-graph, construct DDP with FindUnusedParameters (paper Fig 3(b))",
+			len(d.bucket)-d.nextToLaunch, strings.Join(missing, ", "))
+	}
+
+	// Resolve globally unused parameters from the bitmap AllReduce.
+	trackUnused := d.opts.FindUnusedParameters
+	if trackUnused {
+		if err := d.bitmapWork.Wait(); err != nil {
+			return fmt.Errorf("ddp: unused-parameter bitmap AllReduce: %w", err)
+		}
+		for i, v := range d.bitmap {
+			d.globallyUsed[i] = v > 0
+		}
+	}
+
+	for bi, b := range d.bucket {
+		if err := b.work.Wait(); err != nil {
+			return fmt.Errorf("ddp: AllReduce on bucket %d: %w", bi, err)
+		}
+		for _, idx := range b.members {
+			if trackUnused && !d.globallyUsed[idx] {
+				// Globally unused: leave .Grad intact (nil here), so an
+				// optimizer that skips absent gradients does not decay
+				// momentum for it (Section 3.2.3).
+				continue
+			}
+			p := d.params[idx]
+			off := d.assign.OffsetOf[idx]
+			avg := b.flat[off : off+d.sizes[idx]]
+			if p.Grad == nil {
+				p.Grad = tensor.New(p.Value.Shape()...)
+			}
+			copy(p.Grad.Data(), avg)
+		}
+	}
+
+	// Next synchronized forward must re-broadcast buffers; local unused
+	// tracking restarts.
+	d.bufferSyncPending = len(d.module.Buffers()) > 0
+	for i := range d.usedLocally {
+		d.usedLocally[i] = false
+	}
+	if d.opts.AutoRebuildBuckets && !d.rebuilt && len(d.observedReady) == len(d.params) {
+		d.rebuildPending = true
+	}
+	return nil
+}
+
+// rebuildFromTracedOrder implements the one-shot bucket rebuild of
+// Section 6.2.1: rank 0 broadcasts its observed gradient-ready order
+// (as float32 indices — exact for any realistic parameter count) and
+// every rank repacks its buckets to follow it.
+func (d *DDP) rebuildFromTracedOrder() {
+	buf := make([]float32, len(d.params))
+	if d.pg.Rank() == 0 {
+		for i, idx := range d.observedReady {
+			buf[i] = float32(idx)
+		}
+	}
+	if err := d.pg.Broadcast(buf, 0).Wait(); err != nil {
+		panic(fmt.Sprintf("ddp: broadcasting traced gradient order: %v", err))
+	}
+	order := make([]int, len(buf))
+	for i, v := range buf {
+		order[i] = int(v)
+	}
+	assign, err := AssignBuckets(d.sizes, d.opts.BucketCapBytes, 4, order)
+	if err != nil {
+		// A corrupt trace (should be impossible) falls back to the
+		// existing assignment rather than killing training.
+		return
+	}
+	d.installAssignment(assign)
+}
+
+// Rebuilt reports whether the one-shot automatic bucket rebuild has
+// already happened.
+func (d *DDP) Rebuilt() bool { return d.rebuilt }
+
+// ObservedReadyOrder returns the parameter indices in the order their
+// gradients became ready during the most recent synchronized backward
+// pass (the trace Section 6.2.1 proposes recording).
+func (d *DDP) ObservedReadyOrder() []int {
+	return append([]int(nil), d.observedReady...)
+}
+
+// RebuildBuckets implements the gradient-order-prediction improvement of
+// Section 6.2.1: reassign parameters to buckets following the
+// ready order observed in the last synchronized backward pass, so bucket
+// boundaries match actual gradient production order. All ranks must call
+// it at the same point (e.g. after the same iteration); it must not be
+// called between Forward and Backward.
+func (d *DDP) RebuildBuckets() error {
+	if len(d.observedReady) != len(d.params) {
+		return fmt.Errorf("ddp: no complete ready-order trace (have %d of %d parameters); run a synchronized iteration first",
+			len(d.observedReady), len(d.params))
+	}
+	assign, err := AssignBuckets(d.sizes, d.opts.BucketCapBytes, 4, d.observedReady)
+	if err != nil {
+		return err
+	}
+	d.installAssignment(assign)
+	return nil
+}

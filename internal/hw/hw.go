@@ -1,0 +1,260 @@
+// Package hw models the hardware the paper's evaluation ran on: V100
+// GPUs (NVLink within a server, 100 Gb/s NICs across servers), NCCL and
+// Gloo collective cost curves, and GPU/CPU backward-pass compute curves.
+//
+// This is the substitution for the physical testbed (see DESIGN.md):
+// the constants are calibrated so that the model reproduces the shapes
+// of the paper's Fig 2 — NCCL AllReduce total time falling monotonically
+// with per-op tensor size with no saturation through 20M parameters,
+// Gloo saturating near 500K parameters, a ~250ms GPU backward pass and a
+// ~6s CPU backward pass for a 60M-parameter model.
+package hw
+
+import (
+	"fmt"
+	"math"
+)
+
+// Backend identifies a collective communication cost profile.
+type Backend int
+
+// Supported backend profiles.
+const (
+	// NCCLLike models NCCL over NVLink/NIC: low per-op latency, high
+	// bandwidth, no saturation for large tensors.
+	NCCLLike Backend = iota
+	// GlooLike models Gloo on CPU tensors over TCP: two orders of
+	// magnitude higher per-op latency, bandwidth saturating at ~2MB.
+	GlooLike
+)
+
+// String returns the profile name used in benchmark tables.
+func (b Backend) String() string {
+	switch b {
+	case NCCLLike:
+		return "nccl"
+	case GlooLike:
+		return "gloo"
+	default:
+		return fmt.Sprintf("Backend(%d)", int(b))
+	}
+}
+
+// Device identifies a compute cost profile.
+type Device int
+
+// Supported compute profiles.
+const (
+	// GPU models a V100: ResNet152-scale (60M params) backward in ~250ms.
+	GPU Device = iota
+	// CPU models the same backward pass on CPU: ~6s (paper Fig 2(d)).
+	CPU
+)
+
+// String returns the device name.
+func (d Device) String() string {
+	if d == GPU {
+		return "gpu"
+	}
+	return "cpu"
+}
+
+// Cluster describes the evaluation testbed (paper Section 5, Fig 5):
+// servers of GPUsPerServer GPUs with NVLink inside a server and a shared
+// NIC between servers.
+type Cluster struct {
+	// GPUsPerServer is 8 in the paper's exclusive cluster.
+	GPUsPerServer int
+	// NVLinkBandwidth is the per-link bandwidth between GPUs in the same
+	// server, bytes/sec.
+	NVLinkBandwidth float64
+	// NICBandwidth is the per-server network bandwidth, bytes/sec
+	// (Mellanox 100 Gb/s ConnectX-4 in the paper).
+	NICBandwidth float64
+	// CrossMachineEfficiency calibrates how much of the NIC each of the
+	// GPUsPerServer concurrent rings effectively obtains (ring edges are
+	// not all simultaneously active, so the share exceeds 1/n slightly).
+	CrossMachineEfficiency float64
+	// NCCLStepLatency is the per-ring-step base latency of the NCCL
+	// profile, seconds.
+	NCCLStepLatency float64
+	// GlooStepLatency is the per-round base latency of the Gloo profile,
+	// seconds (Gloo's CPU/TCP path is far slower per op). Gloo uses
+	// recursive halving-doubling, so an op has 2·ceil(log2 k) rounds.
+	GlooStepLatency float64
+	// GlooBandwidth is Gloo's saturated bandwidth for a 2-rank exchange,
+	// bytes/sec (both directions of the pair share one path). Rings over
+	// 3+ ranks place each directed edge on its own full-duplex path and
+	// get twice this.
+	GlooBandwidth float64
+	// SharedEntitlement adds the >32 GPU effects of Section 5.3: varying
+	// hosts, congestion, and the latency jump from 128 to 256 GPUs.
+	SharedEntitlement bool
+}
+
+// DefaultCluster returns constants calibrated against the paper's
+// figures.
+func DefaultCluster() Cluster {
+	return Cluster{
+		GPUsPerServer:          8,
+		NVLinkBandwidth:        40e9,   // effective ring-edge NVLink bandwidth
+		NICBandwidth:           11.5e9, // ~100 Gb/s minus protocol overhead
+		CrossMachineEfficiency: 1.25,
+		NCCLStepLatency:        9e-6,
+		GlooStepLatency:        80e-6,
+		GlooBandwidth:          0.5e9,
+	}
+}
+
+// AllReduceSeconds returns the modeled wall time of one AllReduce of
+// nBytes across world ranks using a ring algorithm:
+//
+//	T = 2(k-1) * stepLatency + 2 (k-1)/k * nBytes / edgeBandwidth
+//
+// The edge bandwidth is NVLink while the ring stays inside one server.
+// Once the ring spans servers, every server's NIC carries the crossing
+// edges of all GPUsPerServer concurrent rings (NCCL opens one ring per
+// GPU), so the effective per-ring edge bandwidth collapses to
+// NIC/GPUsPerServer — which is why the paper observes a marked slowdown
+// when crossing machine boundaries (Section 6.1, Resource Allocation).
+func (c Cluster) AllReduceSeconds(b Backend, nBytes int, world int) float64 {
+	if world <= 1 {
+		return 0
+	}
+	k := float64(world)
+	volume := 2 * (k - 1) / k * float64(nBytes)
+	switch b {
+	case NCCLLike:
+		steps := 2 * (k - 1)
+		edge := c.NVLinkBandwidth
+		if world > c.GPUsPerServer {
+			edge = c.NICBandwidth * c.CrossMachineEfficiency / float64(c.GPUsPerServer)
+		}
+		t := steps*c.NCCLStepLatency + volume/edge
+		if c.SharedEntitlement {
+			t *= c.entitlementFactor(world)
+		}
+		return t
+	case GlooLike:
+		// Halving-doubling: 2·ceil(log2 k) rounds of base latency.
+		rounds := 2 * math.Ceil(math.Log2(k))
+		bw := c.GlooBandwidth
+		if world > 2 {
+			bw *= 2 // distinct full-duplex paths per directed edge
+		}
+		t := rounds*c.GlooStepLatency + volume/bw
+		if c.SharedEntitlement {
+			t *= c.entitlementFactor(world)
+		}
+		return t
+	default:
+		panic("hw: unknown backend")
+	}
+}
+
+// entitlementFactor models the shared entitlement of Section 5.3: mild
+// degradation as jobs span more (heterogeneous) hosts, plus the sudden
+// congestion jump the paper observed going from 128 to 256 GPUs.
+func (c Cluster) entitlementFactor(world int) float64 {
+	f := 1 + 0.02*math.Log2(float64(world))
+	if world > 128 {
+		f *= 1.45 // "slow or congested links among some of those 256 nodes"
+	}
+	return f
+}
+
+// BroadcastSeconds returns the modeled wall time of a binomial-tree
+// broadcast of nBytes across world ranks.
+func (c Cluster) BroadcastSeconds(b Backend, nBytes int, world int) float64 {
+	if world <= 1 {
+		return 0
+	}
+	hops := math.Ceil(math.Log2(float64(world)))
+	switch b {
+	case NCCLLike:
+		edge := c.NVLinkBandwidth
+		if world > c.GPUsPerServer {
+			edge = c.NICBandwidth * c.CrossMachineEfficiency / float64(c.GPUsPerServer)
+		}
+		return hops * (c.NCCLStepLatency + float64(nBytes)/edge)
+	case GlooLike:
+		return hops * (c.GlooStepLatency + float64(nBytes)/c.GlooBandwidth)
+	default:
+		panic("hw: unknown backend")
+	}
+}
+
+// Reference points for the compute model, from the paper's Fig 2(c)/(d):
+// a ~60M parameter ResNet152 takes ~250ms backward on GPU and ~6s on CPU.
+const (
+	refParams      = 60e6
+	gpuBackwardRef = 0.25
+	cpuBackwardRef = 6.0
+)
+
+// ComputeProfile is the per-iteration compute cost of a model replica,
+// exclusive of communication.
+type ComputeProfile struct {
+	// ForwardSeconds is the forward-pass time.
+	ForwardSeconds float64
+	// BackwardSeconds is the backward-pass computation time (gradient
+	// production only; AllReduce is accounted separately).
+	BackwardSeconds float64
+	// OptimizerSeconds is the optimizer step time.
+	OptimizerSeconds float64
+}
+
+// Profile returns the compute profile of a conv-net-like model with
+// totalParams parameters on the given device (intensity 1; the
+// reference curves of Fig 2(c)/(d) are from ResNet152).
+func Profile(d Device, totalParams int) ComputeProfile {
+	return ProfileScaled(d, totalParams, 1)
+}
+
+// ProfileScaled is Profile with a compute-intensity factor: seconds of
+// compute per parameter relative to the convolutional reference.
+// Convolutions reuse each weight across every spatial position, so conv
+// nets burn far more FLOPs per parameter than transformers; BERT-large
+// has ~13x ResNet50's parameters but nowhere near 13x its step time
+// (paper Fig 9(a) vs 9(c)). The models package carries the per-workload
+// intensity.
+//
+// Forward ≈ half of backward and the optimizer is a memory-bound pass
+// over the parameters, matching the relative segment sizes of Fig 6.
+func ProfileScaled(d Device, totalParams int, intensity float64) ComputeProfile {
+	if intensity <= 0 {
+		intensity = 1
+	}
+	scale := float64(totalParams) / refParams * intensity
+	var bwd float64
+	switch d {
+	case GPU:
+		bwd = gpuBackwardRef * scale
+	case CPU:
+		bwd = cpuBackwardRef * scale
+	default:
+		panic("hw: unknown device")
+	}
+	return ComputeProfile{
+		ForwardSeconds:   0.5 * bwd,
+		BackwardSeconds:  bwd,
+		OptimizerSeconds: 0.08 * bwd,
+	}
+}
+
+// TotalSeconds is the non-overlapped compute-only iteration time.
+func (p ComputeProfile) TotalSeconds() float64 {
+	return p.ForwardSeconds + p.BackwardSeconds + p.OptimizerSeconds
+}
+
+// GradReadySeconds returns when, during the backward pass, the gradient
+// for the parameter whose cumulative (from the output side) element
+// count is cumElems out of totalElems becomes ready. The paper's
+// Fig 2(c)/(d) curves are approximately proportional to the fraction of
+// parameters processed, so the model is linear in cumulative size.
+func (p ComputeProfile) GradReadySeconds(cumElems, totalElems int) float64 {
+	if totalElems == 0 {
+		return 0
+	}
+	return p.BackwardSeconds * (float64(cumElems) / float64(totalElems))
+}

@@ -1,0 +1,169 @@
+package hw
+
+import (
+	"math"
+	"testing"
+)
+
+func TestAllReduceMonotoneInSize(t *testing.T) {
+	c := DefaultCluster()
+	for _, b := range []Backend{NCCLLike, GlooLike} {
+		prev := 0.0
+		for _, bytes := range []int{4 << 10, 4 << 14, 4 << 18, 4 << 22} {
+			got := c.AllReduceSeconds(b, bytes, 8)
+			if got <= prev {
+				t.Fatalf("%v: time not increasing with size", b)
+			}
+			prev = got
+		}
+	}
+}
+
+func TestAllReduceWorldOfOneFree(t *testing.T) {
+	c := DefaultCluster()
+	if c.AllReduceSeconds(NCCLLike, 1<<20, 1) != 0 {
+		t.Fatal("single rank needs no communication")
+	}
+	if c.BroadcastSeconds(GlooLike, 1<<20, 1) != 0 {
+		t.Fatal("single rank broadcast is free")
+	}
+}
+
+func TestNCCLFasterThanGloo(t *testing.T) {
+	// Section 6.1: "NCCL is considerably faster than Gloo in most use
+	// cases."
+	c := DefaultCluster()
+	for _, bytes := range []int{4 << 10, 4 << 20, 100 << 20} {
+		for _, world := range []int{2, 8, 32} {
+			n := c.AllReduceSeconds(NCCLLike, bytes, world)
+			g := c.AllReduceSeconds(GlooLike, bytes, world)
+			if n >= g {
+				t.Fatalf("NCCL (%v) not faster than Gloo (%v) at %dB world %d", n, g, bytes, world)
+			}
+		}
+	}
+}
+
+// Fig 2(a): total time to AllReduce 60M params decreases as per-op size
+// grows, with no NCCL saturation through 20M params.
+func TestFig2aShapeNCCLTotalTimeDecreases(t *testing.T) {
+	c := DefaultCluster()
+	const totalParams = 60e6
+	prev := math.Inf(1)
+	for _, perOp := range []int{1000, 10_000, 100_000, 1_000_000, 10_000_000, 20_000_000} {
+		ops := int(totalParams) / perOp
+		total := float64(ops) * c.AllReduceSeconds(NCCLLike, perOp*4, 2)
+		if total >= prev {
+			t.Fatalf("NCCL total time should fall through 20M params/op: %v then %v at %d", prev, total, perOp)
+		}
+		prev = total
+	}
+}
+
+// Fig 2(b): Gloo saturates around 500K params per op — beyond that the
+// total stops improving meaningfully.
+func TestFig2bShapeGlooSaturates(t *testing.T) {
+	c := DefaultCluster()
+	const totalParams = 60e6
+	total := func(perOp int) float64 {
+		ops := int(totalParams) / perOp
+		return float64(ops) * c.AllReduceSeconds(GlooLike, perOp*4, 2)
+	}
+	small := total(1000)
+	at500K := total(500_000)
+	at10M := total(10_000_000)
+	if small < 5*at500K {
+		t.Fatalf("tiny ops should be much slower: %v vs %v", small, at500K)
+	}
+	// Saturation: going 500K -> 10M changes total by < 20%.
+	if math.Abs(at10M-at500K)/at500K > 0.2 {
+		t.Fatalf("Gloo should be saturated past 500K: %v vs %v", at500K, at10M)
+	}
+}
+
+// Fig 2(a) magnitudes: paper's y-axis spans ~1e-4..1e0 s for NCCL and
+// ~1e-1..1e1 s for Gloo over 60M params.
+func TestFig2Magnitudes(t *testing.T) {
+	c := DefaultCluster()
+	ncclSmall := 60_000 * c.AllReduceSeconds(NCCLLike, 1000*4, 2)
+	if ncclSmall < 0.3 || ncclSmall > 3 {
+		t.Fatalf("NCCL 1K-param total = %v, want order 1e0", ncclSmall)
+	}
+	ncclBig := 3 * c.AllReduceSeconds(NCCLLike, 20_000_000*4, 2)
+	if ncclBig > 0.05 || ncclBig < 0.001 {
+		t.Fatalf("NCCL 20M-param total = %v, want order 1e-2", ncclBig)
+	}
+	glooSmall := 60_000 * c.AllReduceSeconds(GlooLike, 1000*4, 2)
+	if glooSmall < 3 || glooSmall > 30 {
+		t.Fatalf("Gloo 1K-param total = %v, want order 1e1", glooSmall)
+	}
+}
+
+func TestCrossMachinePenalty(t *testing.T) {
+	// Section 6.1: NCCL slows down when the ring crosses machines.
+	c := DefaultCluster()
+	bytes := 25 << 20
+	within := c.AllReduceSeconds(NCCLLike, bytes, 8)
+	across := c.AllReduceSeconds(NCCLLike, bytes, 9)
+	if across < 2*within {
+		t.Fatalf("crossing machines should hurt: %v vs %v", within, across)
+	}
+}
+
+func TestSharedEntitlementJumpAt256(t *testing.T) {
+	c := DefaultCluster()
+	c.SharedEntitlement = true
+	bytes := 25 << 20
+	at128 := c.AllReduceSeconds(NCCLLike, bytes, 128)
+	at256 := c.AllReduceSeconds(NCCLLike, bytes, 256)
+	// Volume per rank grows only ~0.4% from 128 to 256; the jump must
+	// come from the congestion factor.
+	if at256 < 1.3*at128 {
+		t.Fatalf("no congestion jump: %v -> %v", at128, at256)
+	}
+	c.SharedEntitlement = false
+	smooth128 := c.AllReduceSeconds(NCCLLike, bytes, 128)
+	smooth256 := c.AllReduceSeconds(NCCLLike, bytes, 256)
+	// The exclusive model still grows (ring latency term), but the
+	// entitlement jump must be distinctly larger.
+	if at256/at128 < 1.25*(smooth256/smooth128) {
+		t.Fatalf("entitlement jump (%v) not distinctly larger than exclusive growth (%v)",
+			at256/at128, smooth256/smooth128)
+	}
+}
+
+func TestComputeProfileMagnitudes(t *testing.T) {
+	// Fig 2(c): 60M params backward ≈ 250ms on GPU; Fig 2(d): ~6s CPU.
+	gpu := Profile(GPU, 60e6)
+	if math.Abs(gpu.BackwardSeconds-0.25) > 1e-9 {
+		t.Fatalf("GPU backward = %v", gpu.BackwardSeconds)
+	}
+	cpu := Profile(CPU, 60e6)
+	if math.Abs(cpu.BackwardSeconds-6.0) > 1e-9 {
+		t.Fatalf("CPU backward = %v", cpu.BackwardSeconds)
+	}
+	if gpu.TotalSeconds() <= gpu.BackwardSeconds {
+		t.Fatal("total must include forward and optimizer")
+	}
+}
+
+func TestGradReadyLinearInCumulativeSize(t *testing.T) {
+	p := Profile(GPU, 25_000_000)
+	half := p.GradReadySeconds(12_500_000, 25_000_000)
+	if math.Abs(half-p.BackwardSeconds/2) > 1e-9 {
+		t.Fatalf("half the params ready at %v, want %v", half, p.BackwardSeconds/2)
+	}
+	if p.GradReadySeconds(0, 25_000_000) != 0 {
+		t.Fatal("nothing ready at t=0")
+	}
+	if p.GradReadySeconds(25_000_000, 25_000_000) != p.BackwardSeconds {
+		t.Fatal("all params ready exactly at backward end")
+	}
+}
+
+func TestStringNames(t *testing.T) {
+	if NCCLLike.String() != "nccl" || GlooLike.String() != "gloo" ||
+		GPU.String() != "gpu" || CPU.String() != "cpu" {
+		t.Fatal("names wrong")
+	}
+}

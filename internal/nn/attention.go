@@ -1,0 +1,120 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/autograd"
+)
+
+// MultiHeadAttention is scaled dot-product self-attention over a single
+// sequence [tokens, dim], the layer at the heart of the paper's BERT
+// workload. Query/key/value/output projections are Linear layers, so
+// the parameter registration order matches the BERT profile in the
+// models package (query, key, value, output — the order DDP's bucketing
+// reverses).
+type MultiHeadAttention struct {
+	Query, Key, Value, Output *Linear
+	Heads                     int
+	dim                       int
+}
+
+// NewMultiHeadAttention constructs self-attention with the given model
+// dimension and head count; dim must be divisible by heads.
+func NewMultiHeadAttention(rng *rand.Rand, name string, dim, heads int) *MultiHeadAttention {
+	if dim%heads != 0 {
+		panic(fmt.Sprintf("nn: attention dim %d not divisible by %d heads", dim, heads))
+	}
+	return &MultiHeadAttention{
+		Query:  NewLinear(rng, name+".query", dim, dim),
+		Key:    NewLinear(rng, name+".key", dim, dim),
+		Value:  NewLinear(rng, name+".value", dim, dim),
+		Output: NewLinear(rng, name+".output", dim, dim),
+		Heads:  heads,
+		dim:    dim,
+	}
+}
+
+// Forward computes softmax(q·kᵀ/√d)·v per head over x [tokens, dim] and
+// projects the concatenated heads.
+func (m *MultiHeadAttention) Forward(x *autograd.Variable) *autograd.Variable {
+	q := m.Query.Forward(x)
+	k := m.Key.Forward(x)
+	v := m.Value.Forward(x)
+	headDim := m.dim / m.Heads
+	scale := float32(1 / math.Sqrt(float64(headDim)))
+	heads := make([]*autograd.Variable, m.Heads)
+	for h := 0; h < m.Heads; h++ {
+		lo, hi := h*headDim, (h+1)*headDim
+		qh := autograd.SliceCols(q, lo, hi)
+		kh := autograd.SliceCols(k, lo, hi)
+		vh := autograd.SliceCols(v, lo, hi)
+		scores := autograd.MulScalar(autograd.MatMulTransB(qh, kh), scale)
+		heads[h] = autograd.MatMul(autograd.SoftmaxRows(scores), vh)
+	}
+	return m.Output.Forward(autograd.Concat(heads...))
+}
+
+// Parameters returns the four projections' parameters in BERT order.
+func (m *MultiHeadAttention) Parameters() []*Parameter {
+	ps := m.Query.Parameters()
+	ps = append(ps, m.Key.Parameters()...)
+	ps = append(ps, m.Value.Parameters()...)
+	return append(ps, m.Output.Parameters()...)
+}
+
+// Buffers returns nil.
+func (m *MultiHeadAttention) Buffers() []*Buffer { return nil }
+
+// SetTraining is a no-op.
+func (m *MultiHeadAttention) SetTraining(bool) {}
+
+// TransformerBlock is one pre-norm encoder layer: x + attn(LN(x)), then
+// x + FFN(LN(x)) with a GELU MLP, the structure of the paper's BERT
+// workload.
+type TransformerBlock struct {
+	AttnNorm *LayerNorm
+	Attn     *MultiHeadAttention
+	FFNNorm  *LayerNorm
+	Up, Down *Linear
+}
+
+// NewTransformerBlock constructs an encoder block with the given model
+// dimension, head count, and feed-forward width.
+func NewTransformerBlock(rng *rand.Rand, name string, dim, heads, ff int) *TransformerBlock {
+	return &TransformerBlock{
+		AttnNorm: NewLayerNorm(name+".attn_norm", dim),
+		Attn:     NewMultiHeadAttention(rng, name+".attention", dim, heads),
+		FFNNorm:  NewLayerNorm(name+".ffn_norm", dim),
+		Up:       NewLinear(rng, name+".intermediate", dim, ff),
+		Down:     NewLinear(rng, name+".output", ff, dim),
+	}
+}
+
+// Forward applies attention and feed-forward sub-layers with residuals.
+func (b *TransformerBlock) Forward(x *autograd.Variable) *autograd.Variable {
+	x = autograd.Add(x, b.Attn.Forward(b.AttnNorm.Forward(x)))
+	ffn := b.Down.Forward(autograd.Gelu(b.Up.Forward(b.FFNNorm.Forward(x))))
+	return autograd.Add(x, ffn)
+}
+
+// Parameters returns all sub-layer parameters in registration order.
+func (b *TransformerBlock) Parameters() []*Parameter {
+	ps := b.AttnNorm.Parameters()
+	ps = append(ps, b.Attn.Parameters()...)
+	ps = append(ps, b.FFNNorm.Parameters()...)
+	ps = append(ps, b.Up.Parameters()...)
+	return append(ps, b.Down.Parameters()...)
+}
+
+// Buffers returns nil.
+func (b *TransformerBlock) Buffers() []*Buffer { return nil }
+
+// SetTraining is a no-op (no dropout in this block).
+func (b *TransformerBlock) SetTraining(bool) {}
+
+var (
+	_ Module = (*MultiHeadAttention)(nil)
+	_ Module = (*TransformerBlock)(nil)
+)

@@ -1,0 +1,201 @@
+package nn
+
+import (
+	"math/rand"
+
+	"repro/internal/autograd"
+	"repro/internal/tensor"
+)
+
+// Linear is a fully-connected layer: y = x·W + b with W of shape
+// [in, out] and b of shape [out].
+type Linear struct {
+	W, B *Parameter
+	name string
+}
+
+// NewLinear constructs a Linear layer with PyTorch-style fan-in-scaled
+// uniform initialization drawn from rng.
+func NewLinear(rng *rand.Rand, name string, in, out int) *Linear {
+	return &Linear{
+		W:    NewParameter(name+".weight", tensor.KaimingUniform(rng, in, in, out)),
+		B:    NewParameter(name+".bias", tensor.KaimingUniform(rng, in, out)),
+		name: name,
+	}
+}
+
+// Forward computes x·W + b for x of shape [batch, in].
+func (l *Linear) Forward(x *autograd.Variable) *autograd.Variable {
+	return autograd.AddRow(autograd.MatMul(x, l.W.Variable), l.B.Variable)
+}
+
+// Parameters returns [weight, bias] in registration order.
+func (l *Linear) Parameters() []*Parameter { return []*Parameter{l.W, l.B} }
+
+// Buffers returns nil; Linear has no buffers.
+func (l *Linear) Buffers() []*Buffer { return nil }
+
+// SetTraining is a no-op for Linear.
+func (l *Linear) SetTraining(bool) {}
+
+// Conv2d is a 2-D convolution layer with weight [out, in, k, k] and a
+// per-output-channel bias.
+type Conv2d struct {
+	W, B        *Parameter
+	Stride, Pad int
+}
+
+// NewConv2d constructs a Conv2d with kernel size k, given stride and
+// padding.
+func NewConv2d(rng *rand.Rand, name string, in, out, k, stride, pad int) *Conv2d {
+	fanIn := in * k * k
+	return &Conv2d{
+		W:      NewParameter(name+".weight", tensor.KaimingUniform(rng, fanIn, out, in, k, k)),
+		B:      NewParameter(name+".bias", tensor.KaimingUniform(rng, fanIn, out)),
+		Stride: stride,
+		Pad:    pad,
+	}
+}
+
+// Forward convolves x [n, in, h, w] producing [n, out, oh, ow].
+func (c *Conv2d) Forward(x *autograd.Variable) *autograd.Variable {
+	return autograd.AddChannel(autograd.Conv2D(x, c.W.Variable, c.Stride, c.Pad), c.B.Variable)
+}
+
+// Parameters returns [weight, bias].
+func (c *Conv2d) Parameters() []*Parameter { return []*Parameter{c.W, c.B} }
+
+// Buffers returns nil.
+func (c *Conv2d) Buffers() []*Buffer { return nil }
+
+// SetTraining is a no-op.
+func (c *Conv2d) SetTraining(bool) {}
+
+// ReLU applies max(0, x).
+type ReLU struct{ leafModule }
+
+// Forward applies the activation.
+func (ReLU) Forward(x *autograd.Variable) *autograd.Variable { return autograd.Relu(x) }
+
+// Tanh applies tanh(x).
+type Tanh struct{ leafModule }
+
+// Forward applies the activation.
+func (Tanh) Forward(x *autograd.Variable) *autograd.Variable { return autograd.Tanh(x) }
+
+// GELU applies the Gaussian error linear unit.
+type GELU struct{ leafModule }
+
+// Forward applies the activation.
+func (GELU) Forward(x *autograd.Variable) *autograd.Variable { return autograd.Gelu(x) }
+
+// Sigmoid applies the logistic function.
+type Sigmoid struct{ leafModule }
+
+// Forward applies the activation.
+func (Sigmoid) Forward(x *autograd.Variable) *autograd.Variable { return autograd.Sigmoid(x) }
+
+// Flatten reshapes [n, ...] to [n, rest].
+type Flatten struct{ leafModule }
+
+// Forward flattens all but the leading dimension.
+func (Flatten) Forward(x *autograd.Variable) *autograd.Variable {
+	return autograd.Reshape(x, x.Value.Dims(0), -1)
+}
+
+// AvgPool applies global average pooling [n,c,h,w] -> [n,c].
+type AvgPool struct{ leafModule }
+
+// Forward pools the spatial dimensions away.
+func (AvgPool) Forward(x *autograd.Variable) *autograd.Variable { return autograd.AvgPool2D(x) }
+
+// MaxPool applies 2x2/stride-2 max pooling.
+type MaxPool struct{ leafModule }
+
+// Forward halves the spatial dimensions.
+func (MaxPool) Forward(x *autograd.Variable) *autograd.Variable { return autograd.MaxPool2D(x) }
+
+// Dropout zeroes activations with probability P during training. The mask
+// is drawn from the layer's own rng so that distributed replicas can
+// coordinate by seeding identically when required.
+type Dropout struct {
+	P        float32
+	rng      *rand.Rand
+	training bool
+}
+
+// NewDropout constructs a Dropout layer.
+func NewDropout(rng *rand.Rand, p float32) *Dropout {
+	return &Dropout{P: p, rng: rng, training: true}
+}
+
+// Forward applies inverted dropout in training mode and is the identity
+// in evaluation mode.
+func (d *Dropout) Forward(x *autograd.Variable) *autograd.Variable {
+	if !d.training || d.P <= 0 {
+		return x
+	}
+	keep := make([]bool, x.Value.Size())
+	for i := range keep {
+		keep[i] = d.rng.Float32() >= d.P
+	}
+	return autograd.Dropout(x, keep, d.P)
+}
+
+// Parameters returns nil.
+func (d *Dropout) Parameters() []*Parameter { return nil }
+
+// Buffers returns nil.
+func (d *Dropout) Buffers() []*Buffer { return nil }
+
+// SetTraining toggles mask sampling.
+func (d *Dropout) SetTraining(t bool) { d.training = t }
+
+// Embedding maps integer token ids to dense rows of a [vocab, dim]
+// weight matrix. Forward expects ids encoded in the input tensor.
+type Embedding struct {
+	W *Parameter
+}
+
+// NewEmbedding constructs an Embedding table.
+func NewEmbedding(rng *rand.Rand, name string, vocab, dim int) *Embedding {
+	return &Embedding{W: NewParameter(name+".weight", tensor.RandN(rng, 0.02, vocab, dim))}
+}
+
+// ForwardIDs gathers rows for the given token ids.
+func (e *Embedding) ForwardIDs(ids []int) *autograd.Variable {
+	return autograd.Embedding(e.W.Variable, ids)
+}
+
+// Forward interprets x's elements as integer ids (rounded).
+func (e *Embedding) Forward(x *autograd.Variable) *autograd.Variable {
+	ids := make([]int, x.Value.Size())
+	for i, v := range x.Value.Data() {
+		ids[i] = int(v)
+	}
+	return e.ForwardIDs(ids)
+}
+
+// Parameters returns the embedding table.
+func (e *Embedding) Parameters() []*Parameter { return []*Parameter{e.W} }
+
+// Buffers returns nil.
+func (e *Embedding) Buffers() []*Buffer { return nil }
+
+// SetTraining is a no-op.
+func (e *Embedding) SetTraining(bool) {}
+
+// Compile-time interface checks.
+var (
+	_ Module = (*Linear)(nil)
+	_ Module = (*Conv2d)(nil)
+	_ Module = ReLU{}
+	_ Module = Tanh{}
+	_ Module = GELU{}
+	_ Module = Sigmoid{}
+	_ Module = Flatten{}
+	_ Module = AvgPool{}
+	_ Module = MaxPool{}
+	_ Module = (*Dropout)(nil)
+	_ Module = (*Embedding)(nil)
+)

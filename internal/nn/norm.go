@@ -1,0 +1,103 @@
+package nn
+
+import (
+	"repro/internal/autograd"
+	"repro/internal/tensor"
+)
+
+// BatchNorm normalizes per channel over the batch (and spatial
+// dimensions for 4-D inputs), learning a per-channel gain and bias and
+// maintaining running mean/variance buffers. The buffers are exactly the
+// "model buffers" the paper's Section 4.1 discusses: DDP broadcasts them
+// from rank 0 before synchronized forward passes so replicas agree.
+type BatchNorm struct {
+	Gamma, Beta             *Parameter
+	RunningMean, RunningVar *Buffer
+	NumBatchesTracked       *Buffer
+	Momentum, Eps           float32
+	training                bool
+	channels                int
+}
+
+// NewBatchNorm constructs a BatchNorm over c channels with PyTorch
+// defaults (momentum 0.1, eps 1e-5).
+func NewBatchNorm(name string, c int) *BatchNorm {
+	return &BatchNorm{
+		Gamma:             NewParameter(name+".weight", tensor.Ones(c)),
+		Beta:              NewParameter(name+".bias", tensor.New(c)),
+		RunningMean:       &Buffer{Name: name + ".running_mean", Data: tensor.New(c)},
+		RunningVar:        &Buffer{Name: name + ".running_var", Data: tensor.Ones(c)},
+		NumBatchesTracked: &Buffer{Name: name + ".num_batches_tracked", Data: tensor.New(1)},
+		Momentum:          0.1,
+		Eps:               1e-5,
+		training:          true,
+		channels:          c,
+	}
+}
+
+// Forward normalizes x ([n,c] or [n,c,h,w]). In training mode batch
+// statistics are used and folded into the running buffers; in eval mode
+// the running buffers are used.
+func (b *BatchNorm) Forward(x *autograd.Variable) *autograd.Variable {
+	out, stats := autograd.BatchNorm(
+		x, b.Gamma.Variable, b.Beta.Variable,
+		b.RunningMean.Data.Data(), b.RunningVar.Data.Data(),
+		b.Eps, b.training,
+	)
+	if stats != nil {
+		m := b.Momentum
+		rm, rv := b.RunningMean.Data.Data(), b.RunningVar.Data.Data()
+		for i := 0; i < b.channels; i++ {
+			rm[i] = (1-m)*rm[i] + m*stats.Mean[i]
+			rv[i] = (1-m)*rv[i] + m*stats.Var[i]
+		}
+		b.NumBatchesTracked.Data.Data()[0]++
+	}
+	return out
+}
+
+// Parameters returns [gamma, beta].
+func (b *BatchNorm) Parameters() []*Parameter { return []*Parameter{b.Gamma, b.Beta} }
+
+// Buffers returns the running statistics.
+func (b *BatchNorm) Buffers() []*Buffer {
+	return []*Buffer{b.RunningMean, b.RunningVar, b.NumBatchesTracked}
+}
+
+// SetTraining toggles between batch and running statistics.
+func (b *BatchNorm) SetTraining(t bool) { b.training = t }
+
+// LayerNorm normalizes the last dimension with learned gain and bias,
+// as used by BERT-style transformer blocks.
+type LayerNorm struct {
+	Gain, Bias *Parameter
+	Eps        float32
+}
+
+// NewLayerNorm constructs a LayerNorm over vectors of length dim.
+func NewLayerNorm(name string, dim int) *LayerNorm {
+	return &LayerNorm{
+		Gain: NewParameter(name+".weight", tensor.Ones(dim)),
+		Bias: NewParameter(name+".bias", tensor.New(dim)),
+		Eps:  1e-5,
+	}
+}
+
+// Forward normalizes x [rows, dim].
+func (l *LayerNorm) Forward(x *autograd.Variable) *autograd.Variable {
+	return autograd.LayerNorm(x, l.Gain.Variable, l.Bias.Variable, l.Eps)
+}
+
+// Parameters returns [gain, bias].
+func (l *LayerNorm) Parameters() []*Parameter { return []*Parameter{l.Gain, l.Bias} }
+
+// Buffers returns nil.
+func (l *LayerNorm) Buffers() []*Buffer { return nil }
+
+// SetTraining is a no-op.
+func (l *LayerNorm) SetTraining(bool) {}
+
+var (
+	_ Module = (*BatchNorm)(nil)
+	_ Module = (*LayerNorm)(nil)
+)

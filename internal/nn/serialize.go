@@ -1,0 +1,105 @@
+package nn
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"repro/internal/tensor"
+)
+
+// stateEntry is one serialized tensor of a state dict.
+type stateEntry struct {
+	Name  string
+	Shape []int
+	Data  []float32
+}
+
+// stateDict is the serialized form of a module's learnable state —
+// parameters and buffers, like PyTorch's state_dict. Buffers are
+// included because DDP's correctness story covers them (BatchNorm
+// running statistics must survive checkpoint/restore just as they
+// survive the rank-0 broadcast).
+type stateDict struct {
+	Params  []stateEntry
+	Buffers []stateEntry
+}
+
+// SaveState writes m's parameters and buffers to w (gob encoding).
+// Typically only rank 0 saves: replicas are identical by DDP's
+// guarantee.
+func SaveState(w io.Writer, m Module) error {
+	var sd stateDict
+	for _, p := range m.Parameters() {
+		sd.Params = append(sd.Params, stateEntry{
+			Name:  p.Name,
+			Shape: append([]int(nil), p.Value.Shape()...),
+			Data:  append([]float32(nil), p.Value.Data()...),
+		})
+	}
+	for _, b := range m.Buffers() {
+		sd.Buffers = append(sd.Buffers, stateEntry{
+			Name:  b.Name,
+			Shape: append([]int(nil), b.Data.Shape()...),
+			Data:  append([]float32(nil), b.Data.Data()...),
+		})
+	}
+	if err := gob.NewEncoder(w).Encode(&sd); err != nil {
+		return fmt.Errorf("nn: encoding state: %w", err)
+	}
+	return nil
+}
+
+// LoadState restores parameters and buffers saved by SaveState into m,
+// validating names and shapes so a checkpoint cannot silently load into
+// the wrong architecture.
+func LoadState(r io.Reader, m Module) error {
+	var sd stateDict
+	if err := gob.NewDecoder(r).Decode(&sd); err != nil {
+		return fmt.Errorf("nn: decoding state: %w", err)
+	}
+	params := m.Parameters()
+	if len(params) != len(sd.Params) {
+		return fmt.Errorf("nn: checkpoint has %d parameters, model has %d", len(sd.Params), len(params))
+	}
+	for i, p := range params {
+		if err := checkEntry(sd.Params[i], p.Name, p.Value); err != nil {
+			return err
+		}
+	}
+	buffers := m.Buffers()
+	if len(buffers) != len(sd.Buffers) {
+		return fmt.Errorf("nn: checkpoint has %d buffers, model has %d", len(sd.Buffers), len(buffers))
+	}
+	for i, b := range buffers {
+		if err := checkEntry(sd.Buffers[i], b.Name, b.Data); err != nil {
+			return err
+		}
+	}
+	// Validation passed; commit.
+	for i, p := range params {
+		copy(p.Value.Data(), sd.Params[i].Data)
+	}
+	for i, b := range buffers {
+		copy(b.Data.Data(), sd.Buffers[i].Data)
+	}
+	return nil
+}
+
+func checkEntry(e stateEntry, name string, t *tensor.Tensor) error {
+	if e.Name != name {
+		return fmt.Errorf("nn: checkpoint entry %q does not match model entry %q", e.Name, name)
+	}
+	if len(e.Data) != t.Size() {
+		return fmt.Errorf("nn: %q has %d elements in checkpoint, %d in model", name, len(e.Data), t.Size())
+	}
+	if len(e.Shape) != t.Dim() {
+		return fmt.Errorf("nn: %q rank mismatch", name)
+	}
+	for d := range e.Shape {
+		if e.Shape[d] != t.Dims(d) {
+			return fmt.Errorf("nn: %q shape %v does not match model %v", name, e.Shape, t.Shape())
+		}
+	}
+	return nil
+}

@@ -1,0 +1,128 @@
+package optim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/autograd"
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+func scalarParam(v float32) *nn.Parameter {
+	return nn.NewParameter("p", tensor.FromSlice([]float32{v}, 1))
+}
+
+func setGrad(p *nn.Parameter, g float32) {
+	p.Grad = tensor.FromSlice([]float32{g}, 1)
+}
+
+func TestSGDPlainStep(t *testing.T) {
+	p := scalarParam(1)
+	opt := NewSGD([]*nn.Parameter{p}, 0.1)
+	setGrad(p, 2)
+	opt.Step()
+	if got := p.Value.At(0); math.Abs(float64(got-0.8)) > 1e-6 {
+		t.Fatalf("param = %v, want 0.8", got)
+	}
+}
+
+func TestSGDMomentumMatchesTorchSemantics(t *testing.T) {
+	// torch.optim.SGD: v = mu*v + g; p -= lr*v with v initialized to g.
+	p := scalarParam(0)
+	opt := NewSGD([]*nn.Parameter{p}, 1)
+	opt.Momentum = 0.9
+	setGrad(p, 1)
+	opt.Step() // v=1, p=-1
+	setGrad(p, 1)
+	opt.Step() // v=1.9, p=-2.9
+	if got := p.Value.At(0); math.Abs(float64(got+2.9)) > 1e-5 {
+		t.Fatalf("param = %v, want -2.9", got)
+	}
+	if v := opt.VelocityOf(p); v == nil || math.Abs(float64(v.At(0)-1.9)) > 1e-5 {
+		t.Fatalf("velocity = %v, want 1.9", v)
+	}
+}
+
+func TestSGDWeightDecay(t *testing.T) {
+	p := scalarParam(10)
+	opt := NewSGD([]*nn.Parameter{p}, 0.1)
+	opt.WeightDecay = 0.5
+	setGrad(p, 0)
+	opt.Step() // effective grad = 0 + 0.5*10 = 5; p = 10 - 0.5 = 9.5
+	if got := p.Value.At(0); math.Abs(float64(got-9.5)) > 1e-5 {
+		t.Fatalf("param = %v, want 9.5", got)
+	}
+}
+
+func TestSGDSkipsNilGradients(t *testing.T) {
+	// Section 3.2.3: an optimizer that skips absent gradients must not
+	// decay momentum or move the parameter.
+	p := scalarParam(1)
+	opt := NewSGD([]*nn.Parameter{p}, 0.1)
+	opt.Momentum = 0.9
+	setGrad(p, 1)
+	opt.Step()
+	vBefore := opt.VelocityOf(p).At(0)
+	p.ZeroGrad()
+	opt.Step() // nil grad: untouched
+	if opt.VelocityOf(p).At(0) != vBefore {
+		t.Fatal("momentum must not change for absent gradient")
+	}
+}
+
+func TestZeroGrad(t *testing.T) {
+	p := scalarParam(1)
+	opt := NewSGD([]*nn.Parameter{p}, 0.1)
+	setGrad(p, 1)
+	opt.ZeroGrad()
+	if p.Grad != nil {
+		t.Fatal("ZeroGrad failed")
+	}
+}
+
+func TestAdamDirectionAndMagnitude(t *testing.T) {
+	// First Adam step moves by ~lr regardless of gradient scale.
+	p := scalarParam(0)
+	opt := NewAdam([]*nn.Parameter{p}, 0.01)
+	setGrad(p, 123)
+	opt.Step()
+	if got := p.Value.At(0); math.Abs(float64(got+0.01)) > 1e-4 {
+		t.Fatalf("first Adam step = %v, want ~-0.01", got)
+	}
+}
+
+func TestSGDConvergesOnQuadratic(t *testing.T) {
+	// Minimize (w-3)^2 with SGD+momentum; must converge to w=3.
+	rng := rand.New(rand.NewSource(1))
+	_ = rng
+	w := nn.NewParameter("w", tensor.FromSlice([]float32{0}, 1))
+	opt := NewSGD([]*nn.Parameter{w}, 0.05)
+	opt.Momentum = 0.9
+	target := autograd.Constant(tensor.FromSlice([]float32{3}, 1))
+	for i := 0; i < 200; i++ {
+		opt.ZeroGrad()
+		loss := autograd.MSELoss(w.Variable, target)
+		autograd.Backward(loss, nil)
+		opt.Step()
+	}
+	if got := w.Value.At(0); math.Abs(float64(got-3)) > 1e-2 {
+		t.Fatalf("converged to %v, want 3", got)
+	}
+}
+
+func TestAdamConvergesOnQuadratic(t *testing.T) {
+	w := nn.NewParameter("w", tensor.FromSlice([]float32{0}, 1))
+	opt := NewAdam([]*nn.Parameter{w}, 0.1)
+	target := autograd.Constant(tensor.FromSlice([]float32{-2}, 1))
+	for i := 0; i < 300; i++ {
+		opt.ZeroGrad()
+		loss := autograd.MSELoss(w.Variable, target)
+		autograd.Backward(loss, nil)
+		opt.Step()
+	}
+	if got := w.Value.At(0); math.Abs(float64(got+2)) > 5e-2 {
+		t.Fatalf("converged to %v, want -2", got)
+	}
+}

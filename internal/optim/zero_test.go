@@ -1,0 +1,200 @@
+package optim
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/autograd"
+	"repro/internal/comm"
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+func buildZeroModel(seed int64) nn.Module {
+	rng := rand.New(rand.NewSource(seed))
+	return nn.NewSequential(
+		nn.NewLinear(rng, "fc1", 5, 7),
+		nn.Tanh{},
+		nn.NewLinear(rng, "fc2", 7, 3),
+	)
+}
+
+// TestZeroSGDMatchesDenseSGD: ZeRO sharding must not change the math —
+// N ranks with sharded optimizer state follow exactly the trajectory of
+// dense momentum SGD applied to the averaged gradients.
+func TestZeroSGDMatchesDenseSGD(t *testing.T) {
+	const world, iters = 3, 5
+	dataRng := rand.New(rand.NewSource(1))
+	inputs := make([][]*tensor.Tensor, world)
+	targets := make([][]*tensor.Tensor, world)
+	for r := 0; r < world; r++ {
+		for i := 0; i < iters; i++ {
+			inputs[r] = append(inputs[r], tensor.RandN(dataRng, 1, 2, 5))
+			targets[r] = append(targets[r], tensor.RandN(dataRng, 1, 2, 3))
+		}
+	}
+
+	// Reference: dense momentum SGD on manually averaged gradients.
+	ref := buildZeroModel(9)
+	refOpt := NewSGD(ref.Parameters(), 0.05)
+	refOpt.Momentum = 0.9
+	for i := 0; i < iters; i++ {
+		refOpt.ZeroGrad()
+		// Average gradients over the world's shards by accumulating
+		// each shard's backward then scaling (grads accumulate in .Grad).
+		for r := 0; r < world; r++ {
+			out := ref.Forward(autograd.Constant(inputs[r][i]))
+			autograd.Backward(autograd.MSELoss(out, autograd.Constant(targets[r][i])), nil)
+		}
+		for _, p := range ref.Parameters() {
+			tensor.ScaleInPlace(p.Grad, 1.0/world)
+		}
+		refOpt.Step()
+	}
+
+	// ZeRO: each rank computes local gradients; Step shards the update.
+	groups := comm.NewInProcGroups(world, comm.Options{})
+	defer func() {
+		for _, g := range groups {
+			g.Close()
+		}
+	}()
+	zModels := make([]nn.Module, world)
+	var wg sync.WaitGroup
+	errs := make([]error, world)
+	for r := 0; r < world; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			errs[rank] = func() error {
+				m := buildZeroModel(9) // same seed: replicas identical
+				zModels[rank] = m
+				opt, err := NewZeroSGD(m.Parameters(), groups[rank], 0.05)
+				if err != nil {
+					return err
+				}
+				opt.Momentum = 0.9
+				for i := 0; i < iters; i++ {
+					opt.ZeroGrad()
+					out := m.Forward(autograd.Constant(inputs[rank][i]))
+					autograd.Backward(autograd.MSELoss(out, autograd.Constant(targets[rank][i])), nil)
+					if err := opt.Step(); err != nil {
+						return err
+					}
+				}
+				return nil
+			}()
+		}(r)
+	}
+	wg.Wait()
+	for rank, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d: %v", rank, err)
+		}
+	}
+
+	for rank := 0; rank < world; rank++ {
+		for i, p := range zModels[rank].Parameters() {
+			if !p.Value.AllClose(ref.Parameters()[i].Value, 1e-4, 1e-6) {
+				t.Fatalf("rank %d param %d diverged from dense SGD (max diff %v)",
+					rank, i, p.Value.MaxAbsDiff(ref.Parameters()[i].Value))
+			}
+		}
+	}
+	// Replicas bitwise identical (they all applied the same gathered
+	// shards).
+	for rank := 1; rank < world; rank++ {
+		for i, p := range zModels[rank].Parameters() {
+			if !p.Value.Equal(zModels[0].Parameters()[i].Value) {
+				t.Fatalf("rank %d param %d not identical to rank 0", rank, i)
+			}
+		}
+	}
+}
+
+func TestZeroSGDShardsState(t *testing.T) {
+	const world = 4
+	groups := comm.NewInProcGroups(world, comm.Options{})
+	defer func() {
+		for _, g := range groups {
+			g.Close()
+		}
+	}()
+	m := buildZeroModel(2)
+	total := nn.NumParams(m)
+	opt, err := NewZeroSGD(m.Parameters(), groups[0], 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Shard is ~1/world of the full state (plus padding).
+	if opt.ShardBytes() >= 4*total {
+		t.Fatalf("shard %dB not smaller than full state %dB", opt.ShardBytes(), 4*total)
+	}
+	if opt.ShardBytes() < 4*total/world {
+		t.Fatalf("shard %dB smaller than total/world", opt.ShardBytes())
+	}
+}
+
+func TestZeroSGDNilGradContributesZero(t *testing.T) {
+	const world = 2
+	groups := comm.NewInProcGroups(world, comm.Options{})
+	defer func() {
+		for _, g := range groups {
+			g.Close()
+		}
+	}()
+	models := make([]nn.Module, world)
+	var wg sync.WaitGroup
+	for r := 0; r < world; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			m := buildZeroModel(3)
+			models[rank] = m
+			opt, err := NewZeroSGD(m.Parameters(), groups[rank], 0.1)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			// Only rank 0 produces gradients; rank 1's stay nil.
+			if rank == 0 {
+				rng := rand.New(rand.NewSource(4))
+				out := m.Forward(autograd.Constant(tensor.RandN(rng, 1, 2, 5)))
+				autograd.Backward(autograd.Sum(out), nil)
+			}
+			if err := opt.Step(); err != nil {
+				t.Error(err)
+			}
+		}(r)
+	}
+	wg.Wait()
+	// Both replicas moved identically (average of grad and zero).
+	for i, p := range models[0].Parameters() {
+		if !p.Value.Equal(models[1].Parameters()[i].Value) {
+			t.Fatalf("param %d differs across ranks", i)
+		}
+	}
+}
+
+func TestZeroSGDRejectsPlainGroups(t *testing.T) {
+	if _, err := NewZeroSGD(buildZeroModel(1).Parameters(), plainPG{}, 0.1); err == nil {
+		t.Fatal("non-extended group must be rejected")
+	}
+	groups := comm.NewInProcGroups(1, comm.Options{})
+	defer groups[0].Close()
+	if _, err := NewZeroSGD(nil, groups[0], 0.1); err == nil {
+		t.Fatal("empty parameter list must be rejected")
+	}
+}
+
+// plainPG implements only the core ProcessGroup interface.
+type plainPG struct{}
+
+func (plainPG) Rank() int                                            { return 0 }
+func (plainPG) Size() int                                            { return 1 }
+func (plainPG) AllReduce(data []float32, op comm.ReduceOp) comm.Work { return comm.CompletedWork(nil) }
+func (plainPG) Broadcast(data []float32, root int) comm.Work         { return comm.CompletedWork(nil) }
+func (plainPG) AllGather(dst [][]float32, src []float32) comm.Work   { return comm.CompletedWork(nil) }
+func (plainPG) Barrier() comm.Work                                   { return comm.CompletedWork(nil) }
+func (plainPG) Close() error                                         { return nil }

@@ -1,0 +1,138 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+)
+
+// Butterworth designs an order-n Butterworth low-pass digital filter
+// with normalized cutoff frequency wn in (0, 1), where 1 is the Nyquist
+// frequency — the same parameterization as scipy.signal.butter. It
+// returns numerator (b) and denominator (a) coefficients with a[0] = 1.
+func Butterworth(order int, wn float64) (b, a []float64, err error) {
+	if order < 1 || order > 8 {
+		return nil, nil, fmt.Errorf("stats: unsupported filter order %d", order)
+	}
+	if wn <= 0 || wn >= 1 {
+		return nil, nil, fmt.Errorf("stats: cutoff %v outside (0, 1)", wn)
+	}
+	// Analog prototype poles on the unit circle's left half.
+	warped := math.Tan(math.Pi * wn / 2) // bilinear prewarp (fs = 2)
+	poles := make([]complex128, order)
+	for k := 0; k < order; k++ {
+		theta := math.Pi * float64(2*k+1) / float64(2*order)
+		p := -cmplx.Exp(complex(0, -theta)) // e^{j(pi/2 + theta)} form
+		p = complex(-math.Sin(theta), math.Cos(theta))
+		poles[k] = p * complex(warped, 0)
+	}
+	// Bilinear transform: z = (1 + p) / (1 - p) with fs = 2 (T = 1/2,
+	// matching the prewarp above).
+	zPoles := make([]complex128, order)
+	for i, p := range poles {
+		zPoles[i] = (1 + p) / (1 - p)
+	}
+	// All zeros at z = -1.
+	zZeros := make([]complex128, order)
+	for i := range zZeros {
+		zZeros[i] = -1
+	}
+	bC := polyFromRoots(zZeros)
+	aC := polyFromRoots(zPoles)
+	// Normalize to unit gain at DC (z = 1).
+	gain := polyEval(aC, 1) / polyEval(bC, 1)
+	b = make([]float64, order+1)
+	a = make([]float64, order+1)
+	for i := range bC {
+		b[i] = real(bC[i] * gain)
+		a[i] = real(aC[i])
+	}
+	return b, a, nil
+}
+
+// polyFromRoots expands prod (z - r_i) into descending-power
+// coefficients.
+func polyFromRoots(roots []complex128) []complex128 {
+	coeffs := []complex128{1}
+	for _, r := range roots {
+		next := make([]complex128, len(coeffs)+1)
+		for i, c := range coeffs {
+			next[i] += c
+			next[i+1] -= c * r
+		}
+		coeffs = next
+	}
+	return coeffs
+}
+
+// polyEval evaluates descending-power coefficients at z.
+func polyEval(coeffs []complex128, z complex128) complex128 {
+	var acc complex128
+	for _, c := range coeffs {
+		acc = acc*z + c
+	}
+	return acc
+}
+
+// lfilter applies the IIR filter (b, a) to x (direct form II
+// transposed), like scipy.signal.lfilter with zero initial state.
+func lfilter(b, a, x []float64) []float64 {
+	n := len(b)
+	z := make([]float64, n-1)
+	y := make([]float64, len(x))
+	for i, xv := range x {
+		yv := b[0]*xv + z[0]
+		for j := 1; j < n-1; j++ {
+			z[j-1] = b[j]*xv + z[j] - a[j]*yv
+		}
+		z[n-2] = b[n-1]*xv - a[n-1]*yv
+		y[i] = yv
+	}
+	return y
+}
+
+// FiltFilt applies the filter forward and backward for zero phase
+// distortion, with odd-reflection edge padding — the smoothing
+// scipy.signal.filtfilt performs on the paper's Fig 11 loss curves.
+func FiltFilt(b, a, x []float64) []float64 {
+	if len(x) == 0 {
+		return nil
+	}
+	pad := 3 * (len(b) - 1)
+	if pad >= len(x) {
+		pad = len(x) - 1
+	}
+	// Odd reflection: 2*x[0] - x[pad..1], x, 2*x[last] - x[n-2..n-1-pad].
+	ext := make([]float64, 0, len(x)+2*pad)
+	for i := pad; i >= 1; i-- {
+		ext = append(ext, 2*x[0]-x[i])
+	}
+	ext = append(ext, x...)
+	for i := len(x) - 2; i >= len(x)-1-pad && i >= 0; i-- {
+		ext = append(ext, 2*x[len(x)-1]-x[i])
+	}
+	y := lfilter(b, a, ext)
+	reverse(y)
+	y = lfilter(b, a, y)
+	reverse(y)
+	return y[pad : pad+len(x)]
+}
+
+func reverse(x []float64) {
+	for i, j := 0, len(x)-1; i < j; i, j = i+1, j-1 {
+		x[i], x[j] = x[j], x[i]
+	}
+}
+
+// SmoothLosses applies the paper's order-3 low-pass filtfilt to a loss
+// curve, with a cutoff suited to per-iteration training noise.
+func SmoothLosses(losses []float64) []float64 {
+	if len(losses) < 13 {
+		return append([]float64(nil), losses...)
+	}
+	b, a, err := Butterworth(3, 0.05)
+	if err != nil {
+		panic(err)
+	}
+	return FiltFilt(b, a, losses)
+}

@@ -1,0 +1,139 @@
+// Package store provides the rendezvous key-value store DDP process
+// groups use to find each other at construction time (the paper's
+// Section 3.3: "implemented using a rendezvous service, where the first
+// arrival will block waiting until the last instance joins").
+//
+// Two implementations are provided: an in-memory store for
+// single-process multi-goroutine training, and a TCP store (served by
+// rank 0, like PyTorch's TCPStore) for multi-process training.
+package store
+
+import (
+	"errors"
+	"sync"
+	"time"
+)
+
+// ErrTimeout is returned when a blocking operation exceeds its deadline.
+var ErrTimeout = errors.New("store: wait timed out")
+
+// ErrClosed is returned by blocking operations when the store shuts down.
+var ErrClosed = errors.New("store: closed")
+
+// Store is a process-shared key-value store with blocking waits.
+type Store interface {
+	// Set stores value under key and wakes any waiters.
+	Set(key string, value []byte) error
+	// Get blocks until key exists (subject to timeout) and returns it.
+	Get(key string) ([]byte, error)
+	// Add atomically adds delta to the integer counter at key, creating
+	// it at zero, and returns the new value. Used to assign ranks and
+	// count arrivals during rendezvous.
+	Add(key string, delta int64) (int64, error)
+	// Wait blocks until all keys exist.
+	Wait(keys ...string) error
+}
+
+// InMem is an in-process Store safe for concurrent use.
+// The zero value is not usable; call NewInMem.
+type InMem struct {
+	mu       sync.Mutex
+	cond     *sync.Cond
+	values   map[string][]byte
+	counters map[string]int64
+	closed   bool
+	// Timeout bounds blocking Get/Wait calls; zero means no limit.
+	Timeout time.Duration
+}
+
+// NewInMem returns an empty in-memory store with the given blocking
+// timeout (zero for unbounded).
+func NewInMem(timeout time.Duration) *InMem {
+	s := &InMem{
+		values:   make(map[string][]byte),
+		counters: make(map[string]int64),
+		Timeout:  timeout,
+	}
+	s.cond = sync.NewCond(&s.mu)
+	return s
+}
+
+// Set stores value under key.
+func (s *InMem) Set(key string, value []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.values[key] = append([]byte(nil), value...)
+	s.cond.Broadcast()
+	return nil
+}
+
+// Get blocks until key exists and returns a copy of its value.
+func (s *InMem) Get(key string) ([]byte, error) {
+	if err := s.Wait(key); err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]byte(nil), s.values[key]...), nil
+}
+
+// Add atomically increments the counter at key by delta.
+func (s *InMem) Add(key string, delta int64) (int64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.counters[key] += delta
+	v := s.counters[key]
+	s.cond.Broadcast()
+	return v, nil
+}
+
+// CounterAt returns the current counter value without modifying it.
+func (s *InMem) CounterAt(key string) int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.counters[key]
+}
+
+// Wait blocks until every key has been Set.
+func (s *InMem) Wait(keys ...string) error {
+	deadline := time.Time{}
+	if s.Timeout > 0 {
+		deadline = time.Now().Add(s.Timeout)
+		// Wake sleepers periodically so the deadline is observed.
+		timer := time.AfterFunc(s.Timeout, func() { s.cond.Broadcast() })
+		defer timer.Stop()
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for {
+		missing := false
+		for _, k := range keys {
+			if _, ok := s.values[k]; !ok {
+				missing = true
+				break
+			}
+		}
+		if !missing {
+			return nil
+		}
+		if s.closed {
+			return ErrClosed
+		}
+		if !deadline.IsZero() && time.Now().After(deadline) {
+			return ErrTimeout
+		}
+		s.cond.Wait()
+	}
+}
+
+// Close wakes all blocked waiters with ErrClosed. Further waits on
+// missing keys fail immediately; existing values remain readable.
+func (s *InMem) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.closed = true
+	s.cond.Broadcast()
+	return nil
+}
+
+var _ Store = (*InMem)(nil)

@@ -1,0 +1,209 @@
+package store
+
+import (
+	"encoding/gob"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// The TCP store speaks a tiny gob-encoded request/response protocol.
+// Each client connection is served by its own goroutine; blocking waits
+// on one connection do not stall others.
+
+type request struct {
+	Op    string // "set", "get", "add", "wait"
+	Key   string
+	Keys  []string
+	Value []byte
+	Delta int64
+}
+
+type response struct {
+	Value   []byte
+	Counter int64
+	Err     string
+}
+
+// TCPServer serves an InMem store over TCP. Rank 0 typically runs one.
+type TCPServer struct {
+	ln      net.Listener
+	backing *InMem
+	wg      sync.WaitGroup
+	mu      sync.Mutex
+	conns   map[net.Conn]struct{}
+	closed  bool
+}
+
+// ServeTCP starts a store server on addr (e.g. "127.0.0.1:0") and
+// returns it. Use Addr to discover the bound address.
+func ServeTCP(addr string, timeout time.Duration) (*TCPServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("store: listen: %w", err)
+	}
+	s := &TCPServer{ln: ln, backing: NewInMem(timeout), conns: make(map[net.Conn]struct{})}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the listener address for clients to dial.
+func (s *TCPServer) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the server, disconnecting any active clients.
+func (s *TCPServer) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	for conn := range s.conns {
+		conn.Close()
+	}
+	s.mu.Unlock()
+	err := s.ln.Close()
+	// Unblock server-side waits so their goroutines can observe
+	// shutdown and exit.
+	s.backing.Close()
+	s.wg.Wait()
+	return err
+}
+
+func (s *TCPServer) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.serveConn(conn)
+		}()
+	}
+}
+
+func (s *TCPServer) serveConn(conn net.Conn) {
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		conn.Close()
+	}()
+	dec := gob.NewDecoder(conn)
+	enc := gob.NewEncoder(conn)
+	for {
+		var req request
+		if err := dec.Decode(&req); err != nil {
+			return
+		}
+		var resp response
+		switch req.Op {
+		case "set":
+			if err := s.backing.Set(req.Key, req.Value); err != nil {
+				resp.Err = err.Error()
+			}
+		case "get":
+			v, err := s.backing.Get(req.Key)
+			if err != nil {
+				resp.Err = err.Error()
+			}
+			resp.Value = v
+		case "add":
+			n, err := s.backing.Add(req.Key, req.Delta)
+			if err != nil {
+				resp.Err = err.Error()
+			}
+			resp.Counter = n
+		case "wait":
+			if err := s.backing.Wait(req.Keys...); err != nil {
+				resp.Err = err.Error()
+			}
+		default:
+			resp.Err = "store: unknown op " + req.Op
+		}
+		if err := enc.Encode(&resp); err != nil {
+			return
+		}
+	}
+}
+
+// TCPClient is a Store backed by a remote TCPServer. Safe for concurrent
+// use; requests are serialized over a single connection.
+type TCPClient struct {
+	mu   sync.Mutex
+	conn net.Conn
+	enc  *gob.Encoder
+	dec  *gob.Decoder
+}
+
+// DialTCP connects to a store server, retrying briefly so clients may
+// start before the server finishes binding.
+func DialTCP(addr string) (*TCPClient, error) {
+	var conn net.Conn
+	var err error
+	for attempt := 0; attempt < 50; attempt++ {
+		conn, err = net.Dial("tcp", addr)
+		if err == nil {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("store: dial %s: %w", addr, err)
+	}
+	return &TCPClient{conn: conn, enc: gob.NewEncoder(conn), dec: gob.NewDecoder(conn)}, nil
+}
+
+// Close closes the client connection.
+func (c *TCPClient) Close() error { return c.conn.Close() }
+
+func (c *TCPClient) roundTrip(req request) (response, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.enc.Encode(&req); err != nil {
+		return response{}, fmt.Errorf("store: send: %w", err)
+	}
+	var resp response
+	if err := c.dec.Decode(&resp); err != nil {
+		return response{}, fmt.Errorf("store: recv: %w", err)
+	}
+	if resp.Err != "" {
+		return resp, fmt.Errorf("store: %s", resp.Err)
+	}
+	return resp, nil
+}
+
+// Set stores value under key on the server.
+func (c *TCPClient) Set(key string, value []byte) error {
+	_, err := c.roundTrip(request{Op: "set", Key: key, Value: value})
+	return err
+}
+
+// Get blocks server-side until key exists.
+func (c *TCPClient) Get(key string) ([]byte, error) {
+	resp, err := c.roundTrip(request{Op: "get", Key: key})
+	return resp.Value, err
+}
+
+// Add atomically adds delta to the server counter.
+func (c *TCPClient) Add(key string, delta int64) (int64, error) {
+	resp, err := c.roundTrip(request{Op: "add", Key: key, Delta: delta})
+	return resp.Counter, err
+}
+
+// Wait blocks until all keys exist on the server.
+func (c *TCPClient) Wait(keys ...string) error {
+	_, err := c.roundTrip(request{Op: "wait", Keys: keys})
+	return err
+}
+
+var _ Store = (*TCPClient)(nil)

@@ -1,0 +1,103 @@
+package tensor
+
+import "fmt"
+
+// MatMul returns the matrix product of a [m,k] and b [k,n] as [m,n].
+// The inner loops are ordered i-k-j for cache-friendly row-major access.
+func MatMul(a, b *Tensor) *Tensor {
+	if a.Dim() != 2 || b.Dim() != 2 || a.shape[1] != b.shape[0] {
+		panic(fmt.Sprintf("tensor: MatMul shapes %v x %v invalid", a.shape, b.shape))
+	}
+	m, k, n := a.shape[0], a.shape[1], b.shape[1]
+	out := New(m, n)
+	for i := 0; i < m; i++ {
+		arow := a.data[i*k : (i+1)*k]
+		orow := out.data[i*n : (i+1)*n]
+		for p := 0; p < k; p++ {
+			av := arow[p]
+			if av == 0 {
+				continue
+			}
+			brow := b.data[p*n : (p+1)*n]
+			for j := 0; j < n; j++ {
+				orow[j] += av * brow[j]
+			}
+		}
+	}
+	return out
+}
+
+// MatMulTransA returns aᵀ·b for a [k,m] and b [k,n] as [m,n], without
+// materializing the transpose. Used in linear-layer weight gradients.
+func MatMulTransA(a, b *Tensor) *Tensor {
+	if a.Dim() != 2 || b.Dim() != 2 || a.shape[0] != b.shape[0] {
+		panic(fmt.Sprintf("tensor: MatMulTransA shapes %v x %v invalid", a.shape, b.shape))
+	}
+	k, m, n := a.shape[0], a.shape[1], b.shape[1]
+	out := New(m, n)
+	for p := 0; p < k; p++ {
+		arow := a.data[p*m : (p+1)*m]
+		brow := b.data[p*n : (p+1)*n]
+		for i := 0; i < m; i++ {
+			av := arow[i]
+			if av == 0 {
+				continue
+			}
+			orow := out.data[i*n : (i+1)*n]
+			for j := 0; j < n; j++ {
+				orow[j] += av * brow[j]
+			}
+		}
+	}
+	return out
+}
+
+// MatMulTransB returns a·bᵀ for a [m,k] and b [n,k] as [m,n], without
+// materializing the transpose. Used in linear-layer input gradients.
+func MatMulTransB(a, b *Tensor) *Tensor {
+	if a.Dim() != 2 || b.Dim() != 2 || a.shape[1] != b.shape[1] {
+		panic(fmt.Sprintf("tensor: MatMulTransB shapes %v x %v invalid", a.shape, b.shape))
+	}
+	m, k, n := a.shape[0], a.shape[1], b.shape[0]
+	out := New(m, n)
+	for i := 0; i < m; i++ {
+		arow := a.data[i*k : (i+1)*k]
+		orow := out.data[i*n : (i+1)*n]
+		for j := 0; j < n; j++ {
+			brow := b.data[j*k : (j+1)*k]
+			var s float32
+			for p := 0; p < k; p++ {
+				s += arow[p] * brow[p]
+			}
+			orow[j] = s
+		}
+	}
+	return out
+}
+
+// Transpose2D returns the transpose of a 2-D tensor.
+func Transpose2D(a *Tensor) *Tensor {
+	if a.Dim() != 2 {
+		panic(fmt.Sprintf("tensor: Transpose2D on shape %v", a.shape))
+	}
+	m, n := a.shape[0], a.shape[1]
+	out := New(n, m)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			out.data[j*m+i] = a.data[i*n+j]
+		}
+	}
+	return out
+}
+
+// Dot returns the inner product of two equally-sized tensors.
+func Dot(a, b *Tensor) float32 {
+	if len(a.data) != len(b.data) {
+		panic("tensor: Dot size mismatch")
+	}
+	var s float32
+	for i := range a.data {
+		s += a.data[i] * b.data[i]
+	}
+	return s
+}

@@ -1,0 +1,102 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// fakeClock advances a fixed amount per call.
+type fakeClock struct {
+	t time.Time
+}
+
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+func (c *fakeClock) now() time.Time          { return c.t }
+
+func TestTimerAccumulatesPhases(t *testing.T) {
+	c := &fakeClock{}
+	tm := NewTimerWithClock(c.now)
+	tm.Start("forward")
+	c.advance(10 * time.Millisecond)
+	tm.Start("backward") // implicitly stops forward
+	c.advance(30 * time.Millisecond)
+	tm.Stop()
+	tm.Start("forward")
+	c.advance(5 * time.Millisecond)
+	tm.Stop()
+
+	if got := tm.Phase("forward"); got != 15*time.Millisecond {
+		t.Fatalf("forward = %v", got)
+	}
+	if got := tm.Phase("backward"); got != 30*time.Millisecond {
+		t.Fatalf("backward = %v", got)
+	}
+	if got := tm.Total(); got != 45*time.Millisecond {
+		t.Fatalf("total = %v", got)
+	}
+}
+
+func TestTimerPhaseOrder(t *testing.T) {
+	c := &fakeClock{}
+	tm := NewTimerWithClock(c.now)
+	for _, p := range []string{"fwd", "bwd", "opt", "fwd"} {
+		tm.Start(p)
+		c.advance(time.Millisecond)
+	}
+	tm.Stop()
+	got := tm.Phases()
+	if len(got) != 3 || got[0] != "fwd" || got[1] != "bwd" || got[2] != "opt" {
+		t.Fatalf("phases = %v", got)
+	}
+}
+
+func TestSortedPhases(t *testing.T) {
+	c := &fakeClock{}
+	tm := NewTimerWithClock(c.now)
+	tm.Start("fast")
+	c.advance(time.Millisecond)
+	tm.Start("slow")
+	c.advance(time.Second)
+	tm.Stop()
+	if got := tm.SortedPhases(); got[0] != "slow" {
+		t.Fatalf("sorted = %v", got)
+	}
+}
+
+func TestBreakdownFormatting(t *testing.T) {
+	c := &fakeClock{}
+	tm := NewTimerWithClock(c.now)
+	if tm.Breakdown() != "(no samples)" {
+		t.Fatal("empty breakdown wrong")
+	}
+	tm.Start("fwd")
+	c.advance(25 * time.Millisecond)
+	tm.Start("bwd")
+	c.advance(75 * time.Millisecond)
+	tm.Stop()
+	s := tm.Breakdown()
+	if !strings.Contains(s, "fwd 25.0%") || !strings.Contains(s, "bwd 75.0%") {
+		t.Fatalf("breakdown = %q", s)
+	}
+}
+
+func TestStopWithoutStartIsNoop(t *testing.T) {
+	tm := NewTimer()
+	tm.Stop() // must not panic
+	if tm.Total() != 0 {
+		t.Fatal("phantom time recorded")
+	}
+}
+
+func TestReset(t *testing.T) {
+	c := &fakeClock{}
+	tm := NewTimerWithClock(c.now)
+	tm.Start("x")
+	c.advance(time.Millisecond)
+	tm.Stop()
+	tm.Reset()
+	if tm.Total() != 0 || len(tm.Phases()) != 0 {
+		t.Fatal("Reset incomplete")
+	}
+}

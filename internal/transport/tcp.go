@@ -1,0 +1,199 @@
+package transport
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"math"
+	"net"
+	"strconv"
+	"sync"
+
+	"repro/internal/store"
+)
+
+// tcpMesh is a full mesh of TCP connections between ranks, established
+// through a rendezvous store: every rank publishes its listener address,
+// lower ranks accept from higher ranks, higher ranks dial lower ranks.
+type tcpMesh struct {
+	rank, size int
+	ln         net.Listener
+	peers      []*tcpPeer // indexed by peer rank; nil at own rank
+}
+
+type tcpPeer struct {
+	conn net.Conn
+	r    *bufio.Reader
+	w    *bufio.Writer
+	wmu  sync.Mutex
+	rmu  sync.Mutex
+}
+
+// NewTCPMesh builds rank's view of a TCP full mesh across `size`
+// processes, using st for rendezvous under the given namespace prefix
+// (distinct meshes — e.g. round-robin sub-groups — must use distinct
+// prefixes).
+func NewTCPMesh(rank, size int, st store.Store, prefix string) (Mesh, error) {
+	if size == 1 {
+		return &tcpMesh{rank: 0, size: 1}, nil
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen: %w", err)
+	}
+	key := func(r int) string { return prefix + "/addr/" + strconv.Itoa(r) }
+	if err := st.Set(key(rank), []byte(ln.Addr().String())); err != nil {
+		ln.Close()
+		return nil, err
+	}
+
+	m := &tcpMesh{rank: rank, size: size, ln: ln, peers: make([]*tcpPeer, size)}
+
+	// Accept one connection from every higher rank; the dialer announces
+	// itself by sending its rank in the first 4 bytes.
+	acceptErr := make(chan error, 1)
+	expected := size - 1 - rank
+	go func() {
+		for i := 0; i < expected; i++ {
+			conn, err := ln.Accept()
+			if err != nil {
+				acceptErr <- err
+				return
+			}
+			var hdr [4]byte
+			if _, err := readFull(conn, hdr[:]); err != nil {
+				acceptErr <- err
+				return
+			}
+			peer := int(binary.LittleEndian.Uint32(hdr[:]))
+			if peer <= rank || peer >= size {
+				acceptErr <- fmt.Errorf("transport: unexpected peer rank %d", peer)
+				return
+			}
+			m.peers[peer] = newTCPPeer(conn)
+		}
+		acceptErr <- nil
+	}()
+
+	// Dial every lower rank.
+	for peer := 0; peer < rank; peer++ {
+		addrBytes, err := st.Get(key(peer))
+		if err != nil {
+			ln.Close()
+			return nil, fmt.Errorf("transport: rendezvous with rank %d: %w", peer, err)
+		}
+		conn, err := net.Dial("tcp", string(addrBytes))
+		if err != nil {
+			ln.Close()
+			return nil, fmt.Errorf("transport: dial rank %d: %w", peer, err)
+		}
+		var hdr [4]byte
+		binary.LittleEndian.PutUint32(hdr[:], uint32(rank))
+		if _, err := conn.Write(hdr[:]); err != nil {
+			ln.Close()
+			return nil, err
+		}
+		m.peers[peer] = newTCPPeer(conn)
+	}
+
+	if err := <-acceptErr; err != nil {
+		ln.Close()
+		return nil, fmt.Errorf("transport: accept: %w", err)
+	}
+	return m, nil
+}
+
+func newTCPPeer(conn net.Conn) *tcpPeer {
+	if tc, ok := conn.(*net.TCPConn); ok {
+		tc.SetNoDelay(true)
+	}
+	return &tcpPeer{
+		conn: conn,
+		r:    bufio.NewReaderSize(conn, 1<<16),
+		w:    bufio.NewWriterSize(conn, 1<<16),
+	}
+}
+
+func (m *tcpMesh) Rank() int { return m.rank }
+func (m *tcpMesh) Size() int { return m.size }
+
+// Frame layout: [tag uint64][count uint32][count * float32], all
+// little-endian.
+func (m *tcpMesh) Send(to int, tag uint64, data []float32) error {
+	if to == m.rank || to < 0 || to >= m.size {
+		return fmt.Errorf("transport: invalid send target %d from rank %d", to, m.rank)
+	}
+	p := m.peers[to]
+	p.wmu.Lock()
+	defer p.wmu.Unlock()
+	var hdr [12]byte
+	binary.LittleEndian.PutUint64(hdr[0:8], tag)
+	binary.LittleEndian.PutUint32(hdr[8:12], uint32(len(data)))
+	if _, err := p.w.Write(hdr[:]); err != nil {
+		return err
+	}
+	var buf [4]byte
+	for _, v := range data {
+		binary.LittleEndian.PutUint32(buf[:], math.Float32bits(v))
+		if _, err := p.w.Write(buf[:]); err != nil {
+			return err
+		}
+	}
+	return p.w.Flush()
+}
+
+func (m *tcpMesh) Recv(from int, tag uint64) ([]float32, error) {
+	if from == m.rank || from < 0 || from >= m.size {
+		return nil, fmt.Errorf("transport: invalid recv source %d at rank %d", from, m.rank)
+	}
+	p := m.peers[from]
+	p.rmu.Lock()
+	defer p.rmu.Unlock()
+	var hdr [12]byte
+	if _, err := readFull(p.r, hdr[:]); err != nil {
+		return nil, fmt.Errorf("transport: recv header from rank %d: %w", from, err)
+	}
+	gotTag := binary.LittleEndian.Uint64(hdr[0:8])
+	count := binary.LittleEndian.Uint32(hdr[8:12])
+	payload := make([]byte, 4*count)
+	if _, err := readFull(p.r, payload); err != nil {
+		return nil, fmt.Errorf("transport: recv payload from rank %d: %w", from, err)
+	}
+	if gotTag != tag {
+		return nil, &TagMismatchError{From: from, Want: tag, Got: gotTag}
+	}
+	data := make([]float32, count)
+	for i := range data {
+		data[i] = math.Float32frombits(binary.LittleEndian.Uint32(payload[4*i : 4*i+4]))
+	}
+	return data, nil
+}
+
+func (m *tcpMesh) Close() error {
+	var first error
+	if m.ln != nil {
+		first = m.ln.Close()
+	}
+	for _, p := range m.peers {
+		if p != nil {
+			if err := p.conn.Close(); err != nil && first == nil {
+				first = err
+			}
+		}
+	}
+	return first
+}
+
+type reader interface{ Read([]byte) (int, error) }
+
+func readFull(r reader, buf []byte) (int, error) {
+	n := 0
+	for n < len(buf) {
+		k, err := r.Read(buf[n:])
+		n += k
+		if err != nil {
+			return n, err
+		}
+	}
+	return n, nil
+}

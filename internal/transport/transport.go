@@ -1,0 +1,109 @@
+// Package transport provides point-to-point float32 message channels
+// between ranks — the wire layer under the comm package's collective
+// algorithms, playing the role NCCL/Gloo's transports play under their
+// collectives.
+//
+// Two meshes are provided: an in-process mesh over Go channels for
+// single-process multi-goroutine "ranks", and a TCP full mesh for real
+// multi-process training. Collective algorithms issue matching
+// Send/Recv pairs; each mesh guarantees per-peer FIFO ordering, and tags
+// let the algorithms assert that both sides agree on which logical
+// message is in flight (mismatches surface as errors rather than
+// corrupted reductions — the failure mode of Fig 3(a) in the paper).
+package transport
+
+import "fmt"
+
+// Mesh is one rank's view of its point-to-point connectivity.
+type Mesh interface {
+	// Rank returns this participant's index in [0, Size).
+	Rank() int
+	// Size returns the number of participants.
+	Size() int
+	// Send delivers data to peer `to` with the given tag. The data is
+	// copied (or serialized) before Send returns; callers may reuse it.
+	Send(to int, tag uint64, data []float32) error
+	// Recv returns the next message from peer `from`, which must carry
+	// the expected tag.
+	Recv(from int, tag uint64) ([]float32, error)
+	// Close releases the mesh's resources.
+	Close() error
+}
+
+// TagMismatchError reports a collective-ordering violation: the message
+// that arrived does not belong to the operation the receiver is running.
+type TagMismatchError struct {
+	From      int
+	Want, Got uint64
+}
+
+func (e *TagMismatchError) Error() string {
+	return fmt.Sprintf("transport: tag mismatch from rank %d: want %d, got %d (collective ordering violated)", e.From, e.Want, e.Got)
+}
+
+type frame struct {
+	tag  uint64
+	data []float32
+}
+
+// inProcMesh is one rank's view of a shared channel matrix.
+type inProcMesh struct {
+	rank, size int
+	// chans[from][to] carries frames from rank `from` to rank `to`.
+	chans [][]chan frame
+}
+
+// NewInProcMeshes creates a fully-connected in-process mesh of n ranks
+// and returns each rank's view. All views share the same channels.
+func NewInProcMeshes(n int) []Mesh {
+	chans := make([][]chan frame, n)
+	for i := range chans {
+		chans[i] = make([]chan frame, n)
+		for j := range chans[i] {
+			if i != j {
+				chans[i][j] = make(chan frame, 128)
+			}
+		}
+	}
+	meshes := make([]Mesh, n)
+	for r := 0; r < n; r++ {
+		meshes[r] = &inProcMesh{rank: r, size: n, chans: chans}
+	}
+	return meshes
+}
+
+func (m *inProcMesh) Rank() int { return m.rank }
+func (m *inProcMesh) Size() int { return m.size }
+
+func (m *inProcMesh) Send(to int, tag uint64, data []float32) error {
+	if to == m.rank || to < 0 || to >= m.size {
+		return fmt.Errorf("transport: invalid send target %d from rank %d", to, m.rank)
+	}
+	m.chans[m.rank][to] <- frame{tag: tag, data: append([]float32(nil), data...)}
+	return nil
+}
+
+func (m *inProcMesh) Recv(from int, tag uint64) ([]float32, error) {
+	if from == m.rank || from < 0 || from >= m.size {
+		return nil, fmt.Errorf("transport: invalid recv source %d at rank %d", from, m.rank)
+	}
+	f, ok := <-m.chans[from][m.rank]
+	if !ok {
+		return nil, fmt.Errorf("transport: channel from rank %d closed", from)
+	}
+	if f.tag != tag {
+		return nil, &TagMismatchError{From: from, Want: tag, Got: f.tag}
+	}
+	return f.data, nil
+}
+
+func (m *inProcMesh) Close() error {
+	// Close only this rank's outgoing channels, once.
+	for to, ch := range m.chans[m.rank] {
+		if ch != nil {
+			close(ch)
+			m.chans[m.rank][to] = nil
+		}
+	}
+	return nil
+}

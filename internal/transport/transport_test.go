@@ -1,0 +1,226 @@
+package transport
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/store"
+)
+
+func TestInProcSendRecv(t *testing.T) {
+	meshes := NewInProcMeshes(2)
+	go func() {
+		meshes[0].Send(1, 7, []float32{1, 2, 3})
+	}()
+	got, err := meshes[1].Recv(0, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[2] != 3 {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestInProcSendCopies(t *testing.T) {
+	meshes := NewInProcMeshes(2)
+	buf := []float32{1}
+	meshes[0].Send(1, 0, buf)
+	buf[0] = 99
+	got, _ := meshes[1].Recv(0, 0)
+	if got[0] != 1 {
+		t.Fatal("Send must copy data")
+	}
+}
+
+func TestInProcTagMismatch(t *testing.T) {
+	meshes := NewInProcMeshes(2)
+	meshes[0].Send(1, 1, []float32{1})
+	_, err := meshes[1].Recv(0, 2)
+	var tm *TagMismatchError
+	if !errors.As(err, &tm) {
+		t.Fatalf("err = %v, want TagMismatchError", err)
+	}
+	if tm.Want != 2 || tm.Got != 1 || tm.From != 0 {
+		t.Fatalf("mismatch detail %+v", tm)
+	}
+}
+
+func TestInProcInvalidPeers(t *testing.T) {
+	meshes := NewInProcMeshes(2)
+	if err := meshes[0].Send(0, 0, nil); err == nil {
+		t.Fatal("self-send must fail")
+	}
+	if err := meshes[0].Send(5, 0, nil); err == nil {
+		t.Fatal("out-of-range send must fail")
+	}
+	if _, err := meshes[0].Recv(0, 0); err == nil {
+		t.Fatal("self-recv must fail")
+	}
+}
+
+func TestInProcFIFOPerPeer(t *testing.T) {
+	meshes := NewInProcMeshes(2)
+	for i := 0; i < 10; i++ {
+		meshes[0].Send(1, uint64(i), []float32{float32(i)})
+	}
+	for i := 0; i < 10; i++ {
+		got, err := meshes[1].Recv(0, uint64(i))
+		if err != nil || got[0] != float32(i) {
+			t.Fatalf("message %d: %v, %v", i, got, err)
+		}
+	}
+}
+
+func TestInProcManyRanksExchange(t *testing.T) {
+	const n = 5
+	meshes := NewInProcMeshes(n)
+	var wg sync.WaitGroup
+	errs := make(chan error, n)
+	for r := 0; r < n; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			// Everyone sends its rank to everyone, then receives all.
+			for to := 0; to < n; to++ {
+				if to != rank {
+					if err := meshes[rank].Send(to, 42, []float32{float32(rank)}); err != nil {
+						errs <- err
+						return
+					}
+				}
+			}
+			for from := 0; from < n; from++ {
+				if from == rank {
+					continue
+				}
+				got, err := meshes[rank].Recv(from, 42)
+				if err != nil || got[0] != float32(from) {
+					errs <- err
+					return
+				}
+			}
+		}(r)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func buildTCPMeshes(t *testing.T, world int) []Mesh {
+	t.Helper()
+	srv, err := store.ServeTCP("127.0.0.1:0", 10*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+
+	meshes := make([]Mesh, world)
+	var wg sync.WaitGroup
+	errs := make([]error, world)
+	for r := 0; r < world; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			client, err := store.DialTCP(srv.Addr())
+			if err != nil {
+				errs[rank] = err
+				return
+			}
+			m, err := NewTCPMesh(rank, world, client, "test")
+			if err != nil {
+				errs[rank] = err
+				return
+			}
+			meshes[rank] = m
+		}(r)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	t.Cleanup(func() {
+		for _, m := range meshes {
+			m.Close()
+		}
+	})
+	return meshes
+}
+
+func TestTCPMeshPairwise(t *testing.T) {
+	meshes := buildTCPMeshes(t, 3)
+	var wg sync.WaitGroup
+	errs := make(chan error, 3)
+	for r := 0; r < 3; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			for to := 0; to < 3; to++ {
+				if to == rank {
+					continue
+				}
+				if err := meshes[rank].Send(to, 9, []float32{float32(rank * 10)}); err != nil {
+					errs <- err
+					return
+				}
+			}
+			for from := 0; from < 3; from++ {
+				if from == rank {
+					continue
+				}
+				got, err := meshes[rank].Recv(from, 9)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if got[0] != float32(from*10) {
+					errs <- errors.New("wrong payload")
+					return
+				}
+			}
+		}(r)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+func TestTCPMeshLargePayload(t *testing.T) {
+	meshes := buildTCPMeshes(t, 2)
+	payload := make([]float32, 100_000)
+	for i := range payload {
+		payload[i] = float32(i)
+	}
+	done := make(chan error, 1)
+	go func() { done <- meshes[0].Send(1, 3, payload) }()
+	got, err := meshes[1].Recv(0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(payload) || got[99_999] != 99_999 {
+		t.Fatal("large payload corrupted")
+	}
+}
+
+func TestTCPMeshWorldOfOne(t *testing.T) {
+	m, err := NewTCPMesh(0, 1, store.NewInMem(time.Second), "solo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Size() != 1 || m.Rank() != 0 {
+		t.Fatal("singleton mesh wrong")
+	}
+	m.Close()
+}
