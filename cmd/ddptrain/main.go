@@ -15,22 +15,37 @@
 // After training, ranks AllGather a parameter checksum and verify every
 // replica holds bit-identical parameters — the paper's correctness
 // guarantee, checked for real across process boundaries.
+//
+// The -elastic mode demonstrates fault-tolerant training instead: it
+// runs `-world` in-process elastic workers, crashes one mid-iteration
+// at -kill-step, lets the survivors detect the failure and
+// re-rendezvous at the shrunken world, then (with -respawn) boots a
+// replacement worker that joins the running job and receives model and
+// optimizer state from a survivor:
+//
+//	ddptrain -elastic -world 3 -iters 60 -kill-step 20
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"math/rand"
 	"os"
 	"os/exec"
+	"sync"
 	"time"
 
 	"repro/internal/autograd"
 	"repro/internal/comm"
 	"repro/internal/data"
 	"repro/internal/ddp"
+	"repro/internal/elastic"
 	"repro/internal/models"
+	"repro/internal/nn"
 	"repro/internal/optim"
 	"repro/internal/store"
+	"repro/internal/tensor"
 	"repro/internal/trace"
 )
 
@@ -47,9 +62,19 @@ func main() {
 		algo      = flag.String("algo", "ring", "allreduce algorithm: ring, tree, naive")
 		syncEvery = flag.Int("sync-every", 1, "synchronize gradients every n iterations (no_sync)")
 		rr        = flag.Int("rr", 1, "number of round-robin process groups (Section 5.4)")
+		elast     = flag.Bool("elastic", false, "run the in-proc elastic fault-tolerance demo instead")
+		killStep  = flag.Int("kill-step", -1, "elastic: step at which one worker is crashed (default iters/3)")
+		respawn   = flag.Bool("respawn", true, "elastic: boot a replacement worker after the crash")
 	)
 	flag.Parse()
 
+	if *elast {
+		if err := runElastic(*world, *iters, *batch, float32(*lr), *killStep, *respawn); err != nil {
+			fmt.Fprintf(os.Stderr, "ddptrain elastic: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if err := run(*rank, *world, *storeAddr, *launch, *iters, *batch, float32(*lr), *bucketMB, *algo, *syncEvery, *rr); err != nil {
 		fmt.Fprintf(os.Stderr, "ddptrain rank %d: %v\n", *rank, err)
 		os.Exit(1)
@@ -223,6 +248,234 @@ func run(rank, world int, storeAddr string, launch bool, iters, batch int, lr fl
 		if err := cmd.Wait(); err != nil {
 			return fmt.Errorf("child: %w", err)
 		}
+	}
+	return nil
+}
+
+// ---- elastic demo ----------------------------------------------------------
+
+// elasticBatch derives a deterministic batch from (step, rank, world),
+// so workers shard data correctly across reconfigurations without a
+// stateful loader.
+func elasticBatch(step int64, rank, world, batch, features, classes int) (*tensor.Tensor, []int) {
+	rng := rand.New(rand.NewSource(step*1_000_003 + int64(rank)*10_007 + int64(world)*101))
+	x := tensor.New(batch, features)
+	d := x.Data()
+	for i := range d {
+		d[i] = rng.Float32()*2 - 1
+	}
+	labels := make([]int, batch)
+	for i := range labels {
+		labels[i] = rng.Intn(classes)
+	}
+	return x, labels
+}
+
+// runElastic is the end-to-end fault-tolerance proof: `world` elastic
+// workers train in-proc; one is crashed mid-iteration, survivors
+// detect it and reconfigure, a replacement rejoins and is brought up
+// to date, and every surviving replica ends bit-identical.
+func runElastic(world, iters, batch int, lr float32, killStep int, respawn bool) error {
+	if world < 2 {
+		return fmt.Errorf("-elastic needs -world >= 2, got %d", world)
+	}
+	if killStep < 0 {
+		killStep = iters / 3
+	}
+	if killStep >= iters {
+		return fmt.Errorf("-kill-step %d must be below -iters %d", killStep, iters)
+	}
+	const features, hidden, classes = 64, 64, 10
+
+	st := store.NewInMem(60 * time.Second)
+	defer st.Close()
+	reg := comm.NewInProcRegistry()
+	cfg := func(id string) elastic.Config {
+		return elastic.Config{
+			Store:             st,
+			ID:                id,
+			MinWorld:          world - 1,
+			MaxWorld:          world,
+			Grace:             300 * time.Millisecond,
+			HeartbeatInterval: 10 * time.Millisecond,
+			LeaseTimeout:      300 * time.Millisecond,
+			Builder:           &elastic.InProcBuilder{Registry: reg},
+			DDP:               ddp.Options{BucketCapBytes: 1 << 16},
+		}
+	}
+
+	type worker struct {
+		agent *elastic.Agent
+		model nn.Module
+	}
+	mkWorker := func(id string) (*worker, error) {
+		model := models.NewMLP(7, features, hidden, classes)
+		opt := optim.NewSGD(model.Parameters(), lr)
+		opt.Momentum = 0.9
+		a, err := elastic.NewAgent(cfg(id), model, opt)
+		if err != nil {
+			return nil, err
+		}
+		return &worker{agent: a, model: model}, nil
+	}
+	// After the crash is survived, incumbents admit the replacement at
+	// a fixed step: they release its spawn and yield until its
+	// generation bump lands, so the demo cannot race the (fast,
+	// in-proc) training loop against the (wall-clock) respawn.
+	admitStep := int64(killStep + 3)
+	if admitStep >= int64(iters) {
+		admitStep = int64(iters) - 1
+	}
+	spawnReplacement := make(chan struct{})
+	var admitOnce sync.Once
+
+	stepFn := func(w *worker, victim bool) elastic.StepFunc {
+		logged := false
+		return func(ctx elastic.StepContext) error {
+			if victim && ctx.Step == int64(killStep) {
+				x, _ := elasticBatch(ctx.Step, ctx.Rank, ctx.World, batch, features, classes)
+				ctx.DDP.Forward(autograd.Constant(x))
+				fmt.Printf("[elastic] worker crashed mid-iteration at step %d (gen %d, world %d)\n",
+					ctx.Step, ctx.Generation, ctx.World)
+				w.agent.Kill()
+				return errors.New("simulated crash")
+			}
+			if ctx.Step == 0 && ctx.Generation == 0 && ctx.World < world {
+				// A slow-starting worker can miss the initial grace
+				// window; yield until its generation bump reforms the
+				// full world. Generation 0 only — at later generations
+				// a small world at step 0 is a legitimate post-crash
+				// state, not an incomplete formation.
+				return w.agent.AwaitGenerationChange()
+			}
+			if respawn && !victim && ctx.World == world-1 && ctx.Step == admitStep {
+				admitOnce.Do(func() { close(spawnReplacement) })
+				return w.agent.AwaitGenerationChange()
+			}
+			if !logged {
+				logged = true
+				fmt.Printf("[elastic] %-9s rank %d/%d at generation %d, resuming from step %d\n",
+					"worker", ctx.Rank, ctx.World, ctx.Generation, ctx.Step)
+			}
+			x, labels := elasticBatch(ctx.Step, ctx.Rank, ctx.World, batch, features, classes)
+			out := ctx.DDP.Forward(autograd.Constant(x))
+			loss := autograd.CrossEntropyLoss(out, labels)
+			if err := ctx.DDP.Backward(loss); err != nil {
+				return err
+			}
+			ctx.Optimizer.Step()
+			ctx.Optimizer.ZeroGrad()
+			if ctx.Rank == 0 && (ctx.Step+1)%20 == 0 {
+				fmt.Printf("[elastic] step %4d loss %.4f (gen %d, world %d)\n",
+					ctx.Step+1, loss.Value.Item(), ctx.Generation, ctx.World)
+			}
+			return nil
+		}
+	}
+
+	workers := make([]*worker, world)
+	for i := range workers {
+		w, err := mkWorker(fmt.Sprintf("w%d", i))
+		if err != nil {
+			return err
+		}
+		workers[i] = w
+	}
+	victim := workers[world-1]
+
+	// wg tracks every worker; initialWG tracks only the initial set so
+	// the monitor below never Waits on the group the late replacement
+	// joins (an Add-from-zero concurrent with Wait is WaitGroup misuse).
+	var wg, initialWG sync.WaitGroup
+	errs := make(map[string]error)
+	var mu sync.Mutex
+	runWorker := func(name string, w *worker, isVictim bool, extra *sync.WaitGroup) {
+		wg.Add(1)
+		if extra != nil {
+			extra.Add(1)
+		}
+		go func() {
+			defer wg.Done()
+			if extra != nil {
+				defer extra.Done()
+			}
+			err := w.agent.Run(int64(iters), stepFn(w, isVictim))
+			mu.Lock()
+			errs[name] = err
+			mu.Unlock()
+		}()
+	}
+	for i, w := range workers {
+		runWorker(fmt.Sprintf("w%d", i), w, w == victim, &initialWG)
+	}
+
+	var replacement *worker
+	if respawn {
+		// Boot the replacement when the survivors signal they are past
+		// the crash and ready to admit it — or bail out if they all
+		// ended (e.g. on error) before admitting anyone, so a failed
+		// run reports instead of hanging here.
+		allDone := make(chan struct{})
+		go func() {
+			initialWG.Wait()
+			close(allDone)
+		}()
+		select {
+		case <-spawnReplacement:
+			var err error
+			replacement, err = mkWorker("respawned")
+			if err != nil {
+				return err
+			}
+			fmt.Printf("[elastic] respawning replacement worker\n")
+			runWorker("respawned", replacement, false, nil)
+		case <-allDone:
+		}
+	}
+	wg.Wait()
+
+	finishers := make([]*worker, 0, world)
+	for i, w := range workers {
+		name := fmt.Sprintf("w%d", i)
+		if w == victim {
+			if !errors.Is(errs[name], elastic.ErrKilled) {
+				return fmt.Errorf("victim returned %v, want ErrKilled", errs[name])
+			}
+			fmt.Printf("[elastic] victim exit confirmed: %v\n", errs[name])
+			continue
+		}
+		if errs[name] != nil {
+			return fmt.Errorf("worker %s: %w", name, errs[name])
+		}
+		finishers = append(finishers, w)
+	}
+	if replacement != nil {
+		if errs["respawned"] != nil {
+			return fmt.Errorf("respawned worker: %w", errs["respawned"])
+		}
+		finishers = append(finishers, replacement)
+	}
+
+	checksum := func(w *worker) float64 {
+		var s float64
+		for _, p := range w.model.Parameters() {
+			for _, v := range p.Value.Data() {
+				s += float64(v)
+			}
+		}
+		return s
+	}
+	base := checksum(finishers[0])
+	consistent := true
+	for _, w := range finishers[1:] {
+		if checksum(w) != base {
+			consistent = false
+		}
+	}
+	fmt.Printf("[elastic] done: %d finishers at step %d, checksum %.6f, replicas consistent: %v\n",
+		len(finishers), finishers[0].agent.Step(), base, consistent)
+	if !consistent {
+		return errors.New("replicas diverged after recovery")
 	}
 	return nil
 }

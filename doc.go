@@ -7,6 +7,35 @@
 // calibrated simulator regenerating every figure of the paper's
 // evaluation.
 //
+// Beyond the paper's published evaluation, internal/elastic implements
+// its Section 7 future direction — elasticity and fault tolerance —
+// as a torchelastic-style layer on the rendezvous store:
+//
+//   - Generation-numbered rendezvous: workers register in rounds and
+//     receive (rank, world, generation) assignments; generations
+//     advance through a CompareAndSwap fence on the store, so
+//     concurrent failure detections produce one linear history of
+//     membership changes.
+//   - Heartbeat failure detection: every worker bumps a store counter
+//     and monitors every peer's; a lease expiry marks the peer dead
+//     and triggers the next rendezvous round. Survivors blocked inside
+//     a collective on the dead rank are freed by aborting the process
+//     group (comm.AbortGroup) — without this, one crashed rank
+//     deadlocks every collective in the job.
+//   - World reconfiguration with state sync: survivors rebuild the
+//     ProcessGroup under the new generation, and the member with the
+//     most completed steps broadcasts model parameters, buffers, and
+//     flattened optimizer state (optim.StateFlattener), so training
+//     resumes from the last completed step; only the in-flight
+//     iteration is retried.
+//   - elastic.Agent: the elastic training loop wrapping ddp.DDP,
+//     swapping process groups via ddp.SetProcessGroup after each
+//     reconfiguration. `ddptrain -elastic` and examples/elastic
+//     demonstrate crash recovery and clean scale-down/up end to end;
+//     internal/simnet's RunElastic models the recovery stall
+//     (detection lease + rendezvous + rebuild + state sync) at
+//     cluster scale.
+//
 // See README.md for a tour, DESIGN.md for the system inventory, and
 // EXPERIMENTS.md for paper-vs-measured results. The benchmarks in
 // bench_test.go regenerate each table and figure; cmd/ddpbench prints

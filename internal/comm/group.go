@@ -37,6 +37,10 @@ type meshGroup struct {
 	closed  bool
 	ops     chan func()
 	done    chan struct{}
+	// sending counts submissions between tag reservation and the ops
+	// enqueue; Close/Abort wait for it so the channel never closes
+	// under an in-flight send even when the queue is full.
+	sending sync.WaitGroup
 }
 
 // NewGroup wraps a mesh in a ProcessGroup.
@@ -89,6 +93,13 @@ func (g *meshGroup) Size() int { return g.mesh.Size() }
 // counter advances identically on every rank because all ranks submit
 // the same collectives in the same order (the paper's ProcessGroup
 // contract); the transports verify it.
+//
+// The sender registers in g.sending under the mutex — before `closed`
+// can flip — and enqueues outside it, so a full ops queue never makes
+// a submission block while holding the lock (which would deadlock the
+// Abort elastic recovery depends on). Close/Abort set `closed` first,
+// then wait out registered senders before closing the channel, so no
+// send can hit a closed channel.
 func (g *meshGroup) submit(run func(tag uint64) error) Work {
 	g.mu.Lock()
 	if g.closed {
@@ -98,8 +109,10 @@ func (g *meshGroup) submit(run func(tag uint64) error) Work {
 	tag := g.nextTag
 	g.nextTag++
 	w := newPendingWork()
+	g.sending.Add(1)
 	g.mu.Unlock()
 
+	defer g.sending.Done()
 	g.ops <- func() { w.finish(run(tag)) }
 	return w
 }
@@ -149,9 +162,47 @@ func (g *meshGroup) Close() error {
 	}
 	g.closed = true
 	g.mu.Unlock()
+	g.sending.Wait() // the worker keeps draining, so blocked senders finish
 	close(g.ops)
 	<-g.done
 	return g.mesh.Close()
 }
 
+// Abort cancels the group: the mesh is closed FIRST, so collectives
+// blocked on a dead peer error out instead of completing, then the
+// worker drains. This is the teardown path elastic recovery uses when a
+// rank vanishes mid-collective — a plain Close would wait forever for
+// an AllReduce whose peer will never answer (the paper's Section 7
+// deadlock scenario).
+func (g *meshGroup) Abort() error {
+	g.mu.Lock()
+	if g.closed {
+		g.mu.Unlock()
+		return nil
+	}
+	g.closed = true
+	g.mu.Unlock()
+	err := g.mesh.Close() // unblocks in-flight Send/Recv with errors
+	g.sending.Wait()      // queued ops now error fast, freeing blocked senders
+	close(g.ops)
+	<-g.done
+	return err
+}
+
+// Aborter is implemented by ProcessGroups that can cancel in-flight
+// collectives (meshGroup). AbortGroup prefers it over Close.
+type Aborter interface {
+	Abort() error
+}
+
+// AbortGroup tears pg down via Abort when available, falling back to
+// Close. Use it when peers may no longer be responsive.
+func AbortGroup(pg ProcessGroup) error {
+	if a, ok := pg.(Aborter); ok {
+		return a.Abort()
+	}
+	return pg.Close()
+}
+
 var _ ProcessGroup = (*meshGroup)(nil)
+var _ Aborter = (*meshGroup)(nil)

@@ -1,0 +1,62 @@
+package comm
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/transport"
+)
+
+// InProcRegistry coordinates the construction of named in-process
+// ProcessGroups among goroutine ranks — the in-proc analogue of
+// NewTCPGroup's store rendezvous, and the group REBUILD path elastic
+// training uses: after a membership change, survivors agree (through
+// rendezvous) on a fresh group name like "train-g3" and each calls
+// Build; the first caller allocates the mesh set, the rest attach to
+// their rank's view.
+type InProcRegistry struct {
+	mu      sync.Mutex
+	entries map[string]*registryEntry
+}
+
+type registryEntry struct {
+	world   int
+	meshes  []transport.Mesh
+	claimed int
+}
+
+// NewInProcRegistry returns an empty registry.
+func NewInProcRegistry() *InProcRegistry {
+	return &InProcRegistry{entries: make(map[string]*registryEntry)}
+}
+
+// Build returns rank's member of the named group of `world` ranks,
+// creating the underlying mesh set on first call. All `world` ranks
+// must call Build with the same name and world; each rank may claim its
+// slot exactly once. Once every rank has claimed, the entry is dropped
+// so names may be reused.
+func (r *InProcRegistry) Build(name string, rank, world int, opts Options) (ProcessGroup, error) {
+	if rank < 0 || rank >= world {
+		return nil, fmt.Errorf("comm: registry %q: rank %d out of range [0,%d)", name, rank, world)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e, ok := r.entries[name]
+	if !ok {
+		e = &registryEntry{world: world, meshes: transport.NewInProcMeshes(world)}
+		r.entries[name] = e
+	}
+	if e.world != world {
+		return nil, fmt.Errorf("comm: registry %q: world mismatch (%d vs %d)", name, world, e.world)
+	}
+	mesh := e.meshes[rank]
+	if mesh == nil {
+		return nil, fmt.Errorf("comm: registry %q: rank %d already claimed", name, rank)
+	}
+	e.meshes[rank] = nil
+	e.claimed++
+	if e.claimed == e.world {
+		delete(r.entries, name)
+	}
+	return NewGroup(mesh, opts), nil
+}

@@ -31,6 +31,14 @@ type Options struct {
 	// (Section 6.2.3 extension). One codec instance is cloned per bucket
 	// via the factory so error-feedback state stays per-bucket.
 	NewCodec func() comm.Codec
+	// SkipInitialBroadcast suppresses the constructor's rank-0
+	// broadcast of parameters and buffers. Only safe when replica
+	// alignment is guaranteed externally — the elastic agent sets it
+	// because state is synchronized from the most advanced survivor
+	// (which need not be rank 0) before the DDP wrapper is built, and
+	// ranks that merely swap process groups submit no constructor
+	// collectives for a fresh joiner's broadcast to pair with.
+	SkipInitialBroadcast bool
 	// AutoRebuildBuckets enables the gradient-order-prediction
 	// improvement of Section 6.2.1: the reducer traces the order in
 	// which gradients actually became ready during the first
@@ -110,15 +118,17 @@ func New(module nn.Module, pg comm.ProcessGroup, opts Options) (*DDP, error) {
 	}
 
 	// Align replicas: broadcast parameters and buffers from rank 0.
-	var works []comm.Work
-	for _, p := range d.params {
-		works = append(works, pg.Broadcast(p.Value.Data(), 0))
-	}
-	for _, b := range module.Buffers() {
-		works = append(works, pg.Broadcast(b.Data.Data(), 0))
-	}
-	if err := comm.WaitAll(works...); err != nil {
-		return nil, fmt.Errorf("ddp: broadcasting initial state: %w", err)
+	if !opts.SkipInitialBroadcast {
+		var works []comm.Work
+		for _, p := range d.params {
+			works = append(works, pg.Broadcast(p.Value.Data(), 0))
+		}
+		for _, b := range module.Buffers() {
+			works = append(works, pg.Broadcast(b.Data.Data(), 0))
+		}
+		if err := comm.WaitAll(works...); err != nil {
+			return nil, fmt.Errorf("ddp: broadcasting initial state: %w", err)
+		}
 	}
 
 	assign, err := AssignBuckets(d.sizes, opts.BucketCapBytes, 4, ReverseOrder(len(d.params)))
@@ -159,6 +169,42 @@ func (d *DDP) installAssignment(assign *Assignment) {
 
 // Module returns the wrapped local model.
 func (d *DDP) Module() nn.Module { return d.module }
+
+// ProcessGroup returns the communication backend currently in use.
+func (d *DDP) ProcessGroup() comm.ProcessGroup { return d.pg }
+
+// SetProcessGroup swaps in a freshly built communication backend — the
+// elastic world-reconfiguration hook (paper Section 7's future
+// direction). The caller is responsible for tearing down the old group
+// and for re-synchronizing model/optimizer state across the new
+// membership BEFORE the next Forward (elastic.SyncState does both
+// broadcasts). Reducer state is reset and the bucket assignment
+// reverts to the canonical reverse-registration order, so ranks that
+// joined at different generations agree on the AllReduce schedule; the
+// one-shot trace rebuild of Section 6.2.1 re-arms and will re-run
+// consistently on the new group.
+func (d *DDP) SetProcessGroup(pg comm.ProcessGroup) error {
+	assign, err := AssignBuckets(d.sizes, d.opts.BucketCapBytes, 4, ReverseOrder(len(d.params)))
+	if err != nil {
+		return err
+	}
+	d.pg = pg
+	d.installAssignment(assign)
+	d.noSync = false
+	d.syncThisBackward = false
+	d.nextToLaunch = 0
+	d.observedReady = d.observedReady[:0]
+	d.bitmapWork = nil
+	for i := range d.usedLocally {
+		d.usedLocally[i] = false
+	}
+	// State was just re-synchronized by the caller; no buffer broadcast
+	// is pending until the next synchronized backward completes.
+	d.bufferSyncPending = false
+	d.rebuildPending = false
+	d.rebuilt = false
+	return nil
+}
 
 // Parameters exposes the wrapped model's parameters (for optimizers).
 func (d *DDP) Parameters() []*nn.Parameter { return d.params }

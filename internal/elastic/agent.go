@@ -1,0 +1,440 @@
+package elastic
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/comm"
+	"repro/internal/ddp"
+	"repro/internal/nn"
+	"repro/internal/optim"
+)
+
+// StepContext is what a StepFunc sees for one training step. Rank and
+// World come from the current assignment — a StepFunc must shard its
+// data by them, because both change across reconfigurations.
+type StepContext struct {
+	DDP        *ddp.DDP
+	Optimizer  optim.Optimizer
+	Rank       int
+	World      int
+	Generation int
+	// Step is the global step index about to be executed; it is
+	// contiguous across reconfigurations (the interrupted step is
+	// retried, and joiners resume from the synced step).
+	Step int64
+}
+
+// StepFunc executes one training step: forward, backward (through
+// ctx.DDP), and the optimizer update. An error signals that the world
+// is suspect — the agent reconfigures and retries the step — except
+// ErrReconfigure, which reconfigures without proposing a new
+// generation (the change is already pending).
+type StepFunc func(ctx StepContext) error
+
+// Agent is the elastic training loop: it joins the rendezvous, wraps
+// the model in ddp.DDP, and executes steps, transparently surviving
+// membership changes. One Agent corresponds to one worker (one
+// goroutine rank in-proc, or one process over TCP).
+type Agent struct {
+	cfg   Config
+	model nn.Module
+	opt   optim.Optimizer
+	rdzv  *Rendezvous
+
+	hb  *Heartbeat
+	mon *Monitor
+
+	mu       sync.Mutex
+	assign   *Assignment
+	pg       comm.ProcessGroup
+	d        *ddp.DDP
+	step     int64
+	reconfig bool
+	killed   bool
+	leaving  bool
+}
+
+// NewAgent validates the configuration and prepares a worker. The
+// model must be freshly constructed (its parameters get overwritten by
+// the first state sync); opt must manage exactly the model's
+// parameters. Call Run to start training.
+func NewAgent(cfg Config, model nn.Module, opt optim.Optimizer) (*Agent, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	if cfg.ID == "" {
+		return nil, fmt.Errorf("elastic: Config.ID is required")
+	}
+	if cfg.Builder == nil {
+		return nil, fmt.Errorf("elastic: Config.Builder is required")
+	}
+	rdzv, err := NewRendezvous(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Agent{cfg: cfg, model: model, opt: opt, rdzv: rdzv}, nil
+}
+
+// Step returns the number of completed training steps.
+func (a *Agent) Step() int64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.step
+}
+
+// Assignment returns the current (generation, rank, world) or nil
+// before the first rendezvous.
+func (a *Agent) Assignment() *Assignment {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.assign
+}
+
+// DDP exposes the wrapped module (nil before the first rendezvous).
+func (a *Agent) DDP() *ddp.DDP {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.d
+}
+
+// Kill simulates a hard crash: the heartbeat stops and the process
+// group is aborted mid-flight, so peers observe exactly what a SIGKILL
+// would produce — silence on the heartbeat and broken collectives. Run
+// returns ErrKilled. Used by tests and the --elastic demo.
+func (a *Agent) Kill() {
+	a.mu.Lock()
+	a.killed = true
+	hb, pg := a.hb, a.pg
+	a.mu.Unlock()
+	if hb != nil {
+		hb.Stop()
+	}
+	if pg != nil {
+		_ = comm.AbortGroup(pg)
+	}
+}
+
+// StopHeartbeat halts only the liveness signal, leaving the worker
+// otherwise attached — fault injection for the silent-hang scenario
+// (peers must detect via lease expiry, not via broken connections).
+func (a *Agent) StopHeartbeat() {
+	a.mu.Lock()
+	hb := a.hb
+	a.mu.Unlock()
+	if hb != nil {
+		hb.Stop()
+	}
+}
+
+// Leave requests a clean departure: after the current step completes,
+// the agent proposes a new generation (so survivors reform without it)
+// and Run returns nil.
+func (a *Agent) Leave() {
+	a.mu.Lock()
+	a.leaving = true
+	a.mu.Unlock()
+}
+
+// AwaitGenerationChange blocks until the generation moves past the
+// current assignment's and then returns ErrReconfigure — sugar for
+// StepFuncs that want to yield deterministically to a pending
+// membership change (e.g. admitting a known joiner at a fixed step).
+func (a *Agent) AwaitGenerationChange() error {
+	a.mu.Lock()
+	g := a.assign.Generation
+	a.mu.Unlock()
+	if _, err := a.rdzv.WaitGenerationAbove(g); err != nil {
+		return err
+	}
+	return ErrReconfigure
+}
+
+func (a *Agent) isKilled() bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.killed
+}
+
+func (a *Agent) isLeaving() bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.leaving
+}
+
+func (a *Agent) reconfigNeeded() bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.reconfig
+}
+
+// interrupt flags a reconfiguration immediately and aborts the group
+// after DrainTimeout, but only if the agent is still on generation g —
+// stale watchers and monitors otherwise no-op. The delay lets an
+// in-flight step whose collectives are fully fed (e.g. the final step
+// a cleanly departing peer took part in) drain to completion, so a
+// membership change never rolls back a step that was going to finish;
+// a collective genuinely stuck on a vanished peer is freed once the
+// window closes.
+func (a *Agent) interrupt(g int) {
+	a.mu.Lock()
+	if a.killed || a.assign == nil || a.assign.Generation != g {
+		a.mu.Unlock()
+		return
+	}
+	a.reconfig = true
+	a.mu.Unlock()
+	go func() {
+		time.Sleep(a.cfg.DrainTimeout)
+		a.mu.Lock()
+		if a.killed || a.assign == nil || a.assign.Generation != g {
+			a.mu.Unlock()
+			return
+		}
+		pg := a.pg
+		a.mu.Unlock()
+		if pg != nil {
+			_ = comm.AbortGroup(pg)
+		}
+	}()
+}
+
+// watchGeneration arranges for generation bumps to interrupt the
+// current group promptly (freeing collectives blocked on a dead or
+// departed peer). One watcher is parked per generation; each fires at
+// most once and stale ones no-op via the generation guard.
+func (a *Agent) watchGeneration(g int) {
+	go func() {
+		if _, err := a.rdzv.WaitGenerationAbove(g); err != nil {
+			return // store closed: the job is over
+		}
+		a.interrupt(g)
+	}()
+}
+
+// onLeaseExpired is the monitor callback: a peer's heartbeat lease ran
+// out, so propose a new round and break any collective blocked on it.
+func (a *Agent) onLeaseExpired(id string) {
+	a.mu.Lock()
+	if a.assign == nil {
+		a.mu.Unlock()
+		return
+	}
+	g := a.assign.Generation
+	a.mu.Unlock()
+	a.rdzv.MarkDead(id, g)
+	// Drop the dead worker's heartbeat counter so its key does not
+	// accumulate; if it is actually alive (false positive) its next
+	// beat recreates the counter and monitors see it change.
+	_ = a.cfg.Store.Delete(HeartbeatKey(a.cfg.Prefix, id))
+	if _, err := a.rdzv.ProposeGeneration(g); err != nil {
+		return
+	}
+	a.interrupt(g)
+}
+
+// teardownGroup aborts and forgets the current process group.
+func (a *Agent) teardownGroup() {
+	a.mu.Lock()
+	pg := a.pg
+	a.pg = nil
+	a.mu.Unlock()
+	if pg != nil {
+		_ = comm.AbortGroup(pg)
+	}
+}
+
+// reconfigure runs one full recovery round: tear down, re-rendezvous,
+// rebuild the group, synchronize state, and swap the group into DDP.
+// It retries (bumping the generation) when a round collapses mid-way,
+// up to MaxRestarts attempts.
+func (a *Agent) reconfigure() error {
+	for attempt := 0; attempt < a.cfg.MaxRestarts; attempt++ {
+		if a.isKilled() {
+			return ErrKilled
+		}
+		a.teardownGroup()
+
+		assign, err := a.rdzv.Join(Member{ID: a.cfg.ID, Step: a.Step()})
+		if err != nil {
+			return fmt.Errorf("elastic: rendezvous: %w", err)
+		}
+		pg, err := a.cfg.Builder.Build(assign)
+		if err != nil {
+			// The round was viable but the group could not form (e.g. a
+			// member died between seal and build); force the next round.
+			if _, perr := a.rdzv.ProposeGeneration(assign.Generation); perr != nil {
+				return perr
+			}
+			continue
+		}
+
+		a.mu.Lock()
+		a.assign = assign
+		a.pg = pg
+		a.reconfig = false
+		a.mu.Unlock()
+
+		// Cover the sync phase: peers that die during the state
+		// broadcast must still be detected, and generation bumps must
+		// still break us out of blocked collectives.
+		a.mon.SetPeers(peerIDs(assign, a.cfg.ID))
+		a.watchGeneration(assign.Generation)
+
+		source, sourceStep := assign.Source()
+		if err := SyncState(pg, source, a.model, a.opt); err != nil {
+			if a.isKilled() {
+				return ErrKilled
+			}
+			if _, perr := a.rdzv.ProposeGeneration(assign.Generation); perr != nil {
+				return perr
+			}
+			continue
+		}
+		a.mu.Lock()
+		a.step = sourceStep
+		a.mu.Unlock()
+		// Drop any gradients accumulated by an aborted iteration; the
+		// retried step must start from a clean slate.
+		nn.ZeroGrad(a.model)
+
+		a.mu.Lock()
+		d := a.d
+		a.mu.Unlock()
+		if d == nil {
+			// SyncState already aligned the replicas from the elected
+			// source; the constructor's rank-0 broadcast must not run,
+			// both for correctness (rank 0 may be a stale joiner) and
+			// because peers that only swapped process groups submit no
+			// collectives to pair with it.
+			opts := a.cfg.DDP
+			opts.SkipInitialBroadcast = true
+			d, err = ddp.New(a.model, pg, opts)
+			if err != nil {
+				return fmt.Errorf("elastic: wrapping model: %w", err)
+			}
+		} else if err := d.SetProcessGroup(pg); err != nil {
+			return fmt.Errorf("elastic: swapping process group: %w", err)
+		}
+		a.mu.Lock()
+		a.d = d
+		a.mu.Unlock()
+		return nil
+	}
+	return fmt.Errorf("elastic: giving up after %d failed reconfiguration attempts", a.cfg.MaxRestarts)
+}
+
+// peerIDs lists every member id except self.
+func peerIDs(a *Assignment, self string) []string {
+	ids := make([]string, 0, len(a.Members)-1)
+	for _, m := range a.Members {
+		if m.ID != self {
+			ids = append(ids, m.ID)
+		}
+	}
+	return ids
+}
+
+// Run executes training steps until the agent's completed-step count
+// reaches totalSteps, surviving worker churn along the way. It returns
+// nil on completion or clean departure (Leave), ErrKilled after Kill,
+// and a terminal error when recovery is exhausted or the store fails.
+func (a *Agent) Run(totalSteps int64, step StepFunc) error {
+	a.mu.Lock()
+	a.hb = StartHeartbeat(a.cfg.Store, a.cfg.Prefix, a.cfg.ID, a.cfg.HeartbeatInterval)
+	a.mon = StartMonitor(a.cfg.Store, a.cfg.Prefix, a.cfg.LeaseTimeout, a.cfg.PollInterval, a.onLeaseExpired)
+	a.mu.Unlock()
+	defer func() {
+		a.mon.Stop()
+		a.hb.Stop()
+		a.mu.Lock()
+		pg := a.pg
+		a.pg = nil
+		a.mu.Unlock()
+		if pg != nil {
+			if a.isKilled() {
+				_ = comm.AbortGroup(pg)
+			} else {
+				_ = pg.Close()
+			}
+		}
+	}()
+
+	if err := a.reconfigure(); err != nil {
+		return err
+	}
+
+	failures := 0 // consecutive step failures without progress
+	for a.Step() < totalSteps {
+		if a.isKilled() {
+			return ErrKilled
+		}
+		if a.isLeaving() {
+			a.mu.Lock()
+			g := a.assign.Generation
+			a.mu.Unlock()
+			_, _ = a.rdzv.ProposeGeneration(g)
+			return nil
+		}
+		if a.reconfigNeeded() || a.generationAdvanced() {
+			if err := a.reconfigure(); err != nil {
+				return err
+			}
+			continue
+		}
+
+		a.mu.Lock()
+		ctx := StepContext{
+			DDP:        a.d,
+			Optimizer:  a.opt,
+			Rank:       a.assign.Rank,
+			World:      a.assign.World,
+			Generation: a.assign.Generation,
+			Step:       a.step,
+		}
+		a.mu.Unlock()
+
+		err := step(ctx)
+		if a.isKilled() {
+			return ErrKilled
+		}
+		switch {
+		case err == nil:
+			failures = 0
+			a.mu.Lock()
+			a.step++
+			a.mu.Unlock()
+		case err == ErrReconfigure:
+			if rerr := a.reconfigure(); rerr != nil {
+				return rerr
+			}
+		default:
+			// The step failed — almost certainly a peer vanished
+			// mid-collective. Force a new round and retry the step.
+			failures++
+			if failures > a.cfg.MaxRestarts {
+				return fmt.Errorf("elastic: step %d keeps failing after %d recoveries: %w", ctx.Step, failures-1, err)
+			}
+			if _, perr := a.rdzv.ProposeGeneration(ctx.Generation); perr != nil {
+				return perr
+			}
+			if rerr := a.reconfigure(); rerr != nil {
+				return rerr
+			}
+		}
+	}
+	return nil
+}
+
+// generationAdvanced reports whether the store's generation has moved
+// past the current assignment (one store read; the between-steps check
+// that makes membership changes take effect at iteration boundaries).
+func (a *Agent) generationAdvanced() bool {
+	a.mu.Lock()
+	g := a.assign.Generation
+	a.mu.Unlock()
+	cur, err := a.rdzv.CurrentGeneration()
+	return err == nil && cur > g
+}

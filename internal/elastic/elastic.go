@@ -1,0 +1,232 @@
+// Package elastic adds fault tolerance and elasticity to DDP training —
+// the top future direction named in the paper's Section 7 discussion,
+// where a single crashed rank otherwise deadlocks every collective in
+// the job. It is a Go analogue of torchelastic, layered on the
+// repository's existing rendezvous store:
+//
+//   - Rendezvous: workers register with a generation-numbered rendezvous
+//     (store-backed, in-mem or TCP) and receive (rank, world, generation)
+//     assignments. Generations are fenced with CompareAndSwap: any
+//     worker may propose generation g+1, exactly one proposal wins, and
+//     every worker observes the same sequence of membership changes.
+//
+//   - Failure detection: each worker maintains a heartbeat counter in
+//     the store; every worker monitors every peer's counter and declares
+//     a peer dead when its lease expires, then triggers a new rendezvous
+//     round. Survivors blocked inside a collective on the dead rank are
+//     freed by aborting the process group (comm.AbortGroup).
+//
+//   - World reconfiguration: on a membership change survivors tear down
+//     their comm.ProcessGroup, re-rendezvous at the new generation,
+//     rebuild the group (in-proc registry or NewTCPGroup), and the
+//     member holding the most training progress broadcasts model AND
+//     optimizer state to everyone else, so training resumes from the
+//     last completed step — nothing is lost beyond the in-flight
+//     iteration.
+//
+//   - Agent: the elastic training loop. It wraps ddp.DDP, swapping in
+//     the rebuilt ProcessGroup (ddp.SetProcessGroup) and re-arming the
+//     bucket assignment after each reconfiguration, and retries the
+//     interrupted step after recovery.
+package elastic
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/comm"
+	"repro/internal/ddp"
+	"repro/internal/store"
+)
+
+// Sentinel errors of the elastic control flow.
+var (
+	// ErrKilled is returned by Agent.Run after Kill — the simulated
+	// hard crash used by tests and the ddptrain demo.
+	ErrKilled = errors.New("elastic: worker killed")
+	// ErrReconfigure may be returned by a StepFunc to force the agent
+	// through a reconfiguration without proposing a new generation
+	// itself — typically after waiting for a pending membership change
+	// (see Agent.AwaitGenerationChange).
+	ErrReconfigure = errors.New("elastic: reconfiguration requested")
+)
+
+// Member is one worker's registration in a rendezvous round.
+type Member struct {
+	// ID is the worker's stable identity across generations.
+	ID string
+	// Step is the number of completed training steps whose state the
+	// worker holds; the member with the highest Step is the state-sync
+	// source after reconfiguration.
+	Step int64
+}
+
+// Assignment is the outcome of a rendezvous round: this worker's rank
+// in a world of the given size, fenced by a generation number.
+type Assignment struct {
+	Generation int
+	Rank       int
+	World      int
+	// Members holds every participant, indexed by rank.
+	Members []Member
+}
+
+// Source returns the rank that should broadcast state after this
+// round — the member with the most completed steps (ties break to the
+// lowest rank) — and that member's step count. Every rank computes the
+// same answer from the shared assignment.
+func (a *Assignment) Source() (rank int, step int64) {
+	best := 0
+	for i, m := range a.Members {
+		if m.Step > a.Members[best].Step {
+			best = i
+		}
+	}
+	return best, a.Members[best].Step
+}
+
+func (m Member) encode() []byte {
+	b, err := json.Marshal(m)
+	if err != nil {
+		panic(fmt.Sprintf("elastic: encoding member: %v", err))
+	}
+	return b
+}
+
+func decodeMember(b []byte) (Member, error) {
+	var m Member
+	if err := json.Unmarshal(b, &m); err != nil {
+		return Member{}, fmt.Errorf("elastic: decoding member: %w", err)
+	}
+	return m, nil
+}
+
+// GroupBuilder constructs the communication backend for an assignment.
+// Implementations must produce a group whose Rank/Size match the
+// assignment; the name they derive from the generation keeps meshes of
+// different generations from crossing wires.
+type GroupBuilder interface {
+	Build(a *Assignment) (comm.ProcessGroup, error)
+}
+
+// InProcBuilder builds goroutine-rank groups through a shared
+// comm.InProcRegistry — the deterministic fixture tests and the
+// --elastic demo use.
+type InProcBuilder struct {
+	Registry *comm.InProcRegistry
+	Opts     comm.Options
+	// Prefix namespaces group names; defaults to "elastic".
+	Prefix string
+}
+
+// Build claims this rank's member of the generation's group.
+func (b *InProcBuilder) Build(a *Assignment) (comm.ProcessGroup, error) {
+	prefix := b.Prefix
+	if prefix == "" {
+		prefix = "elastic"
+	}
+	return b.Registry.Build(fmt.Sprintf("%s-g%d", prefix, a.Generation), a.Rank, a.World, b.Opts)
+}
+
+// TCPBuilder builds one TCP-mesh group per generation, rendezvousing
+// addresses through the same store used by the elastic rendezvous.
+type TCPBuilder struct {
+	Store store.Store
+	Opts  comm.Options
+	// Prefix namespaces group names; defaults to "elastic".
+	Prefix string
+}
+
+// Build constructs this process's member of the generation's TCP group.
+func (b *TCPBuilder) Build(a *Assignment) (comm.ProcessGroup, error) {
+	prefix := b.Prefix
+	if prefix == "" {
+		prefix = "elastic"
+	}
+	return comm.NewTCPGroup(a.Rank, a.World, b.Store, fmt.Sprintf("%s-g%d", prefix, a.Generation), b.Opts)
+}
+
+// Config parameterizes an elastic worker.
+type Config struct {
+	// Store is the shared rendezvous store (in-mem or TCP client).
+	Store store.Store
+	// ID is this worker's stable identity. Required and unique.
+	ID string
+	// Prefix namespaces all elastic keys in the store ("elastic").
+	Prefix string
+	// MinWorld is the smallest world size a rendezvous round may seal
+	// with (default 1).
+	MinWorld int
+	// MaxWorld caps the world size (default MinWorld).
+	MaxWorld int
+	// Grace is how long the round leader holds the door open for
+	// stragglers once MinWorld is reached (default 0: seal immediately).
+	Grace time.Duration
+	// HeartbeatInterval is the liveness publication period (100ms).
+	HeartbeatInterval time.Duration
+	// LeaseTimeout is how long a peer may go without a heartbeat before
+	// it is declared dead (default 10x HeartbeatInterval).
+	LeaseTimeout time.Duration
+	// PollInterval paces rendezvous and monitor polling (default
+	// HeartbeatInterval/4, at least 1ms).
+	PollInterval time.Duration
+	// RoundTimeout bounds one rendezvous round before the worker forces
+	// a new generation (default 30s).
+	RoundTimeout time.Duration
+	// DrainTimeout is how long a generation change lets an in-flight
+	// step drain before the process group is aborted (default 500ms).
+	// A step whose collectives every participant already submitted
+	// completes within this window — e.g. the final step a cleanly
+	// departing peer took part in — so completed work is never rolled
+	// back by the membership change; collectives genuinely stuck on a
+	// vanished peer are still freed once the window closes.
+	DrainTimeout time.Duration
+	// MaxRestarts caps consecutive reconfigurations without a completed
+	// step before the agent gives up (default 10).
+	MaxRestarts int
+	// Builder constructs process groups per generation. Required.
+	Builder GroupBuilder
+	// DDP configures the wrapped DistributedDataParallel instance.
+	DDP ddp.Options
+}
+
+// withDefaults fills zero-valued knobs. Only Store is universally
+// required; the Agent additionally validates ID and Builder.
+func (c Config) withDefaults() (Config, error) {
+	if c.Store == nil {
+		return c, errors.New("elastic: Config.Store is required")
+	}
+	if c.Prefix == "" {
+		c.Prefix = "elastic"
+	}
+	if c.MinWorld <= 0 {
+		c.MinWorld = 1
+	}
+	if c.MaxWorld < c.MinWorld {
+		c.MaxWorld = c.MinWorld
+	}
+	if c.HeartbeatInterval <= 0 {
+		c.HeartbeatInterval = 100 * time.Millisecond
+	}
+	if c.LeaseTimeout <= 0 {
+		c.LeaseTimeout = 10 * c.HeartbeatInterval
+	}
+	if c.PollInterval <= 0 {
+		c.PollInterval = c.HeartbeatInterval / 4
+		if c.PollInterval < time.Millisecond {
+			c.PollInterval = time.Millisecond
+		}
+	}
+	if c.RoundTimeout <= 0 {
+		c.RoundTimeout = 30 * time.Second
+	}
+	if c.DrainTimeout <= 0 {
+		c.DrainTimeout = 500 * time.Millisecond
+	}
+	if c.MaxRestarts <= 0 {
+		c.MaxRestarts = 10
+	}
+	return c, nil
+}

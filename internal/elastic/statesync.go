@@ -1,0 +1,52 @@
+package elastic
+
+import (
+	"fmt"
+
+	"repro/internal/comm"
+	"repro/internal/nn"
+	"repro/internal/optim"
+)
+
+// SyncState broadcasts the full training state — model parameters,
+// buffers, and (when the optimizer supports it) flattened optimizer
+// state — from source rank to every rank of pg. After it returns, all
+// replicas hold bit-identical state, re-establishing DDP's Section 2.2
+// invariant for a freshly reconfigured world: joiners adopt the
+// survivor's progress, and survivors whose in-flight iteration was
+// aborted are realigned with the most advanced member.
+//
+// Every rank must call SyncState with the same source (use
+// Assignment.Source so the choice is a pure function of the shared
+// membership).
+func SyncState(pg comm.ProcessGroup, source int, model nn.Module, opt optim.Optimizer) error {
+	var works []comm.Work
+	for _, p := range model.Parameters() {
+		works = append(works, pg.Broadcast(p.Value.Data(), source))
+	}
+	for _, b := range model.Buffers() {
+		works = append(works, pg.Broadcast(b.Data.Data(), source))
+	}
+	if err := comm.WaitAll(works...); err != nil {
+		return fmt.Errorf("elastic: broadcasting model state: %w", err)
+	}
+	sf, ok := opt.(optim.StateFlattener)
+	if !ok || opt == nil {
+		return nil
+	}
+	// FlatState materializes lazily-allocated slots as zeros, so the
+	// vector length is identical on every rank regardless of progress.
+	flat := sf.FlatState()
+	if len(flat) == 0 {
+		return nil
+	}
+	if err := pg.Broadcast(flat, source).Wait(); err != nil {
+		return fmt.Errorf("elastic: broadcasting optimizer state: %w", err)
+	}
+	if pg.Rank() != source {
+		if err := sf.SetFlatState(flat); err != nil {
+			return fmt.Errorf("elastic: installing optimizer state: %w", err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,103 @@
+package optim
+
+import (
+	"fmt"
+
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// StateFlattener is implemented by optimizers whose internal state can
+// travel as a flat float32 vector. Elastic recovery broadcasts this
+// vector from the designated survivor to joiners so momentum (and Adam
+// moments) resume identically on every rank — the Section 2.2 argument
+// that optimizer state must stay synchronized applies to restarts too.
+//
+// FlatState materializes lazily-allocated per-parameter state as zeros
+// so every rank produces an identically-sized vector regardless of how
+// many steps it has taken; SetFlatState is its inverse.
+type StateFlattener interface {
+	FlatState() []float32
+	SetFlatState(flat []float32) error
+}
+
+// flatLen is the combined element count of a parameter list.
+func flatLen(params []*nn.Parameter) int {
+	n := 0
+	for _, p := range params {
+		n += p.Value.Size()
+	}
+	return n
+}
+
+// ensure returns the state tensor for p in m, materializing zeros on
+// first use. Zero momentum/moment buffers are update-equivalent to
+// absent ones for both SGD and Adam, so materialization never changes
+// training trajectories.
+func ensure(m map[*nn.Parameter]*tensor.Tensor, p *nn.Parameter) *tensor.Tensor {
+	t := m[p]
+	if t == nil {
+		t = tensor.New(p.Value.Shape()...)
+		m[p] = t
+	}
+	return t
+}
+
+// FlatState returns [velocity...] in parameter order.
+func (s *SGD) FlatState() []float32 {
+	flat := make([]float32, 0, flatLen(s.Params))
+	for _, p := range s.Params {
+		flat = append(flat, ensure(s.velocity, p).Data()...)
+	}
+	return flat
+}
+
+// SetFlatState restores velocities exported by FlatState.
+func (s *SGD) SetFlatState(flat []float32) error {
+	if len(flat) != flatLen(s.Params) {
+		return fmt.Errorf("optim: SGD state has %d elements, expected %d", len(flat), flatLen(s.Params))
+	}
+	off := 0
+	for _, p := range s.Params {
+		v := ensure(s.velocity, p)
+		off += copy(v.Data(), flat[off:off+p.Value.Size()])
+	}
+	return nil
+}
+
+// FlatState returns [step, m..., v...] in parameter order. The step
+// count rides along as a float32, exact for any realistic step count.
+func (a *Adam) FlatState() []float32 {
+	flat := make([]float32, 0, 1+2*flatLen(a.Params))
+	flat = append(flat, float32(a.step))
+	for _, p := range a.Params {
+		flat = append(flat, ensure(a.m, p).Data()...)
+	}
+	for _, p := range a.Params {
+		flat = append(flat, ensure(a.v, p).Data()...)
+	}
+	return flat
+}
+
+// SetFlatState restores moments and the step count exported by
+// FlatState.
+func (a *Adam) SetFlatState(flat []float32) error {
+	want := 1 + 2*flatLen(a.Params)
+	if len(flat) != want {
+		return fmt.Errorf("optim: Adam state has %d elements, expected %d", len(flat), want)
+	}
+	a.step = int(flat[0])
+	off := 1
+	for _, p := range a.Params {
+		off += copy(ensure(a.m, p).Data(), flat[off:off+p.Value.Size()])
+	}
+	for _, p := range a.Params {
+		off += copy(ensure(a.v, p).Data(), flat[off:off+p.Value.Size()])
+	}
+	return nil
+}
+
+var (
+	_ StateFlattener = (*SGD)(nil)
+	_ StateFlattener = (*Adam)(nil)
+)

@@ -1,0 +1,123 @@
+package simnet
+
+import (
+	"fmt"
+	"math"
+)
+
+// FailurePlan injects one worker failure into a simulated elastic
+// training run — the simnet counterpart of internal/elastic, used to
+// study recovery time against lease timeouts, model size, and world
+// size without running wall-clock heartbeats.
+type FailurePlan struct {
+	// FailAtIter is the 0-based iteration during which a rank dies;
+	// that iteration's work is lost and retried post-recovery.
+	FailAtIter int
+	// LeaseSeconds is the heartbeat lease: the detection delay for a
+	// silent failure (elastic.Config.LeaseTimeout). Crashes that break
+	// connections are detected faster, so this upper-bounds detection.
+	LeaseSeconds float64
+	// StoreRTTSeconds is one rendezvous-store round trip (default
+	// 100µs, a same-rack TCP store).
+	StoreRTTSeconds float64
+	// OptStateScale is optimizer-state elements per parameter element
+	// synced to realign survivors and joiners (1 for SGD momentum,
+	// 2 for Adam; default 1).
+	OptStateScale float64
+}
+
+func (p FailurePlan) withDefaults() FailurePlan {
+	if p.StoreRTTSeconds <= 0 {
+		p.StoreRTTSeconds = 100e-6
+	}
+	if p.OptStateScale <= 0 {
+		p.OptStateScale = 1
+	}
+	return p
+}
+
+// RecoveryBreakdown decomposes the stall a failure inflicts on the
+// surviving ranks.
+type RecoveryBreakdown struct {
+	// LostWorkSeconds is the in-flight iteration discarded at the
+	// failure (the only progress elastic recovery gives up).
+	LostWorkSeconds float64
+	// DetectionSeconds is the heartbeat-lease expiry delay.
+	DetectionSeconds float64
+	// RendezvousSeconds covers the store round trips of the new
+	// rendezvous round (register, seal, read membership).
+	RendezvousSeconds float64
+	// RebuildSeconds is the process-group reconstruction: survivors
+	// re-mesh pairwise, overlapping dials, so it grows with log(world).
+	RebuildSeconds float64
+	// StateSyncSeconds is the broadcast of model parameters, buffers,
+	// and optimizer state from the elected source rank.
+	StateSyncSeconds float64
+	// TotalSeconds is the whole stall, excluding the retried iteration
+	// itself (which is ordinary training work at the new world size).
+	TotalSeconds float64
+}
+
+// RunElastic simulates iters training iterations with one injected
+// failure: iterations before the failure run at cfg.World, the failure
+// iteration is charged its lost work plus the full recovery stall, and
+// the run continues — retrying the interrupted iteration first — at
+// World-1. Returned latencies have length iters; the failed-and-
+// retried iteration is a single (expensive) entry, mirroring how the
+// elastic agent retries the same global step after reconfiguration.
+func RunElastic(cfg Config, iters int, plan FailurePlan) ([]float64, RecoveryBreakdown, error) {
+	cfg = cfg.withDefaults()
+	plan = plan.withDefaults()
+	if cfg.World < 2 {
+		return nil, RecoveryBreakdown{}, fmt.Errorf("simnet: elastic failure needs World >= 2, got %d", cfg.World)
+	}
+	if plan.FailAtIter < 0 || plan.FailAtIter >= iters {
+		return nil, RecoveryBreakdown{}, fmt.Errorf("simnet: FailAtIter %d outside [0,%d)", plan.FailAtIter, iters)
+	}
+
+	before, _, err := SimulateIterationTimeline(cfg)
+	if err != nil {
+		return nil, RecoveryBreakdown{}, err
+	}
+	after := cfg
+	after.World = cfg.World - 1
+	post, _, err := SimulateIterationTimeline(after)
+	if err != nil {
+		return nil, RecoveryBreakdown{}, err
+	}
+
+	totalParams := 0
+	for _, s := range cfg.ParamSizes {
+		totalParams += s
+	}
+	stateBytes := int(float64(totalParams*4) * (1 + plan.OptStateScale))
+
+	rb := RecoveryBreakdown{
+		LostWorkSeconds:  before.TotalSeconds,
+		DetectionSeconds: plan.LeaseSeconds,
+		// Register + seal-poll + membership read, each a store RTT.
+		RendezvousSeconds: 3 * plan.StoreRTTSeconds,
+		// Survivors dial each other concurrently; the critical path is
+		// the store-published address exchange plus a logarithmic
+		// connection cascade.
+		RebuildSeconds: plan.StoreRTTSeconds * (1 + math.Log2(float64(after.World))),
+		StateSyncSeconds: cfg.Cluster.BroadcastSeconds(
+			cfg.Backend, stateBytes, after.World),
+	}
+	rb.TotalSeconds = rb.LostWorkSeconds + rb.DetectionSeconds +
+		rb.RendezvousSeconds + rb.RebuildSeconds + rb.StateSyncSeconds
+
+	latencies := make([]float64, iters)
+	for i := 0; i < iters; i++ {
+		switch {
+		case i < plan.FailAtIter:
+			latencies[i] = before.TotalSeconds
+		case i == plan.FailAtIter:
+			// Stall, then the retry at the shrunken world.
+			latencies[i] = rb.TotalSeconds + post.TotalSeconds
+		default:
+			latencies[i] = post.TotalSeconds
+		}
+	}
+	return latencies, rb, nil
+}

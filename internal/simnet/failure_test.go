@@ -1,0 +1,96 @@
+package simnet
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/hw"
+	"repro/internal/models"
+)
+
+func elasticCfg(world int) Config {
+	return Config{
+		ParamSizes: models.ResNet50().Sizes(),
+		World:      world,
+		Backend:    hw.NCCLLike,
+		Device:     hw.GPU,
+		Overlap:    true,
+	}
+}
+
+func TestRunElasticRecoveryAccounting(t *testing.T) {
+	const (
+		iters  = 20
+		failAt = 7
+	)
+	plan := FailurePlan{FailAtIter: failAt, LeaseSeconds: 0.5}
+	lat, rb, err := RunElastic(elasticCfg(8), iters, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lat) != iters {
+		t.Fatalf("got %d latencies, want %d", len(lat), iters)
+	}
+
+	sum := rb.LostWorkSeconds + rb.DetectionSeconds + rb.RendezvousSeconds +
+		rb.RebuildSeconds + rb.StateSyncSeconds
+	if math.Abs(sum-rb.TotalSeconds) > 1e-12 {
+		t.Fatalf("breakdown does not sum: %v vs %v", sum, rb.TotalSeconds)
+	}
+	if rb.DetectionSeconds != plan.LeaseSeconds {
+		t.Fatalf("detection %v, want the lease %v", rb.DetectionSeconds, plan.LeaseSeconds)
+	}
+	if rb.StateSyncSeconds <= 0 || rb.LostWorkSeconds <= 0 {
+		t.Fatalf("degenerate breakdown: %+v", rb)
+	}
+
+	// Pre-failure iterations are uniform, the failure iteration
+	// absorbs the stall, and post-failure iterations run at world-1.
+	pre, _, _ := SimulateIterationTimeline(elasticCfg(8))
+	post, _, _ := SimulateIterationTimeline(elasticCfg(7))
+	for i := 0; i < failAt; i++ {
+		if lat[i] != pre.TotalSeconds {
+			t.Fatalf("iteration %d latency %v, want %v", i, lat[i], pre.TotalSeconds)
+		}
+	}
+	if want := rb.TotalSeconds + post.TotalSeconds; lat[failAt] != want {
+		t.Fatalf("failure iteration latency %v, want %v", lat[failAt], want)
+	}
+	for i := failAt + 1; i < iters; i++ {
+		if lat[i] != post.TotalSeconds {
+			t.Fatalf("iteration %d latency %v, want %v", i, lat[i], post.TotalSeconds)
+		}
+	}
+}
+
+func TestRunElasticLeaseDominatesSmallModels(t *testing.T) {
+	// With a tiny model, detection (the lease) should dominate the
+	// stall — the tuning insight the simulation exists to expose.
+	cfg := elasticCfg(4)
+	cfg.ParamSizes = []int{1000}
+	_, rb, err := RunElastic(cfg, 5, FailurePlan{FailAtIter: 1, LeaseSeconds: 1.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rb.DetectionSeconds < rb.StateSyncSeconds {
+		t.Fatalf("expected lease to dominate: %+v", rb)
+	}
+	// And a 340M-parameter model must pay materially more state-sync
+	// time than the 1k one.
+	big := elasticCfg(4)
+	big.ParamSizes = models.BERTLarge().Sizes()
+	_, rbBig, err := RunElastic(big, 5, FailurePlan{FailAtIter: 1, LeaseSeconds: 1.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rbBig.StateSyncSeconds <= rb.StateSyncSeconds {
+		t.Fatalf("state sync did not scale with model size: %v vs %v",
+			rbBig.StateSyncSeconds, rb.StateSyncSeconds)
+	}
+	if _, _, err := RunElastic(elasticCfg(1), 5, FailurePlan{}); err == nil {
+		t.Fatal("World=1 should be rejected")
+	}
+	if _, _, err := RunElastic(elasticCfg(2), 5, FailurePlan{FailAtIter: 9}); err == nil {
+		t.Fatal("out-of-range FailAtIter should be rejected")
+	}
+}

@@ -9,6 +9,7 @@
 package store
 
 import (
+	"bytes"
 	"errors"
 	"sync"
 	"time"
@@ -32,6 +33,20 @@ type Store interface {
 	Add(key string, delta int64) (int64, error)
 	// Wait blocks until all keys exist.
 	Wait(keys ...string) error
+	// Delete removes key — both its value and, if it was used as a
+	// counter, its counter state. Deleting a missing key is a no-op.
+	// Elastic rendezvous garbage-collects dead generations with it.
+	Delete(key string) error
+	// CompareAndSwap sets key to new iff its current value equals old;
+	// old == nil means "key must not exist yet". It reports whether the
+	// swap happened. Elastic rendezvous uses it to fence generation
+	// bumps: many workers may propose g+1, exactly one succeeds.
+	CompareAndSwap(key string, old, new []byte) (bool, error)
+	// Watch blocks until key holds a value different from prev (with
+	// prev == nil, until key exists) and returns that value. It is the
+	// store's change-notification primitive: rendezvous waiters use it
+	// to learn about new generations without polling.
+	Watch(key string, prev []byte) ([]byte, error)
 }
 
 // InMem is an in-process Store safe for concurrent use.
@@ -94,8 +109,65 @@ func (s *InMem) CounterAt(key string) int64 {
 	return s.counters[key]
 }
 
+// Delete removes key's value and counter state; missing keys are a
+// no-op.
+func (s *InMem) Delete(key string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.values, key)
+	delete(s.counters, key)
+	s.cond.Broadcast()
+	return nil
+}
+
+// CompareAndSwap sets key to new iff its current value equals old
+// (old == nil: key must not exist). Reports whether the swap happened.
+func (s *InMem) CompareAndSwap(key string, old, new []byte) (bool, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cur, ok := s.values[key]
+	if old == nil {
+		if ok {
+			return false, nil
+		}
+	} else if !ok || !bytes.Equal(cur, old) {
+		return false, nil
+	}
+	s.values[key] = append([]byte(nil), new...)
+	s.cond.Broadcast()
+	return true, nil
+}
+
+// Watch blocks until key holds a value different from prev and returns
+// a copy of it.
+func (s *InMem) Watch(key string, prev []byte) ([]byte, error) {
+	var out []byte
+	err := s.waitLocked(func() bool {
+		cur, ok := s.values[key]
+		if !ok || (prev != nil && bytes.Equal(cur, prev)) {
+			return false
+		}
+		out = append([]byte(nil), cur...)
+		return true
+	})
+	return out, err
+}
+
 // Wait blocks until every key has been Set.
 func (s *InMem) Wait(keys ...string) error {
+	return s.waitLocked(func() bool {
+		for _, k := range keys {
+			if _, ok := s.values[k]; !ok {
+				return false
+			}
+		}
+		return true
+	})
+}
+
+// waitLocked blocks until ready() (evaluated under s.mu) returns true,
+// honouring the store timeout and shutdown.
+func (s *InMem) waitLocked(ready func() bool) error {
 	deadline := time.Time{}
 	if s.Timeout > 0 {
 		deadline = time.Now().Add(s.Timeout)
@@ -106,14 +178,7 @@ func (s *InMem) Wait(keys ...string) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	for {
-		missing := false
-		for _, k := range keys {
-			if _, ok := s.values[k]; !ok {
-				missing = true
-				break
-			}
-		}
-		if !missing {
+		if ready() {
 			return nil
 		}
 		if s.closed {

@@ -13,16 +13,22 @@ import (
 // on one connection do not stall others.
 
 type request struct {
-	Op    string // "set", "get", "add", "wait"
+	Op    string // "set", "get", "add", "wait", "delete", "cas", "watch"
 	Key   string
 	Keys  []string
 	Value []byte
 	Delta int64
+	// Old carries the expected value for "cas" and the previous value
+	// for "watch". OldSet distinguishes nil (absent) from empty, which
+	// gob cannot.
+	Old    []byte
+	OldSet bool
 }
 
 type response struct {
 	Value   []byte
 	Counter int64
+	Swapped bool
 	Err     string
 }
 
@@ -127,6 +133,34 @@ func (s *TCPServer) serveConn(conn net.Conn) {
 			if err := s.backing.Wait(req.Keys...); err != nil {
 				resp.Err = err.Error()
 			}
+		case "delete":
+			if err := s.backing.Delete(req.Key); err != nil {
+				resp.Err = err.Error()
+			}
+		case "cas":
+			old := req.Old
+			if !req.OldSet {
+				old = nil
+			} else if old == nil {
+				old = []byte{}
+			}
+			ok, err := s.backing.CompareAndSwap(req.Key, old, req.Value)
+			if err != nil {
+				resp.Err = err.Error()
+			}
+			resp.Swapped = ok
+		case "watch":
+			prev := req.Old
+			if !req.OldSet {
+				prev = nil
+			} else if prev == nil {
+				prev = []byte{}
+			}
+			v, err := s.backing.Watch(req.Key, prev)
+			if err != nil {
+				resp.Err = err.Error()
+			}
+			resp.Value = v
 		default:
 			resp.Err = "store: unknown op " + req.Op
 		}
@@ -137,8 +171,12 @@ func (s *TCPServer) serveConn(conn net.Conn) {
 }
 
 // TCPClient is a Store backed by a remote TCPServer. Safe for concurrent
-// use; requests are serialized over a single connection.
+// use; requests are serialized over a single connection. Watch is the
+// exception: because it can block server-side indefinitely, each Watch
+// runs on its own short-lived connection so it never stalls the
+// client's other operations (heartbeats in particular).
 type TCPClient struct {
+	addr string
 	mu   sync.Mutex
 	conn net.Conn
 	enc  *gob.Encoder
@@ -160,7 +198,7 @@ func DialTCP(addr string) (*TCPClient, error) {
 	if err != nil {
 		return nil, fmt.Errorf("store: dial %s: %w", addr, err)
 	}
-	return &TCPClient{conn: conn, enc: gob.NewEncoder(conn), dec: gob.NewDecoder(conn)}, nil
+	return &TCPClient{addr: addr, conn: conn, enc: gob.NewEncoder(conn), dec: gob.NewDecoder(conn)}, nil
 }
 
 // Close closes the client connection.
@@ -204,6 +242,31 @@ func (c *TCPClient) Add(key string, delta int64) (int64, error) {
 func (c *TCPClient) Wait(keys ...string) error {
 	_, err := c.roundTrip(request{Op: "wait", Keys: keys})
 	return err
+}
+
+// Delete removes key on the server.
+func (c *TCPClient) Delete(key string) error {
+	_, err := c.roundTrip(request{Op: "delete", Key: key})
+	return err
+}
+
+// CompareAndSwap atomically swaps key's value on the server.
+func (c *TCPClient) CompareAndSwap(key string, old, new []byte) (bool, error) {
+	resp, err := c.roundTrip(request{Op: "cas", Key: key, Value: new, Old: old, OldSet: old != nil})
+	return resp.Swapped, err
+}
+
+// Watch blocks until key's value differs from prev. It opens a
+// dedicated connection for the duration of the watch so concurrent
+// Set/Add/Get calls on this client are not blocked behind it.
+func (c *TCPClient) Watch(key string, prev []byte) ([]byte, error) {
+	side, err := DialTCP(c.addr)
+	if err != nil {
+		return nil, err
+	}
+	defer side.Close()
+	resp, err := side.roundTrip(request{Op: "watch", Key: key, Old: prev, OldSet: prev != nil})
+	return resp.Value, err
 }
 
 var _ Store = (*TCPClient)(nil)

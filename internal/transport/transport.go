@@ -12,7 +12,10 @@
 // corrupted reductions — the failure mode of Fig 3(a) in the paper).
 package transport
 
-import "fmt"
+import (
+	"fmt"
+	"sync"
+)
 
 // Mesh is one rank's view of its point-to-point connectivity.
 type Mesh interface {
@@ -47,10 +50,21 @@ type frame struct {
 }
 
 // inProcMesh is one rank's view of a shared channel matrix.
+//
+// Frame channels are never closed; instead each rank has a shared
+// `closed` signal that both its own pending operations and its peers'
+// select on. This is the abort path elastic recovery relies on: a rank
+// blocked mid-collective on a dead peer — or a survivor told to tear
+// its group down — unblocks with an error instead of deadlocking (the
+// paper's Section 7 failure mode).
 type inProcMesh struct {
 	rank, size int
 	// chans[from][to] carries frames from rank `from` to rank `to`.
 	chans [][]chan frame
+	// closed[r] is closed when rank r's view shuts down; shared by all
+	// views so peers observe each other's departure.
+	closed    []chan struct{}
+	closeOnce *sync.Once
 }
 
 // NewInProcMeshes creates a fully-connected in-process mesh of n ranks
@@ -65,9 +79,13 @@ func NewInProcMeshes(n int) []Mesh {
 			}
 		}
 	}
+	closed := make([]chan struct{}, n)
+	for r := range closed {
+		closed[r] = make(chan struct{})
+	}
 	meshes := make([]Mesh, n)
 	for r := 0; r < n; r++ {
-		meshes[r] = &inProcMesh{rank: r, size: n, chans: chans}
+		meshes[r] = &inProcMesh{rank: r, size: n, chans: chans, closed: closed, closeOnce: new(sync.Once)}
 	}
 	return meshes
 }
@@ -79,17 +97,46 @@ func (m *inProcMesh) Send(to int, tag uint64, data []float32) error {
 	if to == m.rank || to < 0 || to >= m.size {
 		return fmt.Errorf("transport: invalid send target %d from rank %d", to, m.rank)
 	}
-	m.chans[m.rank][to] <- frame{tag: tag, data: append([]float32(nil), data...)}
-	return nil
+	select {
+	case <-m.closed[m.rank]:
+		return fmt.Errorf("transport: mesh closed at rank %d", m.rank)
+	default:
+	}
+	select {
+	case m.chans[m.rank][to] <- frame{tag: tag, data: append([]float32(nil), data...)}:
+		return nil
+	case <-m.closed[m.rank]:
+		return fmt.Errorf("transport: mesh closed at rank %d", m.rank)
+	case <-m.closed[to]:
+		return fmt.Errorf("transport: peer rank %d closed", to)
+	}
 }
 
 func (m *inProcMesh) Recv(from int, tag uint64) ([]float32, error) {
 	if from == m.rank || from < 0 || from >= m.size {
 		return nil, fmt.Errorf("transport: invalid recv source %d at rank %d", from, m.rank)
 	}
-	f, ok := <-m.chans[from][m.rank]
-	if !ok {
-		return nil, fmt.Errorf("transport: channel from rank %d closed", from)
+	ch := m.chans[from][m.rank]
+	// Drain buffered frames before honouring shutdown signals, so a
+	// peer that completed its sends and then left cleanly does not turn
+	// an orderly hand-off into an error.
+	var f frame
+	select {
+	case f = <-ch:
+	default:
+		select {
+		case f = <-ch:
+		case <-m.closed[m.rank]:
+			return nil, fmt.Errorf("transport: mesh closed at rank %d", m.rank)
+		case <-m.closed[from]:
+			// The peer may have delivered the frame concurrently with
+			// closing; prefer the data if it is there.
+			select {
+			case f = <-ch:
+			default:
+				return nil, fmt.Errorf("transport: channel from rank %d closed", from)
+			}
+		}
 	}
 	if f.tag != tag {
 		return nil, &TagMismatchError{From: from, Want: tag, Got: f.tag}
@@ -98,12 +145,6 @@ func (m *inProcMesh) Recv(from int, tag uint64) ([]float32, error) {
 }
 
 func (m *inProcMesh) Close() error {
-	// Close only this rank's outgoing channels, once.
-	for to, ch := range m.chans[m.rank] {
-		if ch != nil {
-			close(ch)
-			m.chans[m.rank][to] = nil
-		}
-	}
+	m.closeOnce.Do(func() { close(m.closed[m.rank]) })
 	return nil
 }
