@@ -24,6 +24,18 @@
 // optimizer state from a survivor:
 //
 //	ddptrain -elastic -world 3 -iters 60 -kill-step 20
+//
+// Combining -elastic with -launch lifts the same scenario to real OS
+// processes: this process becomes the supervisor — it hosts the TCP
+// store and spawns `-world` elastic worker subprocesses that rendezvous
+// and build TCP meshes. One worker hard-exits mid-iteration (no
+// cleanup, like a SIGKILL); the supervisor detects the child's death
+// and (with -respawn) spawns a replacement process that rejoins the
+// running job and is brought up to date via state sync. At the end the
+// supervisor verifies through the store that every finisher — including
+// the respawned process — holds a bit-identical replica:
+//
+//	ddptrain -elastic -launch -world 3 -iters 60 -kill-step 20
 package main
 
 import (
@@ -62,14 +74,26 @@ func main() {
 		algo      = flag.String("algo", "ring", "allreduce algorithm: ring, tree, naive")
 		syncEvery = flag.Int("sync-every", 1, "synchronize gradients every n iterations (no_sync)")
 		rr        = flag.Int("rr", 1, "number of round-robin process groups (Section 5.4)")
-		elast     = flag.Bool("elastic", false, "run the in-proc elastic fault-tolerance demo instead")
+		elast     = flag.Bool("elastic", false, "run the elastic fault-tolerance demo instead (in-proc; with -launch, across OS processes)")
 		killStep  = flag.Int("kill-step", -1, "elastic: step at which one worker is crashed (default iters/3)")
 		respawn   = flag.Bool("respawn", true, "elastic: boot a replacement worker after the crash")
+		worker    = flag.Bool("worker", false, "internal: run as a single elastic worker process (spawned by -elastic -launch)")
+		workerID  = flag.String("id", "", "internal: elastic worker identity")
+		admitStep = flag.Int("admit-step", -1, "internal: step at which incumbents yield to admit a respawned worker")
 	)
 	flag.Parse()
 
 	if *elast {
-		if err := runElastic(*world, *iters, *batch, float32(*lr), *killStep, *respawn); err != nil {
+		var err error
+		switch {
+		case *worker:
+			err = runElasticWorker(*workerID, *storeAddr, *world, *iters, *batch, float32(*lr), *killStep, *admitStep)
+		case *launch:
+			err = runElasticSupervisor(*world, *iters, *batch, float32(*lr), *killStep, *respawn, *storeAddr)
+		default:
+			err = runElastic(*world, *iters, *batch, float32(*lr), *killStep, *respawn)
+		}
+		if err != nil {
 			fmt.Fprintf(os.Stderr, "ddptrain elastic: %v\n", err)
 			os.Exit(1)
 		}
@@ -249,6 +273,223 @@ func run(rank, world int, storeAddr string, launch bool, iters, batch int, lr fl
 			return fmt.Errorf("child: %w", err)
 		}
 	}
+	return nil
+}
+
+// ---- elastic across OS processes -------------------------------------------
+
+// runElasticSupervisor hosts the rendezvous store and supervises
+// `world` elastic worker subprocesses: it detects child exits and, when
+// a worker dies before finishing, spawns a replacement process that
+// rejoins the running job — the cross-process analogue of
+// torchelastic's agent. One worker is told to crash at killStep, so a
+// full failure+recovery cycle is exercised end to end.
+func runElasticSupervisor(world, iters, batch int, lr float32, killStep int, respawn bool, storeAddr string) error {
+	if world < 2 {
+		return fmt.Errorf("-elastic -launch needs -world >= 2, got %d", world)
+	}
+	if killStep < 0 {
+		killStep = iters / 3
+	}
+	if killStep >= iters {
+		return fmt.Errorf("-kill-step %d must be below -iters %d", killStep, iters)
+	}
+	// Incumbents yield at admitStep until the replacement's generation
+	// bump lands, so the training loop cannot outrun the respawn.
+	// Without -respawn there is nothing to wait for: survivors just
+	// finish at the shrunken world.
+	admitStep := -1
+	if respawn {
+		admitStep = killStep + 3
+		if admitStep >= iters {
+			admitStep = iters - 1
+		}
+	}
+	srv, err := store.ServeTCP(storeAddr, 120*time.Second)
+	if err != nil {
+		return fmt.Errorf("starting store: %w", err)
+	}
+	defer srv.Close()
+
+	type exit struct {
+		id   string
+		code int
+	}
+	exits := make(chan exit, world+2)
+	running := 0
+	launchWorker := func(id string, victim bool) error {
+		args := []string{"-elastic", "-worker", "-id", id, "-store", storeAddr,
+			"-world", fmt.Sprint(world), "-iters", fmt.Sprint(iters),
+			"-batch", fmt.Sprint(batch), "-lr", fmt.Sprint(lr),
+			"-admit-step", fmt.Sprint(admitStep)}
+		if victim {
+			args = append(args, "-kill-step", fmt.Sprint(killStep))
+		}
+		cmd := exec.Command(os.Args[0], args...)
+		cmd.Stdout = os.Stdout
+		cmd.Stderr = os.Stderr
+		if err := cmd.Start(); err != nil {
+			return fmt.Errorf("launching worker %s: %w", id, err)
+		}
+		running++
+		go func() {
+			err := cmd.Wait()
+			code := 0
+			if ee, ok := err.(*exec.ExitError); ok {
+				code = ee.ExitCode()
+			} else if err != nil {
+				code = -1
+			}
+			exits <- exit{id: id, code: code}
+		}()
+		return nil
+	}
+
+	victimID := fmt.Sprintf("w%d", world-1)
+	for i := 0; i < world; i++ {
+		if err := launchWorker(fmt.Sprintf("w%d", i), i == world-1); err != nil {
+			return err
+		}
+	}
+
+	// The demo injects exactly one crash (the victim's); any other
+	// failure is real.
+	crashed := false
+	respawns := 0
+	var finishers []string
+	for running > 0 {
+		e := <-exits
+		running--
+		if e.code == 0 {
+			finishers = append(finishers, e.id)
+			continue
+		}
+		fmt.Printf("[supervisor] worker %s exited with code %d\n", e.id, e.code)
+		if e.id != victimID || crashed {
+			return fmt.Errorf("worker %s failed unexpectedly (code %d)", e.id, e.code)
+		}
+		crashed = true
+		if !respawn {
+			fmt.Printf("[supervisor] -respawn=false: survivors continue at world %d\n", world-1)
+			continue
+		}
+		respawns++
+		id := fmt.Sprintf("r%d", respawns)
+		fmt.Printf("[supervisor] respawning replacement process %s\n", id)
+		if err := launchWorker(id, false); err != nil {
+			return err
+		}
+	}
+	if len(finishers) == 0 {
+		return fmt.Errorf("no worker finished")
+	}
+
+	// Verify across process boundaries: every finisher published its
+	// final step and parameter checksum to the store.
+	client, err := store.DialTCP(storeAddr)
+	if err != nil {
+		return fmt.Errorf("dialing store for verification: %w", err)
+	}
+	defer client.Close()
+	base := ""
+	for _, id := range finishers {
+		v, err := client.Get(elastic.ResultKey("elastic", id))
+		if err != nil {
+			return fmt.Errorf("result of %s: %w", id, err)
+		}
+		if base == "" {
+			base = string(v)
+		} else if string(v) != base {
+			return fmt.Errorf("replica %s diverged: %s vs %s", id, v, base)
+		}
+	}
+	fmt.Printf("[supervisor] done: %d finishers (%d respawned), all replicas consistent: %s\n",
+		len(finishers), respawns, base)
+	return nil
+}
+
+// runElasticWorker is one elastic trainer process, spawned by the
+// supervisor. If killStep >= 0 it hard-exits mid-iteration at that
+// step — os.Exit runs no cleanup, so peers observe exactly what a
+// SIGKILL produces: heartbeat silence and connections closed by the
+// kernel.
+func runElasticWorker(id, storeAddr string, world, iters, batch int, lr float32, killStep, admitStep int) error {
+	if id == "" {
+		return fmt.Errorf("-worker requires -id")
+	}
+	client, err := store.DialTCP(storeAddr)
+	if err != nil {
+		return fmt.Errorf("dialing store: %w", err)
+	}
+	defer client.Close()
+
+	const features, hidden, classes = 64, 64, 10
+	model := models.NewMLP(7, features, hidden, classes)
+	opt := optim.NewSGD(model.Parameters(), lr)
+	opt.Momentum = 0.9
+	cfg := elastic.Config{
+		Store:             client,
+		ID:                id,
+		Prefix:            "elastic",
+		MinWorld:          world - 1,
+		MaxWorld:          world,
+		Grace:             500 * time.Millisecond,
+		HeartbeatInterval: 20 * time.Millisecond,
+		LeaseTimeout:      500 * time.Millisecond,
+		RoundTimeout:      15 * time.Second,
+		DrainTimeout:      200 * time.Millisecond,
+		Builder:           &elastic.TCPBuilder{Store: client},
+		DDP:               ddp.Options{BucketCapBytes: 1 << 16},
+	}
+	agent, err := elastic.NewAgent(cfg, model, opt)
+	if err != nil {
+		return err
+	}
+
+	logged := false
+	step := func(ctx elastic.StepContext) error {
+		if killStep >= 0 && ctx.Step == int64(killStep) {
+			x, _ := elasticBatch(ctx.Step, ctx.Rank, ctx.World, batch, features, classes)
+			ctx.DDP.Forward(autograd.Constant(x))
+			fmt.Printf("[%s] crashing mid-iteration at step %d (gen %d, world %d)\n",
+				id, ctx.Step, ctx.Generation, ctx.World)
+			os.Exit(1)
+		}
+		if ctx.Step == 0 && ctx.Generation == 0 && ctx.World < world {
+			// A slow starter can miss the grace window; wait for its
+			// generation bump so the schedule stays deterministic.
+			return agent.AwaitGenerationChange()
+		}
+		if admitStep >= 0 && ctx.Step == int64(admitStep) && ctx.World < world {
+			return agent.AwaitGenerationChange()
+		}
+		if !logged {
+			logged = true
+			fmt.Printf("[%s] rank %d/%d at generation %d, resuming from step %d\n",
+				id, ctx.Rank, ctx.World, ctx.Generation, ctx.Step)
+		}
+		x, labels := elasticBatch(ctx.Step, ctx.Rank, ctx.World, batch, features, classes)
+		out := ctx.DDP.Forward(autograd.Constant(x))
+		loss := autograd.CrossEntropyLoss(out, labels)
+		if err := ctx.DDP.Backward(loss); err != nil {
+			return err
+		}
+		ctx.Optimizer.Step()
+		ctx.Optimizer.ZeroGrad()
+		if ctx.Rank == 0 && (ctx.Step+1)%20 == 0 {
+			fmt.Printf("[%s] step %4d loss %.4f (gen %d, world %d)\n",
+				id, ctx.Step+1, loss.Value.Item(), ctx.Generation, ctx.World)
+		}
+		return nil
+	}
+	if err := agent.Run(int64(iters), step); err != nil {
+		return err
+	}
+
+	if err := elastic.PublishResult(client, "elastic", id, agent.Step(), model); err != nil {
+		return fmt.Errorf("publishing result: %w", err)
+	}
+	fmt.Printf("[%s] done at step %d, checksum %.6f\n", id, agent.Step(), elastic.ChecksumParams(model))
 	return nil
 }
 
@@ -456,15 +697,7 @@ func runElastic(world, iters, batch int, lr float32, killStep int, respawn bool)
 		finishers = append(finishers, replacement)
 	}
 
-	checksum := func(w *worker) float64 {
-		var s float64
-		for _, p := range w.model.Parameters() {
-			for _, v := range p.Value.Data() {
-				s += float64(v)
-			}
-		}
-		return s
-	}
+	checksum := func(w *worker) float64 { return elastic.ChecksumParams(w.model) }
 	base := checksum(finishers[0])
 	consistent := true
 	for _, w := range finishers[1:] {

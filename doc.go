@@ -35,6 +35,17 @@
 //     internal/simnet's RunElastic models the recovery stall
 //     (detection lease + rendezvous + rebuild + state sync) at
 //     cluster scale.
+//   - The whole fault path works across real OS processes over TCP:
+//     mesh construction is abortable (transport.NewTCPMeshCancel
+//     threads a cancel handle through rendezvous Get, dial, and
+//     accept), TCP meshes and round-robin composite groups implement
+//     Abort so in-flight collectives on a dead peer unblock with
+//     errors, and `ddptrain -elastic -launch` supervises ranks as
+//     subprocesses — a crashed worker process is detected and replaced
+//     by a freshly spawned one that rejoins the rendezvous. The TCP
+//     wire path is zero-copy on little-endian hosts (one writev per
+//     frame, payload read directly into the result slice); the frame
+//     layout is documented in internal/transport.
 //
 // See README.md for a tour, DESIGN.md for the system inventory, and
 // EXPERIMENTS.md for paper-vs-measured results. The benchmarks in

@@ -72,7 +72,16 @@ func NewInProcGroups(world int, opts Options) []ProcessGroup {
 // rendezvousing through st. Name distinguishes independent groups that
 // share a store (e.g. round-robin sub-groups).
 func NewTCPGroup(rank, world int, st store.Store, name string, opts Options) (ProcessGroup, error) {
-	mesh, err := transport.NewTCPMesh(rank, world, st, "pg/"+name)
+	return NewTCPGroupCancel(rank, world, st, name, opts, nil)
+}
+
+// NewTCPGroupCancel is NewTCPGroup with an abort handle for the mesh
+// construction phase: closing cancel releases a rank blocked in
+// rendezvous/dial/accept (because a peer died between seal and build)
+// immediately instead of stalling it until the store timeout. See
+// transport.NewTCPMeshCancel.
+func NewTCPGroupCancel(rank, world int, st store.Store, name string, opts Options, cancel <-chan struct{}) (ProcessGroup, error) {
+	mesh, err := transport.NewTCPMeshCancel(rank, world, st, "pg/"+name, cancel)
 	if err != nil {
 		return nil, fmt.Errorf("comm: building group %q: %w", name, err)
 	}
@@ -182,11 +191,21 @@ func (g *meshGroup) Abort() error {
 	}
 	g.closed = true
 	g.mu.Unlock()
-	err := g.mesh.Close() // unblocks in-flight Send/Recv with errors
-	g.sending.Wait()      // queued ops now error fast, freeing blocked senders
+	err := abortMesh(g.mesh) // unblocks in-flight Send/Recv with errors
+	g.sending.Wait()         // queued ops now error fast, freeing blocked senders
 	close(g.ops)
 	<-g.done
 	return err
+}
+
+// abortMesh cancels a mesh's in-flight operations, preferring the
+// transport's dedicated Abort (TCP: deadline + close, deterministic
+// ErrAborted errors) over a plain Close.
+func abortMesh(m transport.Mesh) error {
+	if a, ok := m.(transport.Aborter); ok {
+		return a.Abort()
+	}
+	return m.Close()
 }
 
 // Aborter is implemented by ProcessGroups that can cancel in-flight

@@ -14,11 +14,17 @@ import (
 // Every rank must construct the RoundRobin wrapper over sub-groups in
 // the same order; the shared dispatch counter then stays aligned across
 // ranks because all ranks submit collectives in the same order.
+//
+// RoundRobin implements Aborter by fanning out to every sub-group, so
+// elastic recovery can tear down a multi-mesh generation exactly like a
+// single-mesh one. Abort and Close are idempotent and may be called in
+// either order (elastic teardown calls both).
 type RoundRobin struct {
 	groups []ProcessGroup
 
-	mu   sync.Mutex
-	next int
+	mu     sync.Mutex
+	next   int
+	closed bool
 }
 
 // NewRoundRobin composes sub-groups into a round-robin group. All
@@ -38,9 +44,15 @@ func NewRoundRobin(groups ...ProcessGroup) (*RoundRobin, error) {
 // NumGroups returns the number of sub-groups being rotated over.
 func (r *RoundRobin) NumGroups() int { return len(r.groups) }
 
+// pick advances the dispatch counter and returns the next sub-group,
+// or nil after Close/Abort (submissions then fail with ErrClosed
+// rather than racing the teardown).
 func (r *RoundRobin) pick() ProcessGroup {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	if r.closed {
+		return nil
+	}
 	g := r.groups[r.next]
 	r.next = (r.next + 1) % len(r.groups)
 	return g
@@ -54,35 +66,79 @@ func (r *RoundRobin) Size() int { return r.groups[0].Size() }
 
 // AllReduce dispatches to the next sub-group.
 func (r *RoundRobin) AllReduce(data []float32, op ReduceOp) Work {
-	return r.pick().AllReduce(data, op)
+	g := r.pick()
+	if g == nil {
+		return CompletedWork(ErrClosed)
+	}
+	return g.AllReduce(data, op)
 }
 
 // Broadcast dispatches to the next sub-group.
 func (r *RoundRobin) Broadcast(data []float32, root int) Work {
-	return r.pick().Broadcast(data, root)
+	g := r.pick()
+	if g == nil {
+		return CompletedWork(ErrClosed)
+	}
+	return g.Broadcast(data, root)
 }
 
 // AllGather dispatches to the next sub-group.
 func (r *RoundRobin) AllGather(dst [][]float32, src []float32) Work {
-	return r.pick().AllGather(dst, src)
+	g := r.pick()
+	if g == nil {
+		return CompletedWork(ErrClosed)
+	}
+	return g.AllGather(dst, src)
 }
 
 // Barrier synchronizes through every sub-group so no in-flight work on
-// any of them can cross the barrier.
+// any of them can cross the barrier. Errors surface deterministically:
+// every sub-group's barrier is waited on, and the reported error is the
+// one from the lowest-indexed failing sub-group, annotated with its
+// index — identical on every rank and across runs regardless of which
+// sub-group worker loses the race to fail first.
 func (r *RoundRobin) Barrier() Work {
-	works := make([]Work, len(r.groups))
-	for i, g := range r.groups {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return CompletedWork(ErrClosed)
+	}
+	groups := r.groups
+	r.mu.Unlock()
+	works := make([]Work, len(groups))
+	for i, g := range groups {
 		works[i] = g.Barrier()
 	}
 	w := newPendingWork()
-	go func() { w.finish(WaitAll(works...)) }()
+	go func() {
+		var first error
+		for i, sub := range works {
+			if err := sub.Wait(); err != nil && first == nil {
+				first = fmt.Errorf("comm: round-robin sub-group %d: %w", i, err)
+			}
+		}
+		w.finish(first)
+	}()
 	return w
 }
 
-// Close closes every sub-group.
+// shutdown marks the wrapper closed and returns the sub-groups to tear
+// down, or nil when a previous Close/Abort already did.
+func (r *RoundRobin) shutdown() []ProcessGroup {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return nil
+	}
+	r.closed = true
+	return r.groups
+}
+
+// Close closes every sub-group, waiting for their in-flight collectives
+// to finish. Safe after Abort (a no-op then) and under repeated calls.
 func (r *RoundRobin) Close() error {
 	var first error
-	for _, g := range r.groups {
+	for _, g := range r.shutdown() {
 		if err := g.Close(); err != nil && first == nil {
 			first = err
 		}
@@ -90,4 +146,19 @@ func (r *RoundRobin) Close() error {
 	return first
 }
 
+// Abort cancels every sub-group, freeing collectives blocked on dead
+// peers (comm.AbortGroup on each, so TCP sub-meshes get the
+// deadline+close treatment). Idempotent, and Close afterwards is a
+// no-op — elastic teardown calls both in sequence.
+func (r *RoundRobin) Abort() error {
+	var first error
+	for _, g := range r.shutdown() {
+		if err := AbortGroup(g); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
 var _ ProcessGroup = (*RoundRobin)(nil)
+var _ Aborter = (*RoundRobin)(nil)

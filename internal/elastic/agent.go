@@ -54,6 +54,11 @@ type Agent struct {
 	reconfig bool
 	killed   bool
 	leaving  bool
+	// buildCancel aborts an in-flight GroupBuilder.Build (idempotent);
+	// non-nil only while a build is running. Kill and generation
+	// watchers close it so a TCP mesh build blocked on a vanished peer
+	// unwinds immediately instead of stalling until the store timeout.
+	buildCancel func()
 }
 
 // NewAgent validates the configuration and prepares a worker. The
@@ -107,8 +112,11 @@ func (a *Agent) DDP() *ddp.DDP {
 func (a *Agent) Kill() {
 	a.mu.Lock()
 	a.killed = true
-	hb, pg := a.hb, a.pg
+	hb, pg, bc := a.hb, a.pg, a.buildCancel
 	a.mu.Unlock()
+	if bc != nil {
+		bc() // a build in flight unwinds instead of finishing
+	}
 	if hb != nil {
 		hb.Stop()
 	}
@@ -201,19 +209,6 @@ func (a *Agent) interrupt(g int) {
 	}()
 }
 
-// watchGeneration arranges for generation bumps to interrupt the
-// current group promptly (freeing collectives blocked on a dead or
-// departed peer). One watcher is parked per generation; each fires at
-// most once and stale ones no-op via the generation guard.
-func (a *Agent) watchGeneration(g int) {
-	go func() {
-		if _, err := a.rdzv.WaitGenerationAbove(g); err != nil {
-			return // store closed: the job is over
-		}
-		a.interrupt(g)
-	}()
-}
-
 // onLeaseExpired is the monitor callback: a peer's heartbeat lease ran
 // out, so propose a new round and break any collective blocked on it.
 func (a *Agent) onLeaseExpired(id string) {
@@ -261,7 +256,40 @@ func (a *Agent) reconfigure() error {
 		if err != nil {
 			return fmt.Errorf("elastic: rendezvous: %w", err)
 		}
-		pg, err := a.cfg.Builder.Build(assign)
+
+		// Arm a cancellation handle for the build: if the generation
+		// moves past this round while the mesh is still forming (a
+		// member died between seal and build), or the agent is killed,
+		// the builder unwinds instead of blocking on the dead peer.
+		// One watcher goroutine is parked per round; it first cancels
+		// any in-flight build, then interrupts the built group —
+		// freeing collectives blocked on a dead or departed peer
+		// (stale watchers no-op via interrupt's generation guard).
+		cancel := make(chan struct{})
+		var cancelOnce sync.Once
+		closeCancel := func() { cancelOnce.Do(func() { close(cancel) }) }
+		a.mu.Lock()
+		a.buildCancel = closeCancel
+		// A Kill that landed after the loop-top check snapshotted a nil
+		// buildCancel and closed nothing; the killed flag is set under
+		// this same lock, so re-checking here closes that window.
+		killed := a.killed
+		a.mu.Unlock()
+		if killed {
+			closeCancel()
+		}
+		go func() {
+			if _, werr := a.rdzv.WaitGenerationAbove(assign.Generation); werr != nil {
+				return // store closed: the job is over
+			}
+			closeCancel() // harmless after the build completed
+			a.interrupt(assign.Generation)
+		}()
+
+		pg, err := a.cfg.Builder.Build(assign, cancel)
+		a.mu.Lock()
+		a.buildCancel = nil
+		a.mu.Unlock()
 		if err != nil {
 			// The round was viable but the group could not form (e.g. a
 			// member died between seal and build); force the next round.
@@ -278,10 +306,10 @@ func (a *Agent) reconfigure() error {
 		a.mu.Unlock()
 
 		// Cover the sync phase: peers that die during the state
-		// broadcast must still be detected, and generation bumps must
-		// still break us out of blocked collectives.
+		// broadcast must still be detected (the monitor), and
+		// generation bumps still break us out of blocked collectives
+		// (the round's watcher goroutine armed before the build).
 		a.mon.SetPeers(peerIDs(assign, a.cfg.ID))
-		a.watchGeneration(assign.Generation)
 
 		source, sourceStep := assign.Source()
 		if err := SyncState(pg, source, a.model, a.opt); err != nil {

@@ -107,8 +107,14 @@ func decodeMember(b []byte) (Member, error) {
 // Implementations must produce a group whose Rank/Size match the
 // assignment; the name they derive from the generation keeps meshes of
 // different generations from crossing wires.
+//
+// cancel may be nil; when non-nil, closing it obliges the builder to
+// unwind a blocked construction promptly and return an error (TCP
+// builds otherwise stall until the store timeout when a peer dies
+// between rendezvous seal and mesh build). The agent closes it on Kill
+// and whenever the generation moves past the round being built.
 type GroupBuilder interface {
-	Build(a *Assignment) (comm.ProcessGroup, error)
+	Build(a *Assignment, cancel <-chan struct{}) (comm.ProcessGroup, error)
 }
 
 // InProcBuilder builds goroutine-rank groups through a shared
@@ -121,8 +127,9 @@ type InProcBuilder struct {
 	Prefix string
 }
 
-// Build claims this rank's member of the generation's group.
-func (b *InProcBuilder) Build(a *Assignment) (comm.ProcessGroup, error) {
+// Build claims this rank's member of the generation's group. In-proc
+// construction never blocks, so cancel is ignored.
+func (b *InProcBuilder) Build(a *Assignment, _ <-chan struct{}) (comm.ProcessGroup, error) {
 	prefix := b.Prefix
 	if prefix == "" {
 		prefix = "elastic"
@@ -140,12 +147,16 @@ type TCPBuilder struct {
 }
 
 // Build constructs this process's member of the generation's TCP group.
-func (b *TCPBuilder) Build(a *Assignment) (comm.ProcessGroup, error) {
+// Closing cancel aborts an in-flight mesh build (rendezvous Get, dial,
+// accept) immediately, releasing the listener and the round's store
+// keys — the path that frees survivors when a peer dies between seal
+// and build.
+func (b *TCPBuilder) Build(a *Assignment, cancel <-chan struct{}) (comm.ProcessGroup, error) {
 	prefix := b.Prefix
 	if prefix == "" {
 		prefix = "elastic"
 	}
-	return comm.NewTCPGroup(a.Rank, a.World, b.Store, fmt.Sprintf("%s-g%d", prefix, a.Generation), b.Opts)
+	return comm.NewTCPGroupCancel(a.Rank, a.World, b.Store, fmt.Sprintf("%s-g%d", prefix, a.Generation), b.Opts, cancel)
 }
 
 // Config parameterizes an elastic worker.

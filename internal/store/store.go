@@ -21,6 +21,10 @@ var ErrTimeout = errors.New("store: wait timed out")
 // ErrClosed is returned by blocking operations when the store shuts down.
 var ErrClosed = errors.New("store: closed")
 
+// ErrCanceled is returned by cancellable blocking operations when their
+// cancel channel closes before the operation completes.
+var ErrCanceled = errors.New("store: operation canceled")
+
 // Store is a process-shared key-value store with blocking waits.
 type Store interface {
 	// Set stores value under key and wakes any waiters.
@@ -47,6 +51,45 @@ type Store interface {
 	// store's change-notification primitive: rendezvous waiters use it
 	// to learn about new generations without polling.
 	Watch(key string, prev []byte) ([]byte, error)
+}
+
+// Canceler is implemented by stores whose blocking Get can be released
+// early: closing cancel makes GetCancel return ErrCanceled instead of
+// blocking until the store timeout. Mesh construction threads its abort
+// handle through this so a worker that dies between rendezvous seal and
+// mesh build does not stall survivors on a Get for an address that will
+// never be published.
+type Canceler interface {
+	GetCancel(key string, cancel <-chan struct{}) ([]byte, error)
+}
+
+// GetCancel performs st.Get(key), honouring cancel when the store
+// supports cancellation. For stores that do not implement Canceler the
+// Get runs on a helper goroutine and the caller is released as soon as
+// cancel closes; the goroutine itself drains when the underlying Get
+// resolves (bounded by the store's own timeout).
+func GetCancel(st Store, key string, cancel <-chan struct{}) ([]byte, error) {
+	if cancel == nil {
+		return st.Get(key)
+	}
+	if c, ok := st.(Canceler); ok {
+		return c.GetCancel(key, cancel)
+	}
+	type result struct {
+		v   []byte
+		err error
+	}
+	ch := make(chan result, 1)
+	go func() {
+		v, err := st.Get(key)
+		ch <- result{v, err}
+	}()
+	select {
+	case r := <-ch:
+		return r.v, r.err
+	case <-cancel:
+		return nil, ErrCanceled
+	}
 }
 
 // InMem is an in-process Store safe for concurrent use.
@@ -84,12 +127,22 @@ func (s *InMem) Set(key string, value []byte) error {
 
 // Get blocks until key exists and returns a copy of its value.
 func (s *InMem) Get(key string) ([]byte, error) {
-	if err := s.Wait(key); err != nil {
-		return nil, err
-	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return append([]byte(nil), s.values[key]...), nil
+	return s.GetCancel(key, nil)
+}
+
+// GetCancel is Get with early release: closing cancel returns
+// ErrCanceled instead of waiting out the store timeout.
+func (s *InMem) GetCancel(key string, cancel <-chan struct{}) ([]byte, error) {
+	var out []byte
+	err := s.waitCancel(cancel, func() bool {
+		v, ok := s.values[key]
+		if !ok {
+			return false
+		}
+		out = append([]byte(nil), v...)
+		return true
+	})
+	return out, err
 }
 
 // Add atomically increments the counter at key by delta.
@@ -168,12 +221,33 @@ func (s *InMem) Wait(keys ...string) error {
 // waitLocked blocks until ready() (evaluated under s.mu) returns true,
 // honouring the store timeout and shutdown.
 func (s *InMem) waitLocked(ready func() bool) error {
+	return s.waitCancel(nil, ready)
+}
+
+// waitCancel is waitLocked with an optional cancel channel; closing it
+// wakes the sleeper with ErrCanceled.
+func (s *InMem) waitCancel(cancel <-chan struct{}, ready func() bool) error {
 	deadline := time.Time{}
 	if s.Timeout > 0 {
 		deadline = time.Now().Add(s.Timeout)
 		// Wake sleepers periodically so the deadline is observed.
 		timer := time.AfterFunc(s.Timeout, func() { s.cond.Broadcast() })
 		defer timer.Stop()
+	}
+	if cancel != nil {
+		// A waker turns the channel close into a Broadcast so the
+		// cond.Wait below observes it; done reaps the waker on return.
+		done := make(chan struct{})
+		defer close(done)
+		go func() {
+			select {
+			case <-cancel:
+				s.mu.Lock()
+				s.cond.Broadcast()
+				s.mu.Unlock()
+			case <-done:
+			}
+		}()
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -183,6 +257,13 @@ func (s *InMem) waitLocked(ready func() bool) error {
 		}
 		if s.closed {
 			return ErrClosed
+		}
+		if cancel != nil {
+			select {
+			case <-cancel:
+				return ErrCanceled
+			default:
+			}
 		}
 		if !deadline.IsZero() && time.Now().After(deadline) {
 			return ErrTimeout
@@ -202,3 +283,4 @@ func (s *InMem) Close() error {
 }
 
 var _ Store = (*InMem)(nil)
+var _ Canceler = (*InMem)(nil)

@@ -1,6 +1,7 @@
 package store
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"testing"
@@ -181,5 +182,34 @@ func TestTCPStoreBlockingGetAcrossClients(t *testing.T) {
 		}
 	case <-time.After(2 * time.Second):
 		t.Fatal("cross-client blocking Get never unblocked")
+	}
+}
+
+func TestInMemGetCancel(t *testing.T) {
+	s := NewInMem(30 * time.Second)
+	cancel := make(chan struct{})
+	done := make(chan error, 1)
+	go func() {
+		_, err := s.GetCancel("never", cancel)
+		done <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	close(cancel)
+	select {
+	case err := <-done:
+		if !errors.Is(err, ErrCanceled) {
+			t.Fatalf("err = %v, want ErrCanceled", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("GetCancel did not release on cancel")
+	}
+
+	// A cancel channel that never fires must not disturb a normal Get.
+	idle := make(chan struct{})
+	defer close(idle)
+	go s.Set("present", []byte("v"))
+	v, err := s.GetCancel("present", idle)
+	if err != nil || string(v) != "v" {
+		t.Fatalf("GetCancel = %q, %v", v, err)
 	}
 }

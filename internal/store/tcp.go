@@ -269,4 +269,45 @@ func (c *TCPClient) Watch(key string, prev []byte) ([]byte, error) {
 	return resp.Value, err
 }
 
+// GetCancel is Get with early release. Like Watch it runs on a
+// dedicated connection (a server-side blocking Get would otherwise
+// stall every other operation on the shared one); closing cancel closes
+// that connection, releasing the caller immediately with ErrCanceled.
+// The server-side waiter drains on its own at the store timeout.
+func (c *TCPClient) GetCancel(key string, cancel <-chan struct{}) ([]byte, error) {
+	if cancel == nil {
+		return c.Get(key)
+	}
+	select {
+	case <-cancel:
+		return nil, ErrCanceled
+	default:
+	}
+	side, err := DialTCP(c.addr)
+	if err != nil {
+		return nil, err
+	}
+	defer side.Close()
+	done := make(chan struct{})
+	defer close(done)
+	go func() {
+		select {
+		case <-cancel:
+			side.Close()
+		case <-done:
+		}
+	}()
+	resp, err := side.roundTrip(request{Op: "get", Key: key})
+	if err != nil {
+		select {
+		case <-cancel:
+			return nil, ErrCanceled
+		default:
+		}
+		return nil, err
+	}
+	return resp.Value, nil
+}
+
 var _ Store = (*TCPClient)(nil)
+var _ Canceler = (*TCPClient)(nil)

@@ -2,6 +2,7 @@ package store
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"strings"
 	"sync"
@@ -262,5 +263,45 @@ func TestInMemDeleteCASWatch(t *testing.T) {
 	}
 	if v, _ := s.Add("ctr", 0); v != 0 {
 		t.Fatalf("counter survived delete: %d", v)
+	}
+}
+
+func TestTCPStoreGetCancel(t *testing.T) {
+	srv, err := ServeTCP("127.0.0.1:0", 30*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	client, err := DialTCP(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	cancel := make(chan struct{})
+	done := make(chan error, 1)
+	go func() {
+		_, err := client.GetCancel("never", cancel)
+		done <- err
+	}()
+	time.Sleep(30 * time.Millisecond)
+	close(cancel)
+	select {
+	case err := <-done:
+		if !errors.Is(err, ErrCanceled) {
+			t.Fatalf("err = %v, want ErrCanceled", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("GetCancel did not release on cancel")
+	}
+
+	// The client's shared connection must remain usable: the cancelled
+	// Get ran on its own side connection.
+	if err := client.Set("k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	v, err := client.GetCancel("k", make(chan struct{}))
+	if err != nil || string(v) != "v" {
+		t.Fatalf("GetCancel after cancel = %q, %v", v, err)
 	}
 }

@@ -1,16 +1,51 @@
 package transport
 
 import (
-	"bufio"
+	"context"
 	"encoding/binary"
+	"errors"
 	"fmt"
+	"io"
 	"math"
 	"net"
 	"strconv"
 	"sync"
+	"time"
+	"unsafe"
 
 	"repro/internal/store"
 )
+
+// hostLittleEndian reports whether the host's float32 memory layout
+// already matches the little-endian wire format, enabling the
+// zero-copy fast path (reinterpret the []float32 as bytes instead of
+// converting element by element). Big-endian hosts fall back to the
+// portable bulk codec.
+var hostLittleEndian = func() bool {
+	var x uint16 = 1
+	return *(*byte)(unsafe.Pointer(&x)) == 1
+}()
+
+// float32Bytes reinterprets data as its underlying bytes without
+// copying. Only valid when hostLittleEndian (the wire is defined as
+// little-endian).
+func float32Bytes(data []float32) []byte {
+	if len(data) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*byte)(unsafe.Pointer(&data[0])), 4*len(data))
+}
+
+// ErrAborted is wrapped by every Send/Recv error after a mesh abort and
+// by NewTCPMeshCancel when construction is cancelled, so callers (the
+// comm worker, elastic recovery) can distinguish a deliberate teardown
+// from a genuine wire failure.
+var ErrAborted = errors.New("transport: mesh aborted")
+
+// frameHeaderLen is the fixed frame prefix: [tag uint64][count uint32],
+// little-endian, followed by count little-endian float32 words. See the
+// package comment for the full wire contract.
+const frameHeaderLen = 12
 
 // tcpMesh is a full mesh of TCP connections between ranks, established
 // through a rendezvous store: every rank publishes its listener address,
@@ -19,14 +54,29 @@ type tcpMesh struct {
 	rank, size int
 	ln         net.Listener
 	peers      []*tcpPeer // indexed by peer rank; nil at own rank
+
+	// st/addrKey let teardown release this rank's rendezvous key so an
+	// aborted or closed mesh leaves nothing behind in the store.
+	st      store.Store
+	addrKey string
+
+	// aborted closes on Abort; Send/Recv consult it to turn the
+	// resulting connection errors into ErrAborted-wrapped ones.
+	aborted   chan struct{}
+	abortOnce sync.Once
+	teardown  sync.Once
 }
 
 type tcpPeer struct {
 	conn net.Conn
-	r    *bufio.Reader
-	w    *bufio.Writer
 	wmu  sync.Mutex
 	rmu  sync.Mutex
+	// wbuf/rbuf are reusable frame scratch buffers, guarded by wmu/rmu:
+	// one bulk encode pass and one Write per Send, one ReadFull per
+	// frame section on Recv — never a per-element syscall or copy loop
+	// through a 4-byte window.
+	wbuf []byte
+	rbuf []byte
 }
 
 // NewTCPMesh builds rank's view of a TCP full mesh across `size`
@@ -34,8 +84,19 @@ type tcpPeer struct {
 // (distinct meshes — e.g. round-robin sub-groups — must use distinct
 // prefixes).
 func NewTCPMesh(rank, size int, st store.Store, prefix string) (Mesh, error) {
+	return NewTCPMeshCancel(rank, size, st, prefix, nil)
+}
+
+// NewTCPMeshCancel is NewTCPMesh with an abort handle: closing cancel
+// unblocks the rendezvous (store.Get of peer addresses), dialing, and
+// accepting immediately, releases the listener plus any connections
+// established so far, deletes this rank's address key, and returns an
+// error wrapping ErrAborted. Elastic recovery closes cancel when the
+// generation moves on mid-build — a worker that died between seal and
+// mesh build must not stall survivors until the store timeout.
+func NewTCPMeshCancel(rank, size int, st store.Store, prefix string, cancel <-chan struct{}) (Mesh, error) {
 	if size == 1 {
-		return &tcpMesh{rank: 0, size: 1}, nil
+		return &tcpMesh{rank: 0, size: 1, aborted: make(chan struct{})}, nil
 	}
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
@@ -47,7 +108,33 @@ func NewTCPMesh(rank, size int, st store.Store, prefix string) (Mesh, error) {
 		return nil, err
 	}
 
-	m := &tcpMesh{rank: rank, size: size, ln: ln, peers: make([]*tcpPeer, size)}
+	b := &meshBuilder{ln: ln, cancel: cancel, done: make(chan struct{})}
+	if cancel != nil {
+		go func() {
+			select {
+			case <-cancel:
+				b.abort()
+			case <-b.done:
+			}
+		}()
+	}
+	defer close(b.done)
+
+	m := &tcpMesh{
+		rank: rank, size: size, ln: ln,
+		peers:   make([]*tcpPeer, size),
+		st:      st,
+		addrKey: key(rank),
+		aborted: make(chan struct{}),
+	}
+	fail := func(err error) (Mesh, error) {
+		b.closeAll()
+		_ = st.Delete(key(rank))
+		if b.cancelled() {
+			return nil, fmt.Errorf("transport: mesh build: %w", ErrAborted)
+		}
+		return nil, err
+	}
 
 	// Accept one connection from every higher rank; the dialer announces
 	// itself by sending its rank in the first 4 bytes.
@@ -60,9 +147,13 @@ func NewTCPMesh(rank, size int, st store.Store, prefix string) (Mesh, error) {
 				acceptErr <- err
 				return
 			}
+			if !b.track(conn) {
+				acceptErr <- ErrAborted
+				return
+			}
 			var hdr [4]byte
-			if _, err := readFull(conn, hdr[:]); err != nil {
-				acceptErr <- err
+			if _, err := io.ReadFull(conn, hdr[:]); err != nil {
+				acceptErr <- fmt.Errorf("transport: handshake read: %w", err)
 				return
 			}
 			peer := int(binary.LittleEndian.Uint32(hdr[:]))
@@ -77,123 +168,337 @@ func NewTCPMesh(rank, size int, st store.Store, prefix string) (Mesh, error) {
 
 	// Dial every lower rank.
 	for peer := 0; peer < rank; peer++ {
-		addrBytes, err := st.Get(key(peer))
+		addrBytes, err := store.GetCancel(st, key(peer), cancel)
 		if err != nil {
-			ln.Close()
-			return nil, fmt.Errorf("transport: rendezvous with rank %d: %w", peer, err)
+			return fail(fmt.Errorf("transport: rendezvous with rank %d: %w", peer, err))
 		}
-		conn, err := net.Dial("tcp", string(addrBytes))
+		conn, err := b.dial(string(addrBytes))
 		if err != nil {
-			ln.Close()
-			return nil, fmt.Errorf("transport: dial rank %d: %w", peer, err)
+			return fail(fmt.Errorf("transport: dial rank %d: %w", peer, err))
 		}
 		var hdr [4]byte
 		binary.LittleEndian.PutUint32(hdr[:], uint32(rank))
 		if _, err := conn.Write(hdr[:]); err != nil {
-			ln.Close()
-			return nil, err
+			return fail(fmt.Errorf("transport: handshake write to rank %d: %w", peer, err))
 		}
 		m.peers[peer] = newTCPPeer(conn)
 	}
 
 	if err := <-acceptErr; err != nil {
-		ln.Close()
-		return nil, fmt.Errorf("transport: accept: %w", err)
+		return fail(fmt.Errorf("transport: accept: %w", err))
+	}
+	// A cancel can land after the last handshake completed; finish()
+	// arbitrates so we never hand back a mesh the abort path has
+	// already torn down.
+	if !b.finish() {
+		return fail(fmt.Errorf("transport: mesh build: %w", ErrAborted))
 	}
 	return m, nil
+}
+
+// meshBuilder tracks every resource a mesh build opens so a concurrent
+// cancel can release them all: the listener (unblocking Accept), each
+// live connection (unblocking handshake reads), and in-flight dials
+// (via the shared context).
+type meshBuilder struct {
+	ln     net.Listener
+	cancel <-chan struct{}
+	done   chan struct{}
+
+	mu       sync.Mutex
+	conns    []net.Conn
+	stopped  bool // no further connections may be tracked
+	canceled bool // the user's cancel fired (vs an ordinary build error)
+	finished bool // the build completed; a late cancel must not touch it
+}
+
+// track registers a connection for teardown; it reports false (closing
+// the connection) when the build was already torn down.
+func (b *meshBuilder) track(conn net.Conn) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.stopped {
+		conn.Close()
+		return false
+	}
+	b.conns = append(b.conns, conn)
+	return true
+}
+
+// dial connects to addr, aborting mid-dial if cancel fires.
+func (b *meshBuilder) dial(addr string) (net.Conn, error) {
+	ctx, stop := context.WithCancel(context.Background())
+	defer stop()
+	go func() {
+		select {
+		case <-b.cancelChan():
+			stop()
+		case <-ctx.Done():
+		}
+	}()
+	var d net.Dialer
+	conn, err := d.DialContext(ctx, "tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	if !b.track(conn) {
+		return nil, ErrAborted
+	}
+	return conn, nil
+}
+
+func (b *meshBuilder) cancelChan() <-chan struct{} {
+	if b.cancel != nil {
+		return b.cancel
+	}
+	return b.done
+}
+
+// abort flags cancellation and closes everything the build holds open.
+// It races the success path through finish(): exactly one of them wins
+// under the mutex, so a build never returns a mesh whose connections a
+// late abort already closed.
+func (b *meshBuilder) abort() {
+	b.mu.Lock()
+	if b.finished {
+		b.mu.Unlock()
+		return
+	}
+	b.canceled = true
+	b.mu.Unlock()
+	b.closeAll()
+}
+
+// finish marks the build complete, reporting false when cancellation
+// won the race (the caller must fail with ErrAborted — its connections
+// are already closed or about to be).
+func (b *meshBuilder) finish() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.canceled {
+		return false
+	}
+	b.finished = true
+	return true
+}
+
+// closeAll releases the listener and every tracked connection (the
+// failure path shared by cancellation and ordinary build errors).
+func (b *meshBuilder) closeAll() {
+	b.mu.Lock()
+	b.stopped = true
+	conns := b.conns
+	b.conns = nil
+	b.mu.Unlock()
+	b.ln.Close()
+	for _, c := range conns {
+		c.Close()
+	}
+}
+
+func (b *meshBuilder) cancelled() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.canceled {
+		return true
+	}
+	if b.cancel != nil {
+		select {
+		case <-b.cancel:
+			return true
+		default:
+		}
+	}
+	return false
 }
 
 func newTCPPeer(conn net.Conn) *tcpPeer {
 	if tc, ok := conn.(*net.TCPConn); ok {
 		tc.SetNoDelay(true)
 	}
-	return &tcpPeer{
-		conn: conn,
-		r:    bufio.NewReaderSize(conn, 1<<16),
-		w:    bufio.NewWriterSize(conn, 1<<16),
-	}
+	return &tcpPeer{conn: conn}
 }
 
 func (m *tcpMesh) Rank() int { return m.rank }
 func (m *tcpMesh) Size() int { return m.size }
 
-// Frame layout: [tag uint64][count uint32][count * float32], all
-// little-endian.
+// grow returns buf resized to n bytes, reallocating only when the
+// capacity is insufficient.
+func grow(buf []byte, n int) []byte {
+	if cap(buf) < n {
+		return make([]byte, n)
+	}
+	return buf[:n]
+}
+
+// encodeFrame fills buf (len frameHeaderLen+4*len(data)) with the wire
+// frame for (tag, data) in one bulk pass.
+func encodeFrame(buf []byte, tag uint64, data []float32) {
+	binary.LittleEndian.PutUint64(buf[0:8], tag)
+	binary.LittleEndian.PutUint32(buf[8:12], uint32(len(data)))
+	payload := buf[frameHeaderLen:]
+	for i, v := range data {
+		binary.LittleEndian.PutUint32(payload[4*i:4*i+4], math.Float32bits(v))
+	}
+}
+
+// decodePayload converts a frame payload back to float32s in one bulk
+// pass.
+func decodePayload(payload []byte, out []float32) {
+	for i := range out {
+		out[i] = math.Float32frombits(binary.LittleEndian.Uint32(payload[4*i : 4*i+4]))
+	}
+}
+
+// Send writes one frame in bulk. On little-endian hosts the payload
+// goes out zero-copy: a writev (net.Buffers) of the 12-byte header and
+// a byte view of the caller's slice — no per-element conversion, no
+// staging buffer, one syscall. The write completes before Send
+// returns, so the caller may reuse data (the Mesh contract). Portable
+// fallback: one bulk encode into a reused buffer and a single Write.
 func (m *tcpMesh) Send(to int, tag uint64, data []float32) error {
 	if to == m.rank || to < 0 || to >= m.size {
 		return fmt.Errorf("transport: invalid send target %d from rank %d", to, m.rank)
 	}
 	p := m.peers[to]
+	if p == nil {
+		return m.stateErr()
+	}
 	p.wmu.Lock()
 	defer p.wmu.Unlock()
-	var hdr [12]byte
-	binary.LittleEndian.PutUint64(hdr[0:8], tag)
-	binary.LittleEndian.PutUint32(hdr[8:12], uint32(len(data)))
-	if _, err := p.w.Write(hdr[:]); err != nil {
-		return err
-	}
-	var buf [4]byte
-	for _, v := range data {
-		binary.LittleEndian.PutUint32(buf[:], math.Float32bits(v))
-		if _, err := p.w.Write(buf[:]); err != nil {
-			return err
+	if hostLittleEndian {
+		var hdr [frameHeaderLen]byte
+		binary.LittleEndian.PutUint64(hdr[0:8], tag)
+		binary.LittleEndian.PutUint32(hdr[8:12], uint32(len(data)))
+		bufs := net.Buffers{hdr[:], float32Bytes(data)}
+		if _, err := bufs.WriteTo(p.conn); err != nil {
+			return m.wireErr("send to", to, err)
 		}
+		return nil
 	}
-	return p.w.Flush()
+	n := frameHeaderLen + 4*len(data)
+	p.wbuf = grow(p.wbuf, n)
+	encodeFrame(p.wbuf, tag, data)
+	if _, err := p.conn.Write(p.wbuf); err != nil {
+		return m.wireErr("send to", to, err)
+	}
+	return nil
 }
 
+// Recv reads one frame: one ReadFull for the header, one for the
+// payload. On little-endian hosts the payload lands directly in the
+// result slice (zero-copy, no decode pass); the portable fallback
+// reads into a reused buffer and bulk-decodes.
 func (m *tcpMesh) Recv(from int, tag uint64) ([]float32, error) {
 	if from == m.rank || from < 0 || from >= m.size {
 		return nil, fmt.Errorf("transport: invalid recv source %d at rank %d", from, m.rank)
 	}
 	p := m.peers[from]
+	if p == nil {
+		return nil, m.stateErr()
+	}
 	p.rmu.Lock()
 	defer p.rmu.Unlock()
-	var hdr [12]byte
-	if _, err := readFull(p.r, hdr[:]); err != nil {
-		return nil, fmt.Errorf("transport: recv header from rank %d: %w", from, err)
+	var hdr [frameHeaderLen]byte
+	if _, err := io.ReadFull(p.conn, hdr[:]); err != nil {
+		return nil, m.wireErr("recv header from", from, err)
 	}
 	gotTag := binary.LittleEndian.Uint64(hdr[0:8])
 	count := binary.LittleEndian.Uint32(hdr[8:12])
-	payload := make([]byte, 4*count)
-	if _, err := readFull(p.r, payload); err != nil {
-		return nil, fmt.Errorf("transport: recv payload from rank %d: %w", from, err)
-	}
 	if gotTag != tag {
+		// Check the tag BEFORE trusting count: a desynced stream (the
+		// case this error exists for) yields garbage in both fields,
+		// and allocating count floats could demand gigabytes. Drain
+		// the claimed payload through a bounded buffer so framing is
+		// preserved for callers that can continue.
+		if _, err := io.CopyN(io.Discard, p.conn, int64(4)*int64(count)); err != nil {
+			return nil, m.wireErr("recv payload from", from, err)
+		}
 		return nil, &TagMismatchError{From: from, Want: tag, Got: gotTag}
 	}
 	data := make([]float32, count)
-	for i := range data {
-		data[i] = math.Float32frombits(binary.LittleEndian.Uint32(payload[4*i : 4*i+4]))
+	if hostLittleEndian {
+		if _, err := io.ReadFull(p.conn, float32Bytes(data)); err != nil {
+			return nil, m.wireErr("recv payload from", from, err)
+		}
+	} else {
+		p.rbuf = grow(p.rbuf, 4*int(count))
+		if _, err := io.ReadFull(p.conn, p.rbuf); err != nil {
+			return nil, m.wireErr("recv payload from", from, err)
+		}
+		decodePayload(p.rbuf, data)
 	}
 	return data, nil
 }
 
-func (m *tcpMesh) Close() error {
-	var first error
-	if m.ln != nil {
-		first = m.ln.Close()
+// stateErr describes why a peer slot is unusable (abort, close, or a
+// singleton mesh with no peers).
+func (m *tcpMesh) stateErr() error {
+	if m.isAborted() {
+		return fmt.Errorf("transport: rank %d: %w", m.rank, ErrAborted)
 	}
-	for _, p := range m.peers {
-		if p != nil {
-			if err := p.conn.Close(); err != nil && first == nil {
-				first = err
+	return fmt.Errorf("transport: rank %d: no connection", m.rank)
+}
+
+// wireErr wraps a connection error, attributing it to the abort when
+// one is in flight so blocked collectives fail with a deterministic
+// cause rather than an incidental "use of closed network connection".
+func (m *tcpMesh) wireErr(op string, peer int, err error) error {
+	if m.isAborted() {
+		return fmt.Errorf("transport: %s rank %d: %w", op, peer, ErrAborted)
+	}
+	return fmt.Errorf("transport: %s rank %d: %w", op, peer, err)
+}
+
+func (m *tcpMesh) isAborted() bool {
+	select {
+	case <-m.aborted:
+		return true
+	default:
+		return false
+	}
+}
+
+// release closes the listener and every connection exactly once, and
+// deletes this rank's address key from the rendezvous store.
+func (m *tcpMesh) release() error {
+	var first error
+	m.teardown.Do(func() {
+		if m.ln != nil {
+			first = m.ln.Close()
+		}
+		for _, p := range m.peers {
+			if p != nil {
+				if err := p.conn.Close(); err != nil && first == nil {
+					first = err
+				}
 			}
 		}
-	}
+		if m.st != nil && m.addrKey != "" {
+			_ = m.st.Delete(m.addrKey)
+		}
+	})
 	return first
 }
 
-type reader interface{ Read([]byte) (int, error) }
+func (m *tcpMesh) Close() error { return m.release() }
 
-func readFull(r reader, buf []byte) (int, error) {
-	n := 0
-	for n < len(buf) {
-		k, err := r.Read(buf[n:])
-		n += k
-		if err != nil {
-			return n, err
+// Abort tears the mesh down so that in-flight Send/Recv — possibly
+// blocked forever on a peer that will never answer — return promptly
+// with errors wrapping ErrAborted. Each connection gets an immediate
+// deadline before it is closed, covering writers parked inside the
+// kernel send path as well as blocked readers. Idempotent, and safe to
+// interleave with Close in either order.
+func (m *tcpMesh) Abort() error {
+	m.abortOnce.Do(func() { close(m.aborted) })
+	now := time.Now()
+	for _, p := range m.peers {
+		if p != nil {
+			_ = p.conn.SetDeadline(now)
 		}
 	}
-	return n, nil
+	return m.release()
 }
+
+var _ Mesh = (*tcpMesh)(nil)
+var _ Aborter = (*tcpMesh)(nil)

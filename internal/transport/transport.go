@@ -10,6 +10,42 @@
 // let the algorithms assert that both sides agree on which logical
 // message is in flight (mismatches surface as errors rather than
 // corrupted reductions — the failure mode of Fig 3(a) in the paper).
+//
+// # TCP wire format
+//
+// Every message is one frame, all fields little-endian:
+//
+//	[tag uint64][count uint32][count x float32]
+//
+// The 12-byte header carries the collective's tag (for ordering
+// verification) and the payload element count. Frames are encoded and
+// decoded in bulk: the sender serializes header+payload into one reused
+// buffer and issues a single Write; the receiver issues one ReadFull
+// for the header and one for the payload, then converts in a single
+// pass. There is no per-element I/O anywhere on the hot path.
+//
+// During mesh construction, each rank additionally sends a 4-byte
+// little-endian handshake (its own rank) immediately after dialing.
+//
+// # Abort semantics
+//
+// Both meshes support cancellation of in-flight operations, the
+// mechanism elastic recovery uses to free ranks blocked on a dead peer:
+//
+//   - TCP meshes implement Aborter. Abort sets an immediate deadline on
+//     every connection and closes them (plus the listener), so blocked
+//     Send/Recv return errors wrapping ErrAborted instead of waiting on
+//     a peer that will never answer. Abort and Close are idempotent and
+//     may interleave in either order; both delete the rank's address
+//     key from the rendezvous store.
+//   - TCP mesh construction is abortable via NewTCPMeshCancel: closing
+//     the cancel channel unblocks the rendezvous Get, dial, and accept
+//     paths, releases the listener and partial connections, and removes
+//     the rank's store keys.
+//   - The in-process mesh reaches the same end through Close: frame
+//     channels are never closed, but each rank has a shared `closed`
+//     signal that both its own pending operations and its peers' select
+//     on.
 package transport
 
 import (
@@ -31,6 +67,14 @@ type Mesh interface {
 	Recv(from int, tag uint64) ([]float32, error)
 	// Close releases the mesh's resources.
 	Close() error
+}
+
+// Aborter is implemented by meshes that can cancel in-flight Send/Recv
+// calls: Abort unblocks them with errors wrapping ErrAborted. Unlike
+// Close, Abort is safe to call while peers are mid-collective on a dead
+// rank — it is the transport half of comm.AbortGroup.
+type Aborter interface {
+	Abort() error
 }
 
 // TagMismatchError reports a collective-ordering violation: the message

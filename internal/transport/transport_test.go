@@ -2,6 +2,8 @@ package transport
 
 import (
 	"errors"
+	"net"
+	"strconv"
 	"sync"
 	"testing"
 	"time"
@@ -223,4 +225,217 @@ func TestTCPMeshWorldOfOne(t *testing.T) {
 		t.Fatal("singleton mesh wrong")
 	}
 	m.Close()
+}
+
+// ---- TCP fault paths -------------------------------------------------------
+
+// TestTCPMeshAbortUnblocksRecv: a rank blocked in Recv on a peer that
+// never sends (the Section 7 deadlock) must be freed by Abort with an
+// error wrapping ErrAborted.
+func TestTCPMeshAbortUnblocksRecv(t *testing.T) {
+	meshes := buildTCPMeshes(t, 2)
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := meshes[0].Recv(1, 5)
+		errCh <- err
+	}()
+	time.Sleep(30 * time.Millisecond) // let Recv park inside the read
+
+	aborter, ok := meshes[0].(Aborter)
+	if !ok {
+		t.Fatal("TCP mesh does not implement Aborter")
+	}
+	if err := aborter.Abort(); err != nil {
+		t.Fatalf("Abort: %v", err)
+	}
+	select {
+	case err := <-errCh:
+		if !errors.Is(err, ErrAborted) {
+			t.Fatalf("Recv after abort = %v, want to wrap ErrAborted", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Abort did not unblock Recv")
+	}
+	// Post-abort operations fail fast, and repeated Abort/Close are safe.
+	if err := meshes[0].Send(1, 0, []float32{1}); !errors.Is(err, ErrAborted) {
+		t.Fatalf("Send after abort = %v, want ErrAborted", err)
+	}
+	if err := aborter.Abort(); err != nil {
+		t.Fatalf("double Abort: %v", err)
+	}
+	if err := meshes[0].Close(); err != nil {
+		t.Fatalf("Close after Abort: %v", err)
+	}
+}
+
+// TestTCPMeshPeerDeathUnblocksRecv: the peer vanishes (its connections
+// are torn down, as the OS does for a SIGKILLed process) while this
+// rank is blocked receiving from it. The survivor must get an error,
+// not hang.
+func TestTCPMeshPeerDeathUnblocksRecv(t *testing.T) {
+	meshes := buildTCPMeshes(t, 2)
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := meshes[0].Recv(1, 5)
+		errCh <- err
+	}()
+	time.Sleep(30 * time.Millisecond)
+	meshes[1].Close() // abrupt death of the peer
+	select {
+	case err := <-errCh:
+		if err == nil {
+			t.Fatal("Recv from a dead peer reported success")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("peer death left Recv blocked")
+	}
+}
+
+// TestTCPMeshTagMismatchAfterDesync: over real TCP, a frame carrying
+// the wrong tag (two ranks disagreeing about which collective is in
+// flight) surfaces as TagMismatchError rather than corrupt data.
+func TestTCPMeshTagMismatchAfterDesync(t *testing.T) {
+	meshes := buildTCPMeshes(t, 2)
+	if err := meshes[0].Send(1, 7, []float32{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	_, err := meshes[1].Recv(0, 8)
+	var tm *TagMismatchError
+	if !errors.As(err, &tm) {
+		t.Fatalf("err = %v, want TagMismatchError", err)
+	}
+	if tm.From != 0 || tm.Want != 8 || tm.Got != 7 {
+		t.Fatalf("mismatch detail %+v", tm)
+	}
+}
+
+// TestTCPMeshBuildAbortReleasesResources is the "worker dies between
+// seal and mesh build" scenario: two of three ranks start building, the
+// third never arrives. Closing cancel must (a) unblock both builders
+// promptly with ErrAborted, (b) release their listeners, and (c)
+// delete their address keys from the store.
+func TestTCPMeshBuildAbortReleasesResources(t *testing.T) {
+	st := store.NewInMem(30 * time.Second)
+	defer st.Close()
+	cancel := make(chan struct{})
+
+	errs := make(chan error, 2)
+	for _, rank := range []int{0, 1} {
+		go func(rank int) {
+			_, err := NewTCPMeshCancel(rank, 3, st, "partial", cancel)
+			errs <- err
+		}(rank)
+	}
+
+	// Rank 0 and 1 have published their addresses and are now parked:
+	// rank 0 accepting (expects ranks 1 AND 2), rank 1 accepting rank 2.
+	addr0, err := st.Get("partial/addr/0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(50 * time.Millisecond)
+	close(cancel)
+
+	for i := 0; i < 2; i++ {
+		select {
+		case err := <-errs:
+			if !errors.Is(err, ErrAborted) {
+				t.Fatalf("builder %d returned %v, want to wrap ErrAborted", i, err)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatal("cancelled mesh build did not unblock")
+		}
+	}
+
+	// Listener released: dialing the published address must fail.
+	if conn, err := net.Dial("tcp", string(addr0)); err == nil {
+		conn.Close()
+		t.Fatal("rank 0's listener still accepting after aborted build")
+	}
+	// Store keys released: a CAS with old==nil succeeds only on a
+	// missing key.
+	for _, rank := range []int{0, 1} {
+		key := "partial/addr/" + strconv.Itoa(rank)
+		if swapped, err := st.CompareAndSwap(key, nil, []byte("probe")); err != nil || !swapped {
+			t.Fatalf("rank %d's address key survived the aborted build (swapped=%v, err=%v)", rank, swapped, err)
+		}
+	}
+}
+
+// TestTCPMeshBuildAbortDuringRendezvousGet: rank 1 blocks in store.Get
+// for rank 0's address, which is never published. Cancellation must cut
+// through the blocking store read itself.
+func TestTCPMeshBuildAbortDuringRendezvousGet(t *testing.T) {
+	st := store.NewInMem(30 * time.Second)
+	defer st.Close()
+	cancel := make(chan struct{})
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := NewTCPMeshCancel(1, 2, st, "lonely", cancel)
+		errCh <- err
+	}()
+	time.Sleep(30 * time.Millisecond)
+	close(cancel)
+	select {
+	case err := <-errCh:
+		if !errors.Is(err, ErrAborted) {
+			t.Fatalf("err = %v, want to wrap ErrAborted", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("cancel did not cut through the rendezvous Get")
+	}
+}
+
+// TestTCPMeshCloseReleasesStoreKey: an orderly Close also removes the
+// rank's address key so long-lived jobs do not leak one key per mesh
+// generation.
+func TestTCPMeshCloseReleasesStoreKey(t *testing.T) {
+	srv, err := store.ServeTCP("127.0.0.1:0", 10*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	meshes := buildTCPMeshesOn(t, srv, 2, "closing")
+	for _, m := range meshes {
+		m.Close()
+	}
+	client, err := store.DialTCP(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	for _, rank := range []int{0, 1} {
+		key := "closing/addr/" + strconv.Itoa(rank)
+		if swapped, err := client.CompareAndSwap(key, nil, []byte("probe")); err != nil || !swapped {
+			t.Fatalf("rank %d's address key survived Close (swapped=%v, err=%v)", rank, swapped, err)
+		}
+	}
+}
+
+// buildTCPMeshesOn is buildTCPMeshes against an existing store server
+// and prefix (no cleanup of the meshes themselves).
+func buildTCPMeshesOn(t *testing.T, srv *store.TCPServer, world int, prefix string) []Mesh {
+	t.Helper()
+	meshes := make([]Mesh, world)
+	var wg sync.WaitGroup
+	errs := make([]error, world)
+	for r := 0; r < world; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			client, err := store.DialTCP(srv.Addr())
+			if err != nil {
+				errs[rank] = err
+				return
+			}
+			meshes[rank], errs[rank] = NewTCPMesh(rank, world, client, prefix)
+		}(r)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	return meshes
 }
