@@ -36,6 +36,18 @@
 // the respawned process — holds a bit-identical replica:
 //
 //	ddptrain -elastic -launch -world 3 -iters 60 -kill-step 20
+//
+// With -ckpt-dir the elastic modes additionally persist durable sharded
+// checkpoints every -ckpt-every steps (asynchronously unless
+// -ckpt-async=false), and -resume cold-starts from the newest committed
+// checkpoint. The -kill-all variant demonstrates the failure elastic
+// recovery alone cannot survive: every worker process is crashed at
+// -kill-step, and the supervisor relaunches the whole world with
+// -resume — the run continues from the last committed checkpoint
+// instead of being lost:
+//
+//	ddptrain -elastic -launch -world 3 -iters 60 -kill-step 20 \
+//	    -ckpt-dir /tmp/ddpckpt -ckpt-every 5 -kill-all
 package main
 
 import (
@@ -49,6 +61,7 @@ import (
 	"time"
 
 	"repro/internal/autograd"
+	"repro/internal/ckpt"
 	"repro/internal/comm"
 	"repro/internal/data"
 	"repro/internal/ddp"
@@ -76,7 +89,12 @@ func main() {
 		rr        = flag.Int("rr", 1, "number of round-robin process groups (Section 5.4)")
 		elast     = flag.Bool("elastic", false, "run the elastic fault-tolerance demo instead (in-proc; with -launch, across OS processes)")
 		killStep  = flag.Int("kill-step", -1, "elastic: step at which one worker is crashed (default iters/3)")
+		killAll   = flag.Bool("kill-all", false, "elastic -launch: crash EVERY worker at -kill-step, then cold-restart the whole world from the last checkpoint (requires -ckpt-dir)")
 		respawn   = flag.Bool("respawn", true, "elastic: boot a replacement worker after the crash")
+		ckptDir   = flag.String("ckpt-dir", "", "elastic: durable checkpoint directory (empty: checkpointing disabled)")
+		ckptEvery = flag.Int("ckpt-every", 10, "elastic: save a sharded checkpoint every n steps")
+		ckptAsync = flag.Bool("ckpt-async", true, "elastic: persist checkpoints on a background goroutine instead of the training hot path")
+		resume    = flag.Bool("resume", false, "elastic: cold-start restore from the newest committed checkpoint in -ckpt-dir")
 		worker    = flag.Bool("worker", false, "internal: run as a single elastic worker process (spawned by -elastic -launch)")
 		workerID  = flag.String("id", "", "internal: elastic worker identity")
 		admitStep = flag.Int("admit-step", -1, "internal: step at which incumbents yield to admit a respawned worker")
@@ -84,14 +102,15 @@ func main() {
 	flag.Parse()
 
 	if *elast {
+		ck := ckptFlags{dir: *ckptDir, every: *ckptEvery, async: *ckptAsync, resume: *resume}
 		var err error
 		switch {
 		case *worker:
-			err = runElasticWorker(*workerID, *storeAddr, *world, *iters, *batch, float32(*lr), *killStep, *admitStep)
+			err = runElasticWorker(*workerID, *storeAddr, *world, *iters, *batch, float32(*lr), *killStep, *admitStep, ck)
 		case *launch:
-			err = runElasticSupervisor(*world, *iters, *batch, float32(*lr), *killStep, *respawn, *storeAddr)
+			err = runElasticSupervisor(*world, *iters, *batch, float32(*lr), *killStep, *killAll, *respawn, *storeAddr, ck)
 		default:
-			err = runElastic(*world, *iters, *batch, float32(*lr), *killStep, *respawn)
+			err = runElastic(*world, *iters, *batch, float32(*lr), *killStep, *respawn, ck)
 		}
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "ddptrain elastic: %v\n", err)
@@ -278,15 +297,54 @@ func run(rank, world int, storeAddr string, launch bool, iters, batch int, lr fl
 
 // ---- elastic across OS processes -------------------------------------------
 
+// ckptFlags bundles the checkpoint command-line knobs threaded through
+// the elastic modes.
+type ckptFlags struct {
+	dir    string
+	every  int
+	async  bool
+	resume bool
+}
+
+// args renders the flags for a spawned worker process.
+func (c ckptFlags) args() []string {
+	if c.dir == "" {
+		return nil
+	}
+	return []string{
+		"-ckpt-dir", c.dir,
+		"-ckpt-every", fmt.Sprint(c.every),
+		fmt.Sprintf("-ckpt-async=%v", c.async),
+		fmt.Sprintf("-resume=%v", c.resume),
+	}
+}
+
+// config converts the flags into the agent configuration (nil when
+// checkpointing is disabled).
+func (c ckptFlags) config() *elastic.CheckpointConfig {
+	if c.dir == "" {
+		return nil
+	}
+	return &elastic.CheckpointConfig{Dir: c.dir, Every: int64(c.every), Async: c.async, Resume: c.resume}
+}
+
 // runElasticSupervisor hosts the rendezvous store and supervises
 // `world` elastic worker subprocesses: it detects child exits and, when
 // a worker dies before finishing, spawns a replacement process that
 // rejoins the running job — the cross-process analogue of
 // torchelastic's agent. One worker is told to crash at killStep, so a
 // full failure+recovery cycle is exercised end to end.
-func runElasticSupervisor(world, iters, batch int, lr float32, killStep int, respawn bool, storeAddr string) error {
+//
+// With -kill-all (requires -ckpt-dir), every worker crashes at
+// killStep instead — the failure elastic recovery alone cannot survive
+// — and the supervisor relaunches the whole world with -resume, which
+// cold-starts from the last committed checkpoint.
+func runElasticSupervisor(world, iters, batch int, lr float32, killStep int, killAll, respawn bool, storeAddr string, ck ckptFlags) error {
 	if world < 2 {
 		return fmt.Errorf("-elastic -launch needs -world >= 2, got %d", world)
+	}
+	if killAll && ck.dir == "" {
+		return fmt.Errorf("-kill-all needs -ckpt-dir: with no checkpoint, killing every worker simply loses the run")
 	}
 	if killStep < 0 {
 		killStep = iters / 3
@@ -297,9 +355,10 @@ func runElasticSupervisor(world, iters, batch int, lr float32, killStep int, res
 	// Incumbents yield at admitStep until the replacement's generation
 	// bump lands, so the training loop cannot outrun the respawn.
 	// Without -respawn there is nothing to wait for: survivors just
-	// finish at the shrunken world.
+	// finish at the shrunken world. (In -kill-all mode the admit step is
+	// set later, to the restored step of the cold-restarted world.)
 	admitStep := -1
-	if respawn {
+	if respawn && !killAll {
 		admitStep = killStep + 3
 		if admitStep >= iters {
 			admitStep = iters - 1
@@ -315,13 +374,14 @@ func runElasticSupervisor(world, iters, batch int, lr float32, killStep int, res
 		id   string
 		code int
 	}
-	exits := make(chan exit, world+2)
+	exits := make(chan exit, 2*world+2)
 	running := 0
-	launchWorker := func(id string, victim bool) error {
+	launchWorker := func(id string, victim bool, c ckptFlags) error {
 		args := []string{"-elastic", "-worker", "-id", id, "-store", storeAddr,
 			"-world", fmt.Sprint(world), "-iters", fmt.Sprint(iters),
 			"-batch", fmt.Sprint(batch), "-lr", fmt.Sprint(lr),
 			"-admit-step", fmt.Sprint(admitStep)}
+		args = append(args, c.args()...)
 		if victim {
 			args = append(args, "-kill-step", fmt.Sprint(killStep))
 		}
@@ -345,17 +405,24 @@ func runElasticSupervisor(world, iters, batch int, lr float32, killStep int, res
 		return nil
 	}
 
-	victimID := fmt.Sprintf("w%d", world-1)
+	victims := map[string]bool{fmt.Sprintf("w%d", world-1): true}
+	if killAll {
+		for i := 0; i < world; i++ {
+			victims[fmt.Sprintf("w%d", i)] = true
+		}
+	}
 	for i := 0; i < world; i++ {
-		if err := launchWorker(fmt.Sprintf("w%d", i), i == world-1); err != nil {
+		id := fmt.Sprintf("w%d", i)
+		if err := launchWorker(id, victims[id], ck); err != nil {
 			return err
 		}
 	}
 
-	// The demo injects exactly one crash (the victim's); any other
-	// failure is real.
-	crashed := false
+	// The demo injects exactly the planned crashes (one victim, or the
+	// whole world with -kill-all); any other failure is real.
+	crashes := 0
 	respawns := 0
+	coldRestarted := false
 	var finishers []string
 	for running > 0 {
 		e := <-exits
@@ -365,10 +432,46 @@ func runElasticSupervisor(world, iters, batch int, lr float32, killStep int, res
 			continue
 		}
 		fmt.Printf("[supervisor] worker %s exited with code %d\n", e.id, e.code)
-		if e.id != victimID || crashed {
+		if !victims[e.id] || coldRestarted {
 			return fmt.Errorf("worker %s failed unexpectedly (code %d)", e.id, e.code)
 		}
-		crashed = true
+		crashes++
+		if killAll {
+			if crashes < world {
+				continue // the rest of the doomed world is still dying
+			}
+			// Every worker is dead: the scenario elastic recovery alone
+			// cannot survive. Cold-restart the full world from the last
+			// committed checkpoint; incumbents park at the restored step
+			// until the whole world has re-formed, keeping the resumed
+			// schedule deterministic.
+			meta, err := ckpt.LatestMeta(ck.dir)
+			if err != nil {
+				return fmt.Errorf("kill-all: no checkpoint to cold-restart from: %w", err)
+			}
+			fmt.Printf("[supervisor] all %d workers dead; cold-restarting from checkpoint at step %d (saved by world %d)\n",
+				world, meta.Step, meta.World)
+			// The store still holds the dead world's sealed round; open a
+			// fresh one or the relaunched workers would park as standbys
+			// of a generation whose members no longer exist. (A job
+			// restarted against a brand-new store skips this naturally.)
+			if err := advanceGeneration(storeAddr); err != nil {
+				return fmt.Errorf("kill-all: opening a fresh rendezvous round: %w", err)
+			}
+			admitStep = int(meta.Step)
+			coldRestarted = true
+			ckResume := ck
+			ckResume.resume = true
+			for i := 0; i < world; i++ {
+				if err := launchWorker(fmt.Sprintf("c%d", i), false, ckResume); err != nil {
+					return err
+				}
+			}
+			continue
+		}
+		if crashes > 1 {
+			return fmt.Errorf("worker %s failed unexpectedly (code %d)", e.id, e.code)
+		}
 		if !respawn {
 			fmt.Printf("[supervisor] -respawn=false: survivors continue at world %d\n", world-1)
 			continue
@@ -376,7 +479,7 @@ func runElasticSupervisor(world, iters, batch int, lr float32, killStep int, res
 		respawns++
 		id := fmt.Sprintf("r%d", respawns)
 		fmt.Printf("[supervisor] respawning replacement process %s\n", id)
-		if err := launchWorker(id, false); err != nil {
+		if err := launchWorker(id, false, ck); err != nil {
 			return err
 		}
 	}
@@ -408,12 +511,33 @@ func runElasticSupervisor(world, iters, batch int, lr float32, killStep int, res
 	return nil
 }
 
+// advanceGeneration bumps the elastic generation on the shared store,
+// abandoning any round sealed by a now-dead world so freshly launched
+// workers rendezvous from a clean slate.
+func advanceGeneration(storeAddr string) error {
+	client, err := store.DialTCP(storeAddr)
+	if err != nil {
+		return err
+	}
+	defer client.Close()
+	rdzv, err := elastic.NewRendezvous(elastic.Config{Store: client, Prefix: "elastic"})
+	if err != nil {
+		return err
+	}
+	g, err := rdzv.CurrentGeneration()
+	if err != nil {
+		return err
+	}
+	_, err = rdzv.ProposeGeneration(g)
+	return err
+}
+
 // runElasticWorker is one elastic trainer process, spawned by the
 // supervisor. If killStep >= 0 it hard-exits mid-iteration at that
 // step — os.Exit runs no cleanup, so peers observe exactly what a
 // SIGKILL produces: heartbeat silence and connections closed by the
 // kernel.
-func runElasticWorker(id, storeAddr string, world, iters, batch int, lr float32, killStep, admitStep int) error {
+func runElasticWorker(id, storeAddr string, world, iters, batch int, lr float32, killStep, admitStep int, ck ckptFlags) error {
 	if id == "" {
 		return fmt.Errorf("-worker requires -id")
 	}
@@ -440,6 +564,7 @@ func runElasticWorker(id, storeAddr string, world, iters, batch int, lr float32,
 		DrainTimeout:      200 * time.Millisecond,
 		Builder:           &elastic.TCPBuilder{Store: client},
 		DDP:               ddp.Options{BucketCapBytes: 1 << 16},
+		Checkpoint:        ck.config(),
 	}
 	agent, err := elastic.NewAgent(cfg, model, opt)
 	if err != nil {
@@ -516,7 +641,7 @@ func elasticBatch(step int64, rank, world, batch, features, classes int) (*tenso
 // workers train in-proc; one is crashed mid-iteration, survivors
 // detect it and reconfigure, a replacement rejoins and is brought up
 // to date, and every surviving replica ends bit-identical.
-func runElastic(world, iters, batch int, lr float32, killStep int, respawn bool) error {
+func runElastic(world, iters, batch int, lr float32, killStep int, respawn bool, ck ckptFlags) error {
 	if world < 2 {
 		return fmt.Errorf("-elastic needs -world >= 2, got %d", world)
 	}
@@ -542,6 +667,7 @@ func runElastic(world, iters, batch int, lr float32, killStep int, respawn bool)
 			LeaseTimeout:      300 * time.Millisecond,
 			Builder:           &elastic.InProcBuilder{Registry: reg},
 			DDP:               ddp.Options{BucketCapBytes: 1 << 16},
+			Checkpoint:        ck.config(),
 		}
 	}
 

@@ -1,54 +1,91 @@
 // Package repro is a pure-Go reproduction of "PyTorch Distributed:
 // Experiences on Accelerating Data Parallel Training" (Li et al.,
-// VLDB 2020): a DistributedDataParallel implementation with gradient
-// bucketing, communication/computation overlap, no_sync, and
-// unused-parameter detection, built on a from-scratch tensor/autograd
-// stack and a c10d-style collective communication layer, plus a
-// calibrated simulator regenerating every figure of the paper's
-// evaluation.
+// VLDB 2020), grown past the paper's published evaluation into a
+// fault-tolerant, durably-checkpointed distributed training system.
+// It is organized as three cooperating subsystems on one substrate.
 //
-// Beyond the paper's published evaluation, internal/elastic implements
-// its Section 7 future direction — elasticity and fault tolerance —
-// as a torchelastic-style layer on the rendezvous store:
+// # Subsystem 1: the DDP core (the paper's contribution)
 //
-//   - Generation-numbered rendezvous: workers register in rounds and
-//     receive (rank, world, generation) assignments; generations
-//     advance through a CompareAndSwap fence on the store, so
-//     concurrent failure detections produce one linear history of
-//     membership changes.
-//   - Heartbeat failure detection: every worker bumps a store counter
-//     and monitors every peer's; a lease expiry marks the peer dead
-//     and triggers the next rendezvous round. Survivors blocked inside
-//     a collective on the dead rank are freed by aborting the process
-//     group (comm.AbortGroup) — without this, one crashed rank
-//     deadlocks every collective in the job.
-//   - World reconfiguration with state sync: survivors rebuild the
-//     ProcessGroup under the new generation, and the member with the
-//     most completed steps broadcasts model parameters, buffers, and
-//     flattened optimizer state (optim.StateFlattener), so training
-//     resumes from the last completed step; only the in-flight
-//     iteration is retried.
-//   - elastic.Agent: the elastic training loop wrapping ddp.DDP,
-//     swapping process groups via ddp.SetProcessGroup after each
-//     reconfiguration. `ddptrain -elastic` and examples/elastic
-//     demonstrate crash recovery and clean scale-down/up end to end;
-//     internal/simnet's RunElastic models the recovery stall
-//     (detection lease + rendezvous + rebuild + state sync) at
-//     cluster scale.
-//   - The whole fault path works across real OS processes over TCP:
-//     mesh construction is abortable (transport.NewTCPMeshCancel
-//     threads a cancel handle through rendezvous Get, dial, and
-//     accept), TCP meshes and round-robin composite groups implement
-//     Abort so in-flight collectives on a dead peer unblock with
-//     errors, and `ddptrain -elastic -launch` supervises ranks as
-//     subprocesses — a crashed worker process is detected and replaced
-//     by a freshly spawned one that rejoins the rendezvous. The TCP
-//     wire path is zero-copy on little-endian hosts (one writev per
-//     frame, payload read directly into the result slice); the frame
-//     layout is documented in internal/transport.
+// internal/ddp implements DistributedDataParallel with the paper's
+// optimizations: gradient bucketing (Section 3.2.3), communication/
+// computation overlap via autograd hooks, no_sync accumulation, and
+// unused-parameter detection. It sits on a from-scratch stack:
+// internal/tensor and internal/autograd (the compute substrate),
+// internal/nn and internal/optim (modules and optimizers, including
+// state serialization — nn.SaveState/LoadState with a versioned
+// header, and optim.StateFlattener for momentum/Adam state as a flat
+// vector), internal/comm (the c10d-style collective layer: ProcessGroup
+// with async Work handles, ring/tree/naive AllReduce, round-robin
+// composite groups), internal/transport (point-to-point meshes:
+// in-process channels and a zero-copy TCP wire), and internal/store
+// (the rendezvous key-value store: in-mem and TCP, with Watch,
+// CompareAndSwap, and cancellable Get). internal/bench and
+// internal/simnet regenerate the paper's figures.
 //
-// See README.md for a tour, DESIGN.md for the system inventory, and
-// EXPERIMENTS.md for paper-vs-measured results. The benchmarks in
-// bench_test.go regenerate each table and figure; cmd/ddpbench prints
-// them as full tables.
+// # Subsystem 2: elastic fault tolerance (internal/elastic)
+//
+// The paper's Section 7 future direction. Workers register with a
+// generation-numbered rendezvous; generations advance only through a
+// CompareAndSwap fence, so concurrent failure detections produce one
+// linear history of membership changes. Heartbeat counters with lease
+// timeouts detect death; survivors blocked in collectives on a dead
+// rank are freed by aborting the process group (comm.AbortGroup,
+// transport.Aborter). After each round the member with the most
+// completed steps broadcasts model + optimizer state (SyncState), and
+// elastic.Agent swaps the rebuilt group into DDP and retries the
+// interrupted step. The whole fault path works across real OS
+// processes over TCP (`ddptrain -elastic -launch`).
+//
+// # Subsystem 3: durable checkpointing (internal/ckpt)
+//
+// Elastic recovery requires a survivor; checkpointing covers the rest.
+// Every rank persists its shard of a byte-identical state blob in
+// parallel (CRC-checked, versioned, atomic rename-on-commit), rank 0
+// commits a manifest only after a barrier confirms every shard is
+// durable, and an async writer keeps everything but a state memcpy off
+// the training hot path. On cold start the agent restores the newest
+// committed checkpoint — torn commits are rejected, corruption falls
+// back to the previous checkpoint, and re-sharding across differing
+// world sizes is the ordinary read path — then joins the rendezvous
+// holding the restored step, so the existing most-advanced-member
+// election distributes the state. See the internal/ckpt package doc
+// for the format and protocol.
+//
+// # Package dependency graph
+//
+// Arrows point at dependencies; each subsystem touches only the layers
+// beneath it:
+//
+//	elastic ──▶ ckpt ──▶ nn, optim
+//	   │          │
+//	   │          └────▶ comm, store
+//	   ├────────▶ ddp ─▶ nn, autograd, comm
+//	   └────────▶ comm ─▶ transport ─▶ store
+//	                         (tensor under everything)
+//
+// # Recovery matrix
+//
+// Which mechanism recovers which failure:
+//
+//	single rank crashes        → elastic resync: lease expiry, generation
+//	                             CAS, group abort, re-rendezvous, state
+//	                             sync from the most advanced survivor;
+//	                             only the in-flight iteration is retried
+//	single rank hangs silently → same path, entered via lease expiry
+//	                             rather than broken connections
+//	workers added/removed      → same path, minus the crash: clean
+//	                             leaves and joins bump the generation at
+//	                             iteration boundaries
+//	ALL ranks crash            → ckpt restore: a cold-started world
+//	                             loads the newest committed checkpoint
+//	                             and resumes from its step
+//	checkpoint torn/corrupted  → ckpt validation: torn commits are
+//	                             invisible (no manifest), corruption is
+//	                             caught by CRC and falls back to the
+//	                             previous committed checkpoint
+//
+// ARCHITECTURE.md walks one full failure/recovery timeline with
+// pointers into the code. The benchmarks in bench_test.go regenerate
+// each of the paper's tables and figures, and cmd/ddpbench prints them
+// as full tables.
 package repro

@@ -1,0 +1,129 @@
+package ckpt
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/comm"
+	"repro/internal/store"
+)
+
+// ErrAbandoned is returned when a save is canceled before its commit
+// point — typically because the elastic generation moved on (a peer
+// died mid-save, so the full set of shards will never materialize).
+// Abandoned saves are harmless: their shards sit uncommitted, no
+// manifest references them, and retention eventually sweeps them.
+var ErrAbandoned = errors.New("ckpt: save abandoned before commit")
+
+// Committer coordinates the commit point of a sharded save. Done marks
+// the calling rank's shard durable; on the committing rank (rank 0) it
+// additionally blocks until every rank of the save's world has done so
+// — the barrier after which the manifest may be written. Non-committing
+// ranks return as soon as their own shard is acknowledged: the commit
+// protocol is asymmetric, only the manifest writer needs the barrier.
+//
+// Closing cancel (may be nil) obliges Done to unwind promptly with
+// ErrAbandoned.
+type Committer interface {
+	Done(generation int, step int64, rank, world int, cancel <-chan struct{}) error
+}
+
+// StoreCommitter coordinates commits through the rendezvous store: each
+// rank bumps a per-(generation, step) arrival counter once its shard is
+// durable, and rank 0 polls the counter until it reaches the world
+// size. This keeps checkpoint coordination entirely off the collective
+// data plane, so asynchronous saves never interleave store traffic with
+// training collectives (whose submission order must match across ranks).
+type StoreCommitter struct {
+	// St is the shared store; required.
+	St store.Store
+	// Prefix namespaces the arrival counters (default "ckpt").
+	Prefix string
+	// Poll paces rank 0's counter polling (default 2ms).
+	Poll time.Duration
+	// Timeout bounds rank 0's wait for stragglers (default 60s); on
+	// expiry Done returns an error and no manifest is committed.
+	Timeout time.Duration
+}
+
+// doneKey is the arrival counter for the (g, s) save. Generations make
+// the key unique across world reconfigurations: a save interrupted by a
+// membership change can never pollute the counter of a later save at
+// the same step, because the later save runs under a higher generation.
+func (c *StoreCommitter) doneKey(g int, s int64) string {
+	prefix := c.Prefix
+	if prefix == "" {
+		prefix = "ckpt"
+	}
+	return fmt.Sprintf("%s/g%d/s%d/done", prefix, g, s)
+}
+
+// Done bumps the save's arrival counter; rank 0 then waits for all
+// world arrivals and garbage-collects the counter before returning.
+func (c *StoreCommitter) Done(generation int, step int64, rank, world int, cancel <-chan struct{}) error {
+	key := c.doneKey(generation, step)
+	n, err := c.St.Add(key, 1)
+	if err != nil {
+		return fmt.Errorf("ckpt: signaling shard done: %w", err)
+	}
+	if rank != 0 {
+		return nil
+	}
+	poll := c.Poll
+	if poll <= 0 {
+		poll = 2 * time.Millisecond
+	}
+	timeout := c.Timeout
+	if timeout <= 0 {
+		timeout = 60 * time.Second
+	}
+	deadline := time.Now().Add(timeout)
+	for n < int64(world) {
+		select {
+		case <-cancel:
+			return ErrAbandoned
+		default:
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("ckpt: commit barrier for step %d (generation %d): %d/%d shards after %v",
+				step, generation, n, world, timeout)
+		}
+		time.Sleep(poll)
+		if n, err = c.St.Add(key, 0); err != nil {
+			return fmt.Errorf("ckpt: polling commit barrier: %w", err)
+		}
+	}
+	// All shards durable; the counter has served its purpose. Followers
+	// never re-read it (they returned after their own Add), so deleting
+	// here cannot strand anyone.
+	_ = c.St.Delete(key)
+	return nil
+}
+
+// GroupCommitter coordinates commits with a collective Barrier on a
+// process group. Correct only for synchronous in-loop saves, where
+// every rank submits the Barrier at the same point of its collective
+// schedule; asynchronous saves must use StoreCommitter instead, or the
+// background Barrier would race training collectives for submission
+// order. An aborted group (elastic recovery) surfaces here as a Barrier
+// error, which Save reports without committing.
+type GroupCommitter struct {
+	// PG is the group to rendezvous on; required. Its Rank/Size must
+	// match the save's.
+	PG comm.ProcessGroup
+}
+
+// Done runs a Barrier on the group; cancel is ignored (aborting the
+// group is the cancellation path for collectives).
+func (c *GroupCommitter) Done(generation int, step int64, rank, world int, _ <-chan struct{}) error {
+	if err := c.PG.Barrier().Wait(); err != nil {
+		return fmt.Errorf("ckpt: commit barrier for step %d (generation %d): %w", step, generation, err)
+	}
+	return nil
+}
+
+var (
+	_ Committer = (*StoreCommitter)(nil)
+	_ Committer = (*GroupCommitter)(nil)
+)

@@ -5,6 +5,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/ckpt"
 	"repro/internal/comm"
 	"repro/internal/ddp"
 	"repro/internal/nn"
@@ -54,6 +55,13 @@ type Agent struct {
 	reconfig bool
 	killed   bool
 	leaving  bool
+	// ck is the checkpoint machinery (nil when Config.Checkpoint is
+	// nil); saveCancel is the current generation's save-abandon signal,
+	// re-armed by each successful reconfiguration and nil while a
+	// membership change is in flight.
+	ck         *agentCkpt
+	saveCancel chan struct{}
+	restored   *ckpt.Meta
 	// buildCancel aborts an in-flight GroupBuilder.Build (idempotent);
 	// non-nil only while a build is running. Kill and generation
 	// watchers close it so a TCP mesh build blocked on a vanished peer
@@ -114,6 +122,7 @@ func (a *Agent) Kill() {
 	a.killed = true
 	hb, pg, bc := a.hb, a.pg, a.buildCancel
 	a.mu.Unlock()
+	a.cancelSaves() // a save blocked at its commit barrier unwinds too
 	if bc != nil {
 		bc() // a build in flight unwinds instead of finishing
 	}
@@ -194,6 +203,11 @@ func (a *Agent) interrupt(g int) {
 	}
 	a.reconfig = true
 	a.mu.Unlock()
+	// Abandon saves of the interrupted generation: a dead member may
+	// never contribute its shard, so their commit barriers can only be
+	// satisfied by the next generation's saves. The previous committed
+	// checkpoint stays loadable throughout.
+	a.cancelSaves()
 	go func() {
 		time.Sleep(a.cfg.DrainTimeout)
 		a.mu.Lock()
@@ -251,6 +265,7 @@ func (a *Agent) reconfigure() error {
 			return ErrKilled
 		}
 		a.teardownGroup()
+		a.cancelSaves()
 
 		assign, err := a.rdzv.Join(Member{ID: a.cfg.ID, Step: a.Step()})
 		if err != nil {
@@ -349,6 +364,9 @@ func (a *Agent) reconfigure() error {
 		a.mu.Lock()
 		a.d = d
 		a.mu.Unlock()
+		// The new world is fully formed; its saves get a fresh abandon
+		// signal (closed again by the next interrupt or Kill).
+		a.armSaves()
 		return nil
 	}
 	return fmt.Errorf("elastic: giving up after %d failed reconfiguration attempts", a.cfg.MaxRestarts)
@@ -370,11 +388,21 @@ func peerIDs(a *Assignment, self string) []string {
 // nil on completion or clean departure (Leave), ErrKilled after Kill,
 // and a terminal error when recovery is exhausted or the store fails.
 func (a *Agent) Run(totalSteps int64, step StepFunc) error {
+	// Checkpoint machinery first: a cold-starting worker must hold its
+	// restored progress before it registers for its first rendezvous,
+	// so the most-advanced-member election sees the restored step.
+	if err := a.initCheckpoint(); err != nil {
+		return err
+	}
+	if err := a.restoreCheckpoint(); err != nil {
+		return err
+	}
 	a.mu.Lock()
 	a.hb = StartHeartbeat(a.cfg.Store, a.cfg.Prefix, a.cfg.ID, a.cfg.HeartbeatInterval)
 	a.mon = StartMonitor(a.cfg.Store, a.cfg.Prefix, a.cfg.LeaseTimeout, a.cfg.PollInterval, a.onLeaseExpired)
 	a.mu.Unlock()
 	defer func() {
+		a.abortCheckpoint() // no-op after a clean finishCheckpoint
 		a.mon.Stop()
 		a.hb.Stop()
 		a.mu.Lock()
@@ -404,7 +432,7 @@ func (a *Agent) Run(totalSteps int64, step StepFunc) error {
 			g := a.assign.Generation
 			a.mu.Unlock()
 			_, _ = a.rdzv.ProposeGeneration(g)
-			return nil
+			return a.finishCheckpoint()
 		}
 		if a.reconfigNeeded() || a.generationAdvanced() {
 			if err := a.reconfigure(); err != nil {
@@ -434,6 +462,9 @@ func (a *Agent) Run(totalSteps int64, step StepFunc) error {
 			a.mu.Lock()
 			a.step++
 			a.mu.Unlock()
+			if cerr := a.maybeSaveCheckpoint(); cerr != nil {
+				return cerr
+			}
 		case err == ErrReconfigure:
 			if rerr := a.reconfigure(); rerr != nil {
 				return rerr
@@ -453,7 +484,7 @@ func (a *Agent) Run(totalSteps int64, step StepFunc) error {
 			}
 		}
 	}
-	return nil
+	return a.finishCheckpoint()
 }
 
 // generationAdvanced reports whether the store's generation has moved

@@ -1,0 +1,185 @@
+package elastic
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/ckpt"
+)
+
+// agentCkpt is one agent's checkpoint machinery for one Run: the shared
+// directory writer plus, in async mode, the background persister.
+type agentCkpt struct {
+	cfg   CheckpointConfig
+	w     *ckpt.Writer
+	async *ckpt.AsyncWriter
+}
+
+// initCheckpoint validates the checkpoint configuration and builds the
+// writer. Commit coordination goes through the rendezvous store
+// (ckpt.StoreCommitter) rather than a collective Barrier, so
+// asynchronous saves never inject collectives into the training data
+// plane — whose submission order must match across ranks.
+func (a *Agent) initCheckpoint() error {
+	cc := a.cfg.Checkpoint
+	if cc == nil {
+		return nil
+	}
+	if cc.Dir == "" {
+		return errors.New("elastic: CheckpointConfig.Dir is required")
+	}
+	w := &ckpt.Writer{
+		Dir:  cc.Dir,
+		Keep: cc.Keep,
+		Committer: &ckpt.StoreCommitter{
+			St:      a.cfg.Store,
+			Prefix:  a.cfg.Prefix + "/ckpt",
+			Poll:    a.cfg.PollInterval,
+			Timeout: a.cfg.RoundTimeout,
+		},
+	}
+	a.ck = &agentCkpt{cfg: *cc, w: w}
+	if cc.Async {
+		a.ck.async = ckpt.NewAsyncWriter(w)
+	}
+	return nil
+}
+
+// restoreCheckpoint is the cold-start restore path: before the first
+// rendezvous, load the newest committed checkpoint (if resuming) into
+// the model and optimizer and adopt its step count. The worker then
+// joins the rendezvous holding restored progress, so the existing
+// most-advanced-member election and SyncState broadcast distribute the
+// restored state to every rank — a cold start is recovered by exactly
+// the mechanism that recovers a partial failure. Re-sharding is free:
+// ckpt.Restore reassembles the full state regardless of the world size
+// that saved it.
+func (a *Agent) restoreCheckpoint() error {
+	if a.ck == nil || !a.ck.cfg.Resume {
+		return nil
+	}
+	meta, err := ckpt.Restore(a.ck.cfg.Dir, a.model, a.opt)
+	if errors.Is(err, ckpt.ErrNoCheckpoint) {
+		return nil // genuinely fresh start
+	}
+	if err != nil {
+		// Committed checkpoints exist but none loads: refuse to train.
+		// Silently restarting from step 0 would "recover" by destroying
+		// the very progress checkpointing exists to protect.
+		return fmt.Errorf("elastic: cold-start restore: %w", err)
+	}
+	a.mu.Lock()
+	a.step = meta.Step
+	a.restored = &meta
+	a.mu.Unlock()
+	return nil
+}
+
+// RestoredCheckpoint reports the progress record of the checkpoint this
+// agent cold-started from, if any. Callers whose data schedule depends
+// on a run-level seed read Meta.Seed from here (the agent records the
+// configured seed at save time but does not interpret it — batching is
+// the StepFunc's business).
+func (a *Agent) RestoredCheckpoint() (ckpt.Meta, bool) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.restored == nil {
+		return ckpt.Meta{}, false
+	}
+	return *a.restored, true
+}
+
+// maybeSaveCheckpoint persists the training state if the just-completed
+// step count is a save point. All ranks execute the same step sequence,
+// so all ranks reach the same save points with the same (generation,
+// world) — the invariant the sharded commit protocol needs. A save
+// canceled by a concurrent membership change is abandoned silently (the
+// previous committed checkpoint remains); any other failure is an
+// error.
+func (a *Agent) maybeSaveCheckpoint() error {
+	ck := a.ck
+	if ck == nil || ck.cfg.Every <= 0 {
+		return nil
+	}
+	a.mu.Lock()
+	step := a.step
+	assign := a.assign
+	cancel := a.saveCancel
+	a.mu.Unlock()
+	if step%ck.cfg.Every != 0 || assign == nil {
+		return nil
+	}
+	if cancel == nil {
+		// A membership change is already in flight; skipping keeps this
+		// rank out of a commit round that can never complete.
+		return nil
+	}
+	snap, err := ckpt.Capture(a.model, a.opt, ckpt.Meta{
+		Step:       step,
+		Generation: assign.Generation,
+		World:      assign.World,
+		Seed:       ck.cfg.Seed,
+	})
+	if err != nil {
+		return fmt.Errorf("elastic: capturing checkpoint: %w", err)
+	}
+	if ck.async != nil {
+		if err := ck.async.Submit(snap, assign.Rank, assign.World, cancel); err != nil {
+			return fmt.Errorf("elastic: checkpoint: %w", err)
+		}
+		return nil
+	}
+	if err := ck.w.Save(snap, assign.Rank, assign.World, cancel); err != nil && !errors.Is(err, ckpt.ErrAbandoned) {
+		return fmt.Errorf("elastic: checkpoint: %w", err)
+	}
+	return nil
+}
+
+// cancelSaves abandons any save blocked at its commit barrier and
+// leaves saveCancel nil, so no new save starts until the next
+// reconfiguration arms a fresh channel. Idempotent.
+func (a *Agent) cancelSaves() {
+	a.mu.Lock()
+	ch := a.saveCancel
+	a.saveCancel = nil
+	a.mu.Unlock()
+	if ch != nil {
+		close(ch)
+	}
+}
+
+// armSaves installs a fresh cancellation channel for the new
+// generation's saves.
+func (a *Agent) armSaves() {
+	a.mu.Lock()
+	a.saveCancel = make(chan struct{})
+	a.mu.Unlock()
+}
+
+// finishCheckpoint drains the async persister so the final checkpoint
+// is committed before Run returns. Called on the clean-completion path;
+// the error surfaces there, because "training finished but its last
+// checkpoint did not land" is a durability gap the caller must see.
+func (a *Agent) finishCheckpoint() error {
+	if a.ck == nil || a.ck.async == nil {
+		return nil
+	}
+	if err := a.ck.async.Close(); err != nil {
+		return fmt.Errorf("elastic: draining checkpoints: %w", err)
+	}
+	return nil
+}
+
+// abortCheckpoint tears the checkpoint machinery down on failure paths:
+// in-flight saves are abandoned rather than drained, and their errors
+// are discarded — the run is already exiting with a more fundamental
+// error.
+func (a *Agent) abortCheckpoint() {
+	if a.ck == nil {
+		return
+	}
+	a.cancelSaves()
+	if a.ck.async != nil {
+		_ = a.ck.async.Close()
+	}
+}

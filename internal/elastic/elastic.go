@@ -28,6 +28,16 @@
 //     the rebuilt ProcessGroup (ddp.SetProcessGroup) and re-arming the
 //     bucket assignment after each reconfiguration, and retries the
 //     interrupted step after recovery.
+//
+//   - Durable checkpointing (Config.Checkpoint, internal/ckpt): the
+//     failure elastic recovery alone cannot survive is every worker
+//     dying at once. With checkpointing enabled the agent persists
+//     sharded state every N steps and, on a cold start with Resume, a
+//     worker loads the newest committed checkpoint before its first
+//     rendezvous and joins holding the restored step — recovered by the
+//     same most-advanced-member election and SyncState broadcast that
+//     recover a partial failure. ARCHITECTURE.md walks the full
+//     timeline.
 package elastic
 
 import (
@@ -201,6 +211,41 @@ type Config struct {
 	Builder GroupBuilder
 	// DDP configures the wrapped DistributedDataParallel instance.
 	DDP ddp.Options
+	// Checkpoint enables durable sharded checkpointing (nil: disabled).
+	// With it, the run survives even the failure mode elastic recovery
+	// alone cannot: every worker dying at once.
+	Checkpoint *CheckpointConfig
+}
+
+// CheckpointConfig wires the ckpt subsystem into an elastic worker:
+// periodic sharded saves during training, and cold-start restore at
+// Run startup. All workers of a job must use the same directory
+// (resolving to shared storage, or one host) and the same Every.
+type CheckpointConfig struct {
+	// Dir is the checkpoint directory; required.
+	Dir string
+	// Every saves a checkpoint after each step count divisible by it
+	// (0: never save — restore-only).
+	Every int64
+	// Async persists checkpoints on a background goroutine, leaving
+	// only the state capture (a memcpy) on the training hot path.
+	Async bool
+	// Keep is how many committed checkpoints to retain (ckpt.Writer's
+	// default when 0).
+	Keep int
+	// Resume probes Dir at startup: if a committed checkpoint exists,
+	// the worker restores it — model, optimizer, and step — before its
+	// first rendezvous, and joins as a candidate state-sync source at
+	// the restored step, exactly like a most-advanced survivor. Torn or
+	// corrupt newest checkpoints fall back to the previous committed
+	// one; a directory with only corrupt checkpoints is a loud error,
+	// never a silent restart from step 0.
+	Resume bool
+	// Seed is recorded verbatim in each checkpoint's Meta and handed
+	// back through Agent.RestoredCheckpoint after a cold-start restore.
+	// The agent itself never interprets it: a StepFunc whose data
+	// schedule depends on a run-level seed reads it from there.
+	Seed int64
 }
 
 // withDefaults fills zero-valued knobs. Only Store is universally

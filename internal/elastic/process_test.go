@@ -56,6 +56,10 @@ func elasticWorkerMain() int {
 		maxW      = envInt("EW_MAX", 3)
 		crashStep = int64(envInt("EW_CRASH_STEP", -1))
 		admitStep = int64(envInt("EW_ADMIT_STEP", -1))
+		ckptDir   = os.Getenv("EW_CKPT_DIR")
+		ckptEvery = int64(envInt("EW_CKPT_EVERY", 0))
+		ckptAsync = envInt("EW_CKPT_ASYNC", 0) == 1
+		resume    = envInt("EW_RESUME", 0) == 1
 	)
 	client, err := store.DialTCP(addr)
 	if err != nil {
@@ -80,6 +84,9 @@ func elasticWorkerMain() int {
 		DrainTimeout:      200 * time.Millisecond,
 		Builder:           &TCPBuilder{Store: client},
 		DDP:               ddp.Options{BucketCapBytes: testBucketCap},
+	}
+	if ckptDir != "" {
+		cfg.Checkpoint = &CheckpointConfig{Dir: ckptDir, Every: ckptEvery, Async: ckptAsync, Resume: resume}
 	}
 	agent, err := NewAgent(cfg, model, opt)
 	if err != nil {

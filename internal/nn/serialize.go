@@ -1,12 +1,28 @@
 package nn
 
 import (
+	"bytes"
+	"encoding/binary"
 	"encoding/gob"
 	"fmt"
 	"io"
+	"slices"
 
 	"repro/internal/tensor"
 )
+
+// StateFormatVersion is the current version of SaveState's encoding.
+// SaveState writes it in a fixed header ahead of the payload so
+// downstream formats that embed state dicts (the ckpt package's
+// manifests and shards) can evolve the encoding without guessing;
+// LoadState rejects streams written by a newer version and transparently
+// accepts headerless streams from before the header existed.
+const StateFormatVersion = 1
+
+// stateMagic identifies a SaveState stream ("GONNSD" + 2-digit header
+// revision). Streams from before the header was introduced start with
+// gob type-definition bytes instead and are detected by the mismatch.
+var stateMagic = [8]byte{'G', 'O', 'N', 'N', 'S', 'D', '0', '1'}
 
 // stateEntry is one serialized tensor of a state dict.
 type stateEntry struct {
@@ -25,10 +41,17 @@ type stateDict struct {
 	Buffers []stateEntry
 }
 
-// SaveState writes m's parameters and buffers to w (gob encoding).
-// Typically only rank 0 saves: replicas are identical by DDP's
-// guarantee.
+// SaveState writes m's parameters and buffers to w: an 8-byte magic,
+// a little-endian uint32 format version (StateFormatVersion), then the
+// gob-encoded state dict. Typically only rank 0 saves: replicas are
+// identical by DDP's guarantee.
 func SaveState(w io.Writer, m Module) error {
+	var hdr [12]byte
+	copy(hdr[:8], stateMagic[:])
+	binary.LittleEndian.PutUint32(hdr[8:], StateFormatVersion)
+	if _, err := w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("nn: writing state header: %w", err)
+	}
 	var sd stateDict
 	for _, p := range m.Parameters() {
 		sd.Params = append(sd.Params, stateEntry{
@@ -52,8 +75,25 @@ func SaveState(w io.Writer, m Module) error {
 
 // LoadState restores parameters and buffers saved by SaveState into m,
 // validating names and shapes so a checkpoint cannot silently load into
-// the wrong architecture.
+// the wrong architecture; a mismatch reports which entry disagreed and
+// both shapes. Headerless streams written before StateFormatVersion
+// existed load transparently; streams from a newer format version are
+// rejected.
 func LoadState(r io.Reader, m Module) error {
+	var hdr [12]byte
+	n, err := io.ReadFull(r, hdr[:])
+	switch {
+	case err == nil && bytes.Equal(hdr[:8], stateMagic[:]):
+		if v := binary.LittleEndian.Uint32(hdr[8:]); v > StateFormatVersion {
+			return fmt.Errorf("nn: state format version %d is newer than supported %d", v, StateFormatVersion)
+		}
+	case err == nil || err == io.ErrUnexpectedEOF:
+		// No header: a legacy stream. Re-attach the consumed bytes and
+		// decode the whole thing as gob.
+		r = io.MultiReader(bytes.NewReader(hdr[:n]), r)
+	default:
+		return fmt.Errorf("nn: reading state header: %w", err)
+	}
 	var sd stateDict
 	if err := gob.NewDecoder(r).Decode(&sd); err != nil {
 		return fmt.Errorf("nn: decoding state: %w", err)
@@ -63,7 +103,7 @@ func LoadState(r io.Reader, m Module) error {
 		return fmt.Errorf("nn: checkpoint has %d parameters, model has %d", len(sd.Params), len(params))
 	}
 	for i, p := range params {
-		if err := checkEntry(sd.Params[i], p.Name, p.Value); err != nil {
+		if err := checkEntry(sd.Params[i], "parameter", p.Name, p.Value); err != nil {
 			return err
 		}
 	}
@@ -72,7 +112,7 @@ func LoadState(r io.Reader, m Module) error {
 		return fmt.Errorf("nn: checkpoint has %d buffers, model has %d", len(sd.Buffers), len(buffers))
 	}
 	for i, b := range buffers {
-		if err := checkEntry(sd.Buffers[i], b.Name, b.Data); err != nil {
+		if err := checkEntry(sd.Buffers[i], "buffer", b.Name, b.Data); err != nil {
 			return err
 		}
 	}
@@ -86,20 +126,17 @@ func LoadState(r io.Reader, m Module) error {
 	return nil
 }
 
-func checkEntry(e stateEntry, name string, t *tensor.Tensor) error {
+// checkEntry validates one checkpoint entry against the model's tensor
+// of the same position, naming the entry and both shapes on mismatch.
+func checkEntry(e stateEntry, kind, name string, t *tensor.Tensor) error {
 	if e.Name != name {
-		return fmt.Errorf("nn: checkpoint entry %q does not match model entry %q", e.Name, name)
+		return fmt.Errorf("nn: checkpoint %s %q does not match model %s %q", kind, e.Name, kind, name)
+	}
+	if !slices.Equal(e.Shape, t.Shape()) {
+		return fmt.Errorf("nn: %s %q shape mismatch: checkpoint %v, model %v", kind, name, e.Shape, t.Shape())
 	}
 	if len(e.Data) != t.Size() {
-		return fmt.Errorf("nn: %q has %d elements in checkpoint, %d in model", name, len(e.Data), t.Size())
-	}
-	if len(e.Shape) != t.Dim() {
-		return fmt.Errorf("nn: %q rank mismatch", name)
-	}
-	for d := range e.Shape {
-		if e.Shape[d] != t.Dims(d) {
-			return fmt.Errorf("nn: %q shape %v does not match model %v", name, e.Shape, t.Shape())
-		}
+		return fmt.Errorf("nn: %s %q has %d elements in checkpoint, %d in model (shape %v)", kind, name, len(e.Data), t.Size(), t.Shape())
 	}
 	return nil
 }

@@ -2,6 +2,7 @@ package nn
 
 import (
 	"bytes"
+	"encoding/binary"
 	"math/rand"
 	"strings"
 	"testing"
@@ -75,6 +76,77 @@ func TestLoadRejectsWrongArchitecture(t *testing.T) {
 	err := LoadState(&buf, wrongNames)
 	if err == nil || !strings.Contains(err.Error(), "other") {
 		t.Fatalf("mismatched names must be rejected with detail, got %v", err)
+	}
+}
+
+func TestLoadReportsMismatchedShapeByName(t *testing.T) {
+	src := checkpointModel(1)
+	var buf bytes.Buffer
+	if err := SaveState(&buf, src); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	wrongShape := NewSequential(
+		NewLinear(rng, "fc1", 4, 8), // widened: fc1's tensors change shape
+		NewBatchNorm("bn", 8),
+		ReLU{},
+		NewLinear(rng, "fc2", 8, 2),
+	)
+	err := LoadState(&buf, wrongShape)
+	if err == nil {
+		t.Fatal("mismatched shapes must be rejected")
+	}
+	// The error must identify the offending entry and both shapes, not
+	// just say "mismatch".
+	for _, want := range []string{"fc1", "[4 6]", "[4 8]"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("shape mismatch error %q does not mention %q", err, want)
+		}
+	}
+}
+
+func TestSaveStateWritesVersionHeader(t *testing.T) {
+	var buf bytes.Buffer
+	if err := SaveState(&buf, checkpointModel(1)); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	if len(raw) < 12 || string(raw[:8]) != "GONNSD01" {
+		t.Fatalf("stream does not start with the state magic: % x", raw[:12])
+	}
+	if v := binary.LittleEndian.Uint32(raw[8:12]); v != StateFormatVersion {
+		t.Fatalf("header version %d, want %d", v, StateFormatVersion)
+	}
+}
+
+func TestLoadStateAcceptsLegacyHeaderlessStream(t *testing.T) {
+	src := checkpointModel(1)
+	var buf bytes.Buffer
+	if err := SaveState(&buf, src); err != nil {
+		t.Fatal(err)
+	}
+	legacy := buf.Bytes()[12:] // strip the header: the pre-version encoding
+	dst := checkpointModel(2)
+	if err := LoadState(bytes.NewReader(legacy), dst); err != nil {
+		t.Fatalf("legacy stream rejected: %v", err)
+	}
+	for i, p := range dst.Parameters() {
+		if !p.Value.Equal(src.Parameters()[i].Value) {
+			t.Fatalf("parameter %s not restored from legacy stream", p.Name)
+		}
+	}
+}
+
+func TestLoadStateRejectsNewerFormatVersion(t *testing.T) {
+	var buf bytes.Buffer
+	if err := SaveState(&buf, checkpointModel(1)); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	binary.LittleEndian.PutUint32(raw[8:12], StateFormatVersion+1)
+	err := LoadState(bytes.NewReader(raw), checkpointModel(2))
+	if err == nil || !strings.Contains(err.Error(), "newer") {
+		t.Fatalf("future-version stream must be rejected loudly, got %v", err)
 	}
 }
 

@@ -84,6 +84,8 @@ type TagMismatchError struct {
 	Want, Got uint64
 }
 
+// Error renders the mismatch with both tags and the sending rank, so a
+// desynchronized schedule is diagnosable from the message alone.
 func (e *TagMismatchError) Error() string {
 	return fmt.Sprintf("transport: tag mismatch from rank %d: want %d, got %d (collective ordering violated)", e.From, e.Want, e.Got)
 }
