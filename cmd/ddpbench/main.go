@@ -10,6 +10,7 @@
 //	ddpbench -exp fig11       # convergence with no_sync (real training)
 //	ddpbench -exp fig12       # round-robin process groups
 //	ddpbench -exp table1      # taxonomy of distributed training schemes
+//	ddpbench -exp hierarchical # flat-ring vs topology-aware hierarchical AllReduce
 //	ddpbench -exp all         # everything above
 package main
 
@@ -24,24 +25,25 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id: fig2, fig6, fig7, fig8, fig9, fig10, fig11, fig12, table1, or all")
+	exp := flag.String("exp", "all", "experiment id: fig2, fig6, fig7, fig8, fig9, fig10, fig11, fig12, table1, ablation, hierarchical, or all")
 	iters := flag.Int("iters", 400, "iterations per simulated latency distribution")
 	trainIters := flag.Int("train-iters", 350, "training iterations for the fig11 convergence runs")
 	flag.Parse()
 
 	runners := map[string]func(io.Writer) error{
-		"fig2":     bench.Fig2,
-		"fig6":     bench.Fig6,
-		"fig7":     func(w io.Writer) error { return bench.Fig7(w, *iters) },
-		"fig8":     func(w io.Writer) error { return bench.Fig8(w, *iters) },
-		"fig9":     func(w io.Writer) error { return bench.Fig9(w, *iters/4) },
-		"fig10":    func(w io.Writer) error { return bench.Fig10(w, *iters/4) },
-		"fig11":    func(w io.Writer) error { return bench.Fig11(w, *trainIters) },
-		"fig12":    bench.Fig12,
-		"table1":   bench.Table1,
-		"ablation": bench.Ablation,
+		"fig2":         bench.Fig2,
+		"fig6":         bench.Fig6,
+		"fig7":         func(w io.Writer) error { return bench.Fig7(w, *iters) },
+		"fig8":         func(w io.Writer) error { return bench.Fig8(w, *iters) },
+		"fig9":         func(w io.Writer) error { return bench.Fig9(w, *iters/4) },
+		"fig10":        func(w io.Writer) error { return bench.Fig10(w, *iters/4) },
+		"fig11":        func(w io.Writer) error { return bench.Fig11(w, *trainIters) },
+		"fig12":        bench.Fig12,
+		"table1":       bench.Table1,
+		"ablation":     bench.Ablation,
+		"hierarchical": bench.HierarchicalAblation,
 	}
-	order := []string{"fig2", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "table1", "ablation"}
+	order := []string{"fig2", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "table1", "ablation", "hierarchical"}
 
 	var selected []string
 	if *exp == "all" {

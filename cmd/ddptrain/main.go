@@ -57,6 +57,7 @@ import (
 	"math/rand"
 	"os"
 	"os/exec"
+	"strings"
 	"sync"
 	"time"
 
@@ -84,7 +85,8 @@ func main() {
 		batch     = flag.Int("batch", 16, "per-rank batch size")
 		lr        = flag.Float64("lr", 0.05, "learning rate")
 		bucketMB  = flag.Int("bucket-mb", 25, "DDP bucket size in MB (0 = per-parameter buckets)")
-		algo      = flag.String("algo", "ring", "allreduce algorithm: ring, tree, naive")
+		algo      = flag.String("algo", "ring", "allreduce algorithm: ring, tree, naive, hierarchical, auto")
+		hosts     = flag.String("hosts", "", "comma-separated host label per rank (topology for hierarchical/auto; empty: derive from peer addresses)")
 		syncEvery = flag.Int("sync-every", 1, "synchronize gradients every n iterations (no_sync)")
 		rr        = flag.Int("rr", 1, "number of round-robin process groups (Section 5.4)")
 		elast     = flag.Bool("elastic", false, "run the elastic fault-tolerance demo instead (in-proc; with -launch, across OS processes)")
@@ -118,13 +120,13 @@ func main() {
 		}
 		return
 	}
-	if err := run(*rank, *world, *storeAddr, *launch, *iters, *batch, float32(*lr), *bucketMB, *algo, *syncEvery, *rr); err != nil {
+	if err := run(*rank, *world, *storeAddr, *launch, *iters, *batch, float32(*lr), *bucketMB, *algo, *hosts, *syncEvery, *rr); err != nil {
 		fmt.Fprintf(os.Stderr, "ddptrain rank %d: %v\n", *rank, err)
 		os.Exit(1)
 	}
 }
 
-func run(rank, world int, storeAddr string, launch bool, iters, batch int, lr float32, bucketMB int, algo string, syncEvery, rr int) error {
+func run(rank, world int, storeAddr string, launch bool, iters, batch int, lr float32, bucketMB int, algo, hosts string, syncEvery, rr int) error {
 	var algorithm comm.Algorithm
 	switch algo {
 	case "ring":
@@ -133,9 +135,22 @@ func run(rank, world int, storeAddr string, launch bool, iters, batch int, lr fl
 		algorithm = comm.Tree
 	case "naive":
 		algorithm = comm.Naive
+	case "hierarchical":
+		algorithm = comm.Hierarchical
+	case "auto":
+		algorithm = comm.Auto
 	default:
 		return fmt.Errorf("unknown algorithm %q", algo)
 	}
+	// -hosts lays out a simulated (or real) topology explicitly: one
+	// label per rank. Without it, TCP meshes derive placement from the
+	// peers' rendezvous addresses — correct for genuinely multi-host
+	// jobs, while an all-loopback run degrades hierarchical to ring.
+	topology, err := parseHosts(hosts, world)
+	if err != nil {
+		return err
+	}
+	opts := comm.Options{Algorithm: algorithm, Topology: topology}
 
 	// Rank 0 hosts the rendezvous store; everyone (including rank 0)
 	// connects as a client.
@@ -153,6 +168,7 @@ func run(rank, world int, storeAddr string, launch bool, iters, batch int, lr fl
 					"-store", storeAddr, "-iters", fmt.Sprint(iters),
 					"-batch", fmt.Sprint(batch), "-lr", fmt.Sprint(lr),
 					"-bucket-mb", fmt.Sprint(bucketMB), "-algo", algo,
+					"-hosts", hosts,
 					"-sync-every", fmt.Sprint(syncEvery), "-rr", fmt.Sprint(rr))
 				cmd.Stdout = os.Stdout
 				cmd.Stderr = os.Stderr
@@ -180,7 +196,7 @@ func run(rank, world int, storeAddr string, launch bool, iters, batch int, lr fl
 	// like the paper's composite ProcessGroup over NCCL/Gloo instances).
 	var pg comm.ProcessGroup
 	if rr <= 1 {
-		g, err := comm.NewTCPGroup(rank, world, client, "train", comm.Options{Algorithm: algorithm})
+		g, err := comm.NewTCPGroup(rank, world, client, "train", opts)
 		if err != nil {
 			return fmt.Errorf("building process group: %w", err)
 		}
@@ -188,7 +204,7 @@ func run(rank, world int, storeAddr string, launch bool, iters, batch int, lr fl
 	} else {
 		subs := make([]comm.ProcessGroup, rr)
 		for i := range subs {
-			g, err := comm.NewTCPGroup(rank, world, client, fmt.Sprintf("train-rr%d", i), comm.Options{Algorithm: algorithm})
+			g, err := comm.NewTCPGroup(rank, world, client, fmt.Sprintf("train-rr%d", i), opts)
 			if err != nil {
 				return fmt.Errorf("building round-robin sub-group %d: %w", i, err)
 			}
@@ -293,6 +309,25 @@ func run(rank, world int, storeAddr string, launch bool, iters, batch int, lr fl
 		}
 	}
 	return nil
+}
+
+// parseHosts turns the -hosts flag (comma-separated host label per
+// rank) into a topology; empty means "let the transport derive it".
+func parseHosts(hosts string, world int) (*comm.Topology, error) {
+	if hosts == "" {
+		return nil, nil
+	}
+	labels := strings.Split(hosts, ",")
+	if len(labels) != world {
+		return nil, fmt.Errorf("-hosts lists %d labels for world %d", len(labels), world)
+	}
+	for i, l := range labels {
+		labels[i] = strings.TrimSpace(l)
+		if labels[i] == "" {
+			return nil, fmt.Errorf("-hosts label %d is empty", i)
+		}
+	}
+	return comm.NewTopology(labels), nil
 }
 
 // ---- elastic across OS processes -------------------------------------------

@@ -15,12 +15,18 @@
 // state serialization — nn.SaveState/LoadState with a versioned
 // header, and optim.StateFlattener for momentum/Adam state as a flat
 // vector), internal/comm (the c10d-style collective layer: ProcessGroup
-// with async Work handles, ring/tree/naive AllReduce, round-robin
-// composite groups), internal/transport (point-to-point meshes:
-// in-process channels and a zero-copy TCP wire), and internal/store
-// (the rendezvous key-value store: in-mem and TCP, with Watch,
-// CompareAndSwap, and cancellable Get). internal/bench and
-// internal/simnet regenerate the paper's figures.
+// with async Work handles, ring/tree/naive AllReduce plus the
+// topology-aware Hierarchical algorithm — intra-host reduce, inter-host
+// ring among per-host leaders, intra-host broadcast — and Auto, which
+// picks per collective from message size and the rank→host Topology,
+// plus round-robin composite groups), internal/transport
+// (point-to-point meshes: in-process channels and a zero-copy TCP wire,
+// with sub-mesh views for hierarchy phases and host discovery from peer
+// addresses), and internal/store (the rendezvous key-value store:
+// in-mem and TCP, with Watch, CompareAndSwap, and cancellable Get).
+// internal/hw prices flat and hierarchical collectives on the paper's
+// testbed model; internal/bench and internal/simnet regenerate the
+// paper's figures and the flat-vs-hierarchical ablation.
 //
 // # Subsystem 2: elastic fault tolerance (internal/elastic)
 //

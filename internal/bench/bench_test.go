@@ -238,6 +238,48 @@ func TestFig12RoundRobinShape(t *testing.T) {
 	}
 }
 
+func TestHierarchicalSweepShowsCrossMachineRecovery(t *testing.T) {
+	rows := HierarchicalSweep(hw.DefaultCluster(),
+		[]int{8, 16, 32, 64, 128, 256},
+		[]int{1 << 12, 1 << 20, 1 << 24})
+	for _, r := range rows {
+		if r.World <= 8 {
+			// One server: the hierarchy is empty, the models must agree.
+			if r.Speedup() != 1 {
+				t.Fatalf("world %d elems %d: speedup %v inside one server", r.World, r.Elems, r.Speedup())
+			}
+			continue
+		}
+		if r.HierSeconds >= r.FlatSeconds {
+			t.Fatalf("world %d elems %d: hierarchical (%v) not beating flat (%v)", r.World, r.Elems, r.HierSeconds, r.FlatSeconds)
+		}
+		// The acceptance bar: at >= 1M elements the recovery is the
+		// structural NIC-share win, not a rounding artifact.
+		if r.Elems >= 1<<20 && r.Speedup() < 2 {
+			t.Fatalf("world %d elems %d: recovery only %.2fx", r.World, r.Elems, r.Speedup())
+		}
+	}
+}
+
+func TestHierarchicalIterationSweepHelpsMultiHostWorlds(t *testing.T) {
+	rows, err := HierarchicalIterationSweep([]int{8, 32, 128}, []int{25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.World <= 8 {
+			if r.HierSeconds != r.FlatSeconds {
+				t.Fatalf("world %d: iteration time differs inside one server", r.World)
+			}
+			continue
+		}
+		if r.HierSeconds >= r.FlatSeconds {
+			t.Fatalf("world %d capMB %d: hierarchical iteration (%v) not faster than flat (%v)",
+				r.World, r.CapMB, r.HierSeconds, r.FlatSeconds)
+		}
+	}
+}
+
 func TestTable1MatchesPaper(t *testing.T) {
 	rows := Table1Taxonomy()
 	if len(rows) != 15 {
@@ -263,10 +305,11 @@ func TestTable1MatchesPaper(t *testing.T) {
 
 func TestPrintersProduceOutput(t *testing.T) {
 	for name, fn := range map[string]func(io.Writer) error{
-		"fig2":   Fig2,
-		"fig6":   Fig6,
-		"fig12":  Fig12,
-		"table1": Table1,
+		"fig2":         Fig2,
+		"fig6":         Fig6,
+		"fig12":        Fig12,
+		"table1":       Table1,
+		"hierarchical": HierarchicalAblation,
 	} {
 		var buf bytes.Buffer
 		if err := fn(&buf); err != nil {

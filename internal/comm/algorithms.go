@@ -22,6 +22,19 @@ const (
 	// Naive has every rank exchange full vectors with every peer and
 	// reduce locally — the paper's strawman baseline.
 	Naive
+	// Hierarchical is the topology-aware three-phase AllReduce:
+	// intra-host reduce to per-host leaders, inter-host ring among
+	// leaders only, intra-host broadcast back. With a multi-host
+	// Topology it sends 1/(ranks-per-host) of the flat ring's volume
+	// across the network (Section 6.1's NIC-sharing collapse, answered
+	// with Kumar et al.'s multi-ring structure); without one it falls
+	// back to Ring.
+	Hierarchical
+	// Auto picks per collective from the group's topology and the
+	// message size: small messages take Tree's log(k) latency path,
+	// large messages on a multi-host topology take Hierarchical, and
+	// everything else takes the bandwidth-optimal Ring.
+	Auto
 )
 
 // String returns the algorithm name.
@@ -33,9 +46,41 @@ func (a Algorithm) String() string {
 		return "tree"
 	case Naive:
 		return "naive"
+	case Hierarchical:
+		return "hierarchical"
+	case Auto:
+		return "auto"
 	default:
 		return fmt.Sprintf("Algorithm(%d)", int(a))
 	}
+}
+
+// Auto's selection cutoffs, in elements. They mirror NCCL's
+// size-driven protocol/algorithm switch and the hw cost model's
+// crossovers: below autoTreeMaxElems the 2(k-1) ring latency terms
+// dominate and Tree's log(k) rounds win; from autoHierarchicalMinElems
+// up, a multi-host world is bandwidth-bound on the shared NICs and the
+// hierarchy's cross-machine volume reduction pays for its extra
+// intra-host hops (hw.HierarchicalAllReduceSeconds models the same
+// crossover).
+const (
+	autoTreeMaxElems         = 4 << 10
+	autoHierarchicalMinElems = 64 << 10
+)
+
+// chooseAlgorithm is Auto's per-collective decision. topo may be nil
+// (no placement information): then only the latency/bandwidth split
+// applies. A topology that does not cover the world is ignored rather
+// than trusted.
+func chooseAlgorithm(topo *Topology, elems, world int) Algorithm {
+	if elems <= autoTreeMaxElems {
+		return Tree
+	}
+	if elems >= autoHierarchicalMinElems &&
+		topo != nil && topo.Size() == world && topo.Hierarchical() {
+		return Hierarchical
+	}
+	return Ring
 }
 
 // sendAsync issues m.Send on its own goroutine so a matching Recv can
@@ -67,9 +112,6 @@ func chunkBounds(n, k, i int) (int, int) {
 func ringAllReduce(m transport.Mesh, tag uint64, data []float32, op ReduceOp) error {
 	k := m.Size()
 	if k == 1 {
-		if op == Avg {
-			return nil
-		}
 		return nil
 	}
 	rank := m.Rank()
@@ -131,24 +173,8 @@ func ringAllReduce(m transport.Mesh, tag uint64, data []float32, op ReduceOp) er
 func treeAllReduce(m transport.Mesh, tag uint64, data []float32, op ReduceOp) error {
 	k := m.Size()
 	if k > 1 {
-		rank := m.Rank()
-		// Reduce up: at each round, odd multiples of `mask` send to their
-		// even neighbour and drop out.
-		for mask := 1; mask < k; mask <<= 1 {
-			if rank&mask != 0 {
-				if err := m.Send(rank-mask, tag, data); err != nil {
-					return err
-				}
-				break
-			}
-			peer := rank + mask
-			if peer < k {
-				buf, err := m.Recv(peer, tag)
-				if err != nil {
-					return err
-				}
-				reduceInto(data, buf, op)
-			}
+		if err := binomialReduce(m, tag, data, op); err != nil {
+			return err
 		}
 		if err := binomialBroadcast(m, tag, data, 0); err != nil {
 			return err
@@ -186,6 +212,9 @@ func naiveAllReduce(m transport.Mesh, tag uint64, data []float32, op ReduceOp) e
 			buf, err := m.Recv(peer, tag)
 			if err != nil {
 				return err
+			}
+			if len(buf) != len(data) {
+				return fmt.Errorf("comm: naive allreduce size mismatch from rank %d: got %d want %d", peer, len(buf), len(data))
 			}
 			contributions[peer] = buf
 		}
@@ -285,7 +314,7 @@ func allGather(m transport.Mesh, tag uint64, dst [][]float32, src []float32) err
 			return err
 		}
 		if len(buf) != len(dst[peer]) {
-			return fmt.Errorf("comm: allgather size mismatch from rank %d", peer)
+			return fmt.Errorf("comm: allgather size mismatch from rank %d: got %d want %d", peer, len(buf), len(dst[peer]))
 		}
 		copy(dst[peer], buf)
 	}

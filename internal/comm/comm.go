@@ -1,16 +1,3 @@
-// Package comm implements the collective communication layer DDP is
-// built on — the equivalent of PyTorch's c10d library (Section 3.3 of
-// the paper). It exposes a ProcessGroup API wrapping interchangeable
-// transports and AllReduce algorithms (ring, binomial tree, naive),
-// async Work handles, and a composite round-robin ProcessGroup.
-//
-// Like NCCL's dedicated CUDA streams, every ProcessGroup owns a worker
-// goroutine that executes its collectives strictly in submission order;
-// callers get back a Work handle immediately and may overlap further
-// computation with the communication (the paper's central optimization).
-// All ranks must submit the same operations in the same order — the
-// transports' tag checks turn violations into errors instead of silent
-// gradient corruption.
 package comm
 
 import (
@@ -119,33 +106,4 @@ func WaitAll(works ...Work) error {
 		}
 	}
 	return first
-}
-
-// reduceInto folds src into dst elementwise under op (Avg folds as Sum;
-// the caller scales at the end).
-func reduceInto(dst, src []float32, op ReduceOp) {
-	switch op {
-	case Sum, Avg:
-		for i := range dst {
-			dst[i] += src[i]
-		}
-	case Prod:
-		for i := range dst {
-			dst[i] *= src[i]
-		}
-	case Min:
-		for i := range dst {
-			if src[i] < dst[i] {
-				dst[i] = src[i]
-			}
-		}
-	case Max:
-		for i := range dst {
-			if src[i] > dst[i] {
-				dst[i] = src[i]
-			}
-		}
-	default:
-		panic("comm: unknown reduce op")
-	}
 }

@@ -1,0 +1,59 @@
+// Package comm implements the collective communication layer DDP is
+// built on — the equivalent of PyTorch's c10d library (Section 3.3 of
+// the paper). It exposes a ProcessGroup API wrapping interchangeable
+// transports and AllReduce algorithms, async Work handles, and a
+// composite round-robin ProcessGroup.
+//
+// Like NCCL's dedicated CUDA streams, every ProcessGroup owns a worker
+// goroutine that executes its collectives strictly in submission order;
+// callers get back a Work handle immediately and may overlap further
+// computation with the communication (the paper's central optimization).
+// All ranks must submit the same operations in the same order — the
+// transports' tag checks turn violations into errors instead of silent
+// gradient corruption.
+//
+// # AllReduce algorithms
+//
+// Five algorithms are provided, mirroring the selection space inside
+// NCCL/Gloo that the paper discusses (Section 2.3):
+//
+//   - Ring: reduce-scatter + all-gather around a ring. Bandwidth
+//     optimal (2(k-1)/k of the buffer per link), 2(k-1) latency terms.
+//   - Tree: binomial reduce to rank 0 + broadcast back; log(k)
+//     latency, the right shape for small messages.
+//   - Naive: full exchange with every peer — the strawman baseline.
+//   - Hierarchical: the topology-aware three-phase AllReduce —
+//     intra-host reduce onto per-host leaders, inter-host ring among
+//     leaders only, intra-host broadcast back. A flat ring spanning
+//     machines makes every server's NIC carry the crossing edges of
+//     all concurrent rings, collapsing per-ring bandwidth to
+//     NIC/GPUsPerServer (the paper's Section 6.1 observation, modeled
+//     in hw.AllReduceSeconds); reducing within the host first sends
+//     only one rank's worth of data per host across the network,
+//     recovering most of that loss (hw.HierarchicalAllReduceSeconds
+//     models the recovery; the bench package's hierarchical ablation
+//     quantifies it).
+//   - Auto: picks Tree / Hierarchical / Ring per collective from the
+//     message size and the group's Topology, like NCCL's size-driven
+//     algorithm switch. Selection is a pure function of (size,
+//     topology), both identical on every rank, so all ranks agree.
+//
+// Every algorithm leaves bitwise-identical results on every rank —
+// each reduced value is computed on exactly one rank and propagated
+// verbatim — which is the invariant that lets DDP guarantee identical
+// replicas. Algorithms may differ from EACH OTHER in low bits (float
+// reduction order differs), so all ranks must also agree on the
+// algorithm, which Options and Auto's deterministic rule ensure.
+//
+// # Topology
+//
+// Topology maps ranks to host labels. Groups obtain one from (in
+// precedence order) Options.Topology, or the transport itself when it
+// knows peer placement (TCP meshes implement transport.HostLister from
+// rendezvous addresses). The elastic package's builders pass each
+// rendezvous round's member hosts through Options.Topology, so
+// regenerated groups stay topology-aware across membership changes.
+// The hierarchical phases run on sub-meshes carved out of the group's
+// single transport.Mesh by rank remapping (transport.NewSubMesh) — no
+// extra connections, no extra rendezvous.
+package comm

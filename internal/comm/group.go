@@ -12,6 +12,14 @@ import (
 type Options struct {
 	// Algorithm selects the AllReduce implementation (default Ring).
 	Algorithm Algorithm
+	// Topology maps each rank to its host, for the topology-aware
+	// algorithms (Hierarchical, Auto). When nil, the group derives one
+	// from the transport if it knows peer placement (TCP meshes
+	// implement transport.HostLister); an explicit Topology always
+	// wins, which is how the elastic builders propagate the rendezvous
+	// round's host layout and how tests lay out simulated hosts over
+	// in-proc or loopback meshes.
+	Topology *Topology
 	// QueueDepth bounds the number of queued-but-unstarted collectives
 	// (default 1024). DDP launches at most one AllReduce per bucket per
 	// iteration, so the default is generous.
@@ -31,6 +39,9 @@ func (o Options) withDefaults() Options {
 type meshGroup struct {
 	mesh transport.Mesh
 	opts Options
+	// topo is the resolved placement map (explicit Options.Topology, or
+	// the transport's own, or nil when neither knows); immutable.
+	topo *Topology
 
 	mu      sync.Mutex
 	nextTag uint64
@@ -49,11 +60,27 @@ func NewGroup(mesh transport.Mesh, opts Options) ProcessGroup {
 	g := &meshGroup{
 		mesh: mesh,
 		opts: opts,
+		topo: resolveTopology(mesh, opts),
 		ops:  make(chan func(), opts.QueueDepth),
 		done: make(chan struct{}),
 	}
 	go g.worker()
 	return g
+}
+
+// resolveTopology picks the group's placement map: an explicit
+// Options.Topology wins, else a transport that knows peer placement
+// (TCP meshes) supplies one, else nil (flat-world algorithms only).
+func resolveTopology(mesh transport.Mesh, opts Options) *Topology {
+	if opts.Topology != nil {
+		return opts.Topology
+	}
+	if hl, ok := mesh.(transport.HostLister); ok {
+		if hosts := hl.Hosts(); len(hosts) == mesh.Size() {
+			return NewTopology(hosts)
+		}
+	}
+	return nil
 }
 
 // NewInProcGroups creates `world` fully-connected in-process groups, one
@@ -127,14 +154,23 @@ func (g *meshGroup) submit(run func(tag uint64) error) Work {
 }
 
 func (g *meshGroup) AllReduce(data []float32, op ReduceOp) Work {
+	algo := g.opts.Algorithm
+	if algo == Auto {
+		// Resolved at submission so every rank — submitting the same
+		// collectives in the same order with equally-sized buffers (the
+		// ProcessGroup contract) — picks the same algorithm.
+		algo = chooseAlgorithm(g.topo, len(data), g.mesh.Size())
+	}
 	return g.submit(func(tag uint64) error {
-		switch g.opts.Algorithm {
+		switch algo {
 		case Ring:
 			return ringAllReduce(g.mesh, tag, data, op)
 		case Tree:
 			return treeAllReduce(g.mesh, tag, data, op)
 		case Naive:
 			return naiveAllReduce(g.mesh, tag, data, op)
+		case Hierarchical:
+			return hierarchicalAllReduce(g.mesh, tag, data, op, g.topo)
 		default:
 			return fmt.Errorf("comm: unknown algorithm %v", g.opts.Algorithm)
 		}

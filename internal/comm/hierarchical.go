@@ -1,0 +1,136 @@
+package comm
+
+import (
+	"fmt"
+
+	"repro/internal/transport"
+)
+
+// hierarchicalAllReduce is the topology-aware AllReduce (Section 6.1's
+// cross-machine bandwidth collapse, answered with the multi-ring
+// structure of Kumar et al.): it reduces within each host first so only
+// one rank's worth of data per host ever crosses the network.
+//
+// Three phases, each built from a sub-mesh carved out of m by rank
+// remapping:
+//
+//  1. intra-host reduce — every host folds its members' contributions
+//     onto the host leader (lowest rank on the host) along a binomial
+//     tree;
+//  2. inter-host ring — the leaders alone run the bandwidth-optimal
+//     ring AllReduce, so each NIC carries 2(h-1)/h of ONE buffer
+//     instead of GPUsPerServer of them;
+//  3. intra-host broadcast — each leader propagates the finished
+//     buffer verbatim back to its host's members.
+//
+// The bitwise-identical-on-every-rank guarantee of the ring path is
+// preserved: phase 2 leaves every leader with bitwise-identical data
+// (each chunk reduced on exactly one leader, propagated verbatim), and
+// phase 3 copies leader bytes verbatim, so all ranks agree exactly.
+// Note the reduction ORDER differs from a flat ring's, so results can
+// differ from Ring in the low bits for inexact float sums — identical
+// across ranks either way, which is the invariant DDP needs.
+//
+// Degenerate layouts fall back to the flat ring: no topology, a single
+// host (nothing crosses the network anyway), or a flat topology (one
+// rank per host — the hierarchy has nothing to shed).
+func hierarchicalAllReduce(m transport.Mesh, tag uint64, data []float32, op ReduceOp, topo *Topology) error {
+	k := m.Size()
+	if k == 1 {
+		return nil
+	}
+	if topo == nil || !topo.Hierarchical() {
+		return ringAllReduce(m, tag, data, op)
+	}
+	if topo.Size() != k {
+		return fmt.Errorf("comm: topology covers %d ranks but mesh has %d", topo.Size(), k)
+	}
+	rank := m.Rank()
+	hostRanks := topo.HostRanks(rank)
+	leader := hostRanks[0]
+
+	// Avg folds as Sum through every phase; each rank applies the final
+	// 1/world scale to its (bitwise-identical) copy at the end.
+	foldOp := op
+	if op == Avg {
+		foldOp = Sum
+	}
+
+	// One intra-host view serves both phase 1 and phase 3 (sub-meshes
+	// are stateless rank remappings; Close is a no-op).
+	var hostMesh transport.Mesh
+	if len(hostRanks) > 1 {
+		var err error
+		hostMesh, err = transport.NewSubMesh(m, hostRanks)
+		if err != nil {
+			return err
+		}
+	}
+
+	// Phase 1: fold this host's contributions onto its leader.
+	if hostMesh != nil {
+		if err := binomialReduce(hostMesh, tag, data, foldOp); err != nil {
+			return err
+		}
+	}
+
+	// Phase 2: leaders alone AllReduce their per-host partials around
+	// the inter-host ring. Non-leaders wait (their next message is the
+	// phase-3 broadcast from their leader).
+	if rank == leader {
+		leaders := topo.Leaders()
+		if len(leaders) > 1 {
+			sub, err := transport.NewSubMesh(m, leaders)
+			if err != nil {
+				return err
+			}
+			if err := ringAllReduce(sub, tag, data, foldOp); err != nil {
+				return err
+			}
+		}
+	}
+
+	// Phase 3: propagate the finished buffer verbatim within each host.
+	if hostMesh != nil {
+		if err := binomialBroadcast(hostMesh, tag, data, 0); err != nil {
+			return err
+		}
+	}
+
+	if op == Avg {
+		scale := 1 / float32(k)
+		for i := range data {
+			data[i] *= scale
+		}
+	}
+	return nil
+}
+
+// binomialReduce folds every rank's data onto rank 0 along a binomial
+// tree (the reduce-up half of treeAllReduce): at each round, odd
+// multiples of `mask` send to their even neighbour and drop out. The
+// accumulation order on each receiver is fixed by the tree, so the
+// result on rank 0 is deterministic. Non-root ranks' data is left
+// partially reduced — callers must overwrite it (the Hierarchical
+// algorithm broadcasts the finished buffer back in its last phase).
+func binomialReduce(m transport.Mesh, tag uint64, data []float32, op ReduceOp) error {
+	k := m.Size()
+	rank := m.Rank()
+	for mask := 1; mask < k; mask <<= 1 {
+		if rank&mask != 0 {
+			return m.Send(rank-mask, tag, data)
+		}
+		peer := rank + mask
+		if peer < k {
+			buf, err := m.Recv(peer, tag)
+			if err != nil {
+				return err
+			}
+			if len(buf) != len(data) {
+				return fmt.Errorf("comm: reduce size mismatch: got %d want %d", len(buf), len(data))
+			}
+			reduceInto(data, buf, op)
+		}
+	}
+	return nil
+}

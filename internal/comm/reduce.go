@@ -1,0 +1,77 @@
+package comm
+
+import (
+	"runtime"
+	"sync"
+)
+
+// reduceParallelThreshold is the element count above which reduceInto
+// fans the fold out across goroutines. Below it the goroutine
+// create/join overhead exceeds the arithmetic saved; the crossover is
+// measured by BenchmarkReduceIntoCrossover (on the benchmarked
+// hardware the parallel path wins from a few tens of KiB up, with a
+// wide flat region around this value — large DDP buckets are 1–2
+// orders of magnitude past it either way).
+const reduceParallelThreshold = 64 << 10
+
+// reduceInto folds src into dst elementwise under op (Avg folds as Sum;
+// the caller scales at the end). Large slices are folded in parallel
+// chunks: the operation is elementwise with disjoint chunks, so the
+// result is bitwise-independent of the split — parallelism never
+// perturbs the cross-rank determinism the collectives guarantee. The
+// local fold sits on the collective hot path (every ring/tree step
+// runs one), so this is where big buckets earn back multiple cores.
+func reduceInto(dst, src []float32, op ReduceOp) {
+	n := len(dst)
+	if n < reduceParallelThreshold {
+		reduceRange(dst, src, op)
+		return
+	}
+	// Cap the fan-out so each worker keeps a meaningful chunk.
+	workers := runtime.GOMAXPROCS(0)
+	if max := n / (reduceParallelThreshold / 2); workers > max {
+		workers = max
+	}
+	if workers <= 1 {
+		reduceRange(dst, src, op)
+		return
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo, hi := chunkBounds(n, workers, w)
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			reduceRange(dst[lo:hi], src[lo:hi], op)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// reduceRange is the serial elementwise fold underlying reduceInto.
+func reduceRange(dst, src []float32, op ReduceOp) {
+	switch op {
+	case Sum, Avg:
+		for i := range dst {
+			dst[i] += src[i]
+		}
+	case Prod:
+		for i := range dst {
+			dst[i] *= src[i]
+		}
+	case Min:
+		for i := range dst {
+			if src[i] < dst[i] {
+				dst[i] = src[i]
+			}
+		}
+	case Max:
+		for i := range dst {
+			if src[i] > dst[i] {
+				dst[i] = src[i]
+			}
+		}
+	default:
+		panic("comm: unknown reduce op")
+	}
+}

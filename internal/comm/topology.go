@@ -1,0 +1,103 @@
+package comm
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Topology maps every rank of a process group to the host (machine) it
+// runs on — the placement information topology-aware collectives need.
+// The paper's Section 6.1 "Resource Allocation" observation motivates
+// it: a flat ring that spans machine boundaries forces every server's
+// NIC to carry the crossing edges of all concurrent rings, collapsing
+// per-ring bandwidth to NIC/GPUsPerServer. Knowing which ranks share a
+// host lets the Hierarchical algorithm keep most traffic on the fast
+// intra-host links and send only one rank's worth of data per host
+// across the network.
+//
+// A Topology is immutable after construction. Hosts are compared as
+// opaque labels; ranks sharing a label are assumed to share fast local
+// connectivity. Three sources produce one:
+//
+//   - comm.Options.Topology, set explicitly by the caller (in-proc
+//     meshes and tests use this to lay out simulated hosts);
+//   - transport meshes that know peer placement (TCP meshes implement
+//     transport.HostLister from the rendezvous addresses);
+//   - elastic rendezvous rounds, whose members publish their host so
+//     regenerated groups stay topology-aware (elastic.Assignment.Hosts).
+type Topology struct {
+	hosts   []string // host label per rank
+	hostIdx []int    // index into groups per rank
+	groups  [][]int  // ranks per host, ordered by each host's lowest rank
+}
+
+// NewTopology builds a Topology from per-rank host labels: hosts[r] is
+// the label of the machine rank r runs on. The slice is copied.
+func NewTopology(hosts []string) *Topology {
+	t := &Topology{
+		hosts:   append([]string(nil), hosts...),
+		hostIdx: make([]int, len(hosts)),
+	}
+	seen := make(map[string]int, len(hosts))
+	for r, h := range t.hosts {
+		i, ok := seen[h]
+		if !ok {
+			i = len(t.groups)
+			seen[h] = i
+			t.groups = append(t.groups, nil)
+		}
+		t.hostIdx[r] = i
+		t.groups[i] = append(t.groups[i], r)
+	}
+	return t
+}
+
+// Size returns the number of ranks the topology covers.
+func (t *Topology) Size() int { return len(t.hosts) }
+
+// NumHosts returns the number of distinct hosts.
+func (t *Topology) NumHosts() int { return len(t.groups) }
+
+// HostOf returns rank's host label.
+func (t *Topology) HostOf(rank int) string { return t.hosts[rank] }
+
+// Hosts returns a copy of the per-rank host labels.
+func (t *Topology) Hosts() []string { return append([]string(nil), t.hosts...) }
+
+// HostRanks returns the ranks sharing rank's host, in ascending order.
+// The first entry is the host's leader. The returned slice is shared;
+// callers must not mutate it.
+func (t *Topology) HostRanks(rank int) []int { return t.groups[t.hostIdx[rank]] }
+
+// Leaders returns one rank per host — the lowest rank on each — in
+// ascending order. They form the inter-host ring of the Hierarchical
+// algorithm.
+func (t *Topology) Leaders() []int {
+	leaders := make([]int, len(t.groups))
+	for i, g := range t.groups {
+		leaders[i] = g[0]
+	}
+	return leaders
+}
+
+// MultiHost reports whether the topology spans more than one host.
+func (t *Topology) MultiHost() bool { return len(t.groups) > 1 }
+
+// Flat reports whether every host holds exactly one rank — the layout
+// in which a hierarchy has nothing to exploit and Hierarchical
+// degenerates to a plain ring over all ranks.
+func (t *Topology) Flat() bool { return len(t.groups) == len(t.hosts) }
+
+// Hierarchical reports whether the hierarchy can beat a flat ring:
+// more than one host, and at least one host holding several ranks (so
+// the intra-host phases actually shed cross-machine traffic).
+func (t *Topology) Hierarchical() bool { return t.MultiHost() && !t.Flat() }
+
+// String renders the layout compactly, e.g. "6 ranks / 3 hosts (3+2+1)".
+func (t *Topology) String() string {
+	sizes := make([]string, len(t.groups))
+	for i, g := range t.groups {
+		sizes[i] = fmt.Sprint(len(g))
+	}
+	return fmt.Sprintf("%d ranks / %d hosts (%s)", len(t.hosts), len(t.groups), strings.Join(sizes, "+"))
+}

@@ -20,6 +20,13 @@ type Options struct {
 	// BucketCapBytes bounds each gradient bucket (bucket_cap_mb).
 	// Zero selects DefaultBucketCapBytes; negative values mean one
 	// bucket per parameter (the paper's "0MB" baseline).
+	//
+	// The cap also steers the collective layer's comm.Auto algorithm
+	// selection: DDP itself never picks an AllReduce algorithm — it
+	// passes each bucket to the ProcessGroup it was handed — so with a
+	// comm.Auto group, big buckets ride the topology-aware
+	// hierarchical/ring path while the trailing small bucket takes the
+	// low-latency tree path, per bucket, with no DDP involvement.
 	BucketCapBytes int
 	// FindUnusedParameters enables the autograd-graph traversal and
 	// bitmap AllReduce that let DDP cope with iterations touching only

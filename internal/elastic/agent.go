@@ -267,7 +267,7 @@ func (a *Agent) reconfigure() error {
 		a.teardownGroup()
 		a.cancelSaves()
 
-		assign, err := a.rdzv.Join(Member{ID: a.cfg.ID, Step: a.Step()})
+		assign, err := a.rdzv.Join(Member{ID: a.cfg.ID, Step: a.Step(), Host: a.cfg.Host})
 		if err != nil {
 			return fmt.Errorf("elastic: rendezvous: %w", err)
 		}

@@ -57,6 +57,22 @@ func newCkptWorker(t *testing.T, cfg Config, seed int64) *testWorker {
 	return &testWorker{agent: a, model: m, opt: opt}
 }
 
+// waitForCommittedCheckpoint blocks until dir holds a committed
+// checkpoint (bounded), so a planned crash cannot outrun an async save.
+func waitForCommittedCheckpoint(t *testing.T, dir string) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if _, err := ckpt.LatestMeta(dir); err == nil {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("no checkpoint committed within the wait window")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
 func TestCheckpointKillAllColdRestartBitwiseResume(t *testing.T) {
 	for _, mode := range []struct {
 		name  string
@@ -89,6 +105,15 @@ func TestCheckpointKillAllColdRestartBitwiseResume(t *testing.T) {
 			errs := runCkptWorkers(t, phase1, total, func(i int, w *testWorker) StepFunc {
 				return func(ctx StepContext) error {
 					if ctx.Step == crashStep {
+						// Async saves commit on a background goroutine;
+						// the kill-all scenario is "every worker dies
+						// AFTER a checkpoint committed", so wait for the
+						// commit instead of racing it — otherwise the
+						// in-flight step-6 save can be aborted by the
+						// kill and leave the directory empty.
+						if mode.async {
+							waitForCommittedCheckpoint(t, dir)
+						}
 						w.agent.Kill()
 						return errors.New("simulated simultaneous crash")
 					}

@@ -44,6 +44,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"os"
 	"time"
 
 	"repro/internal/comm"
@@ -71,6 +72,12 @@ type Member struct {
 	// worker holds; the member with the highest Step is the state-sync
 	// source after reconfiguration.
 	Step int64
+	// Host labels the machine the worker runs on (Config.Host). Every
+	// sealed round therefore publishes the full rank→host layout, so
+	// the builders can hand each regenerated process group a
+	// comm.Topology and topology-aware collectives survive membership
+	// changes. Empty for workers predating topology support.
+	Host string `json:",omitempty"`
 }
 
 // Assignment is the outcome of a rendezvous round: this worker's rank
@@ -81,6 +88,21 @@ type Assignment struct {
 	World      int
 	// Members holds every participant, indexed by rank.
 	Members []Member
+}
+
+// Hosts returns the per-rank host labels of the round's members — the
+// layout the builders turn into a comm.Topology. It returns nil when
+// any member did not publish a host (a mixed-version world must not
+// guess at placement).
+func (a *Assignment) Hosts() []string {
+	hosts := make([]string, len(a.Members))
+	for i, m := range a.Members {
+		if m.Host == "" {
+			return nil
+		}
+		hosts[i] = m.Host
+	}
+	return hosts
 }
 
 // Source returns the rank that should broadcast state after this
@@ -144,7 +166,29 @@ func (b *InProcBuilder) Build(a *Assignment, _ <-chan struct{}) (comm.ProcessGro
 	if prefix == "" {
 		prefix = "elastic"
 	}
-	return b.Registry.Build(fmt.Sprintf("%s-g%d", prefix, a.Generation), a.Rank, a.World, b.Opts)
+	return b.Registry.Build(fmt.Sprintf("%s-g%d", prefix, a.Generation), a.Rank, a.World, topologyOptions(b.Opts, a))
+}
+
+// topologyOptions threads the rendezvous round's host layout into the
+// group options so every regenerated group stays topology-aware: ranks
+// are assigned per round, so the rank→host map must be rebuilt from
+// the round's members each time. An explicitly configured topology
+// wins (tests lay out simulated hosts that way) — but only while it
+// still covers the round's world: after a membership change an
+// explicit layout for the old world is stale, and keeping it would
+// make every Hierarchical collective fail on the size mismatch
+// forever. A stale layout is dropped in favour of the round's member
+// hosts (or, failing that, no topology — algorithms degrade to Ring).
+func topologyOptions(opts comm.Options, a *Assignment) comm.Options {
+	if opts.Topology != nil && opts.Topology.Size() != a.World {
+		opts.Topology = nil
+	}
+	if opts.Topology == nil {
+		if hosts := a.Hosts(); hosts != nil {
+			opts.Topology = comm.NewTopology(hosts)
+		}
+	}
+	return opts
 }
 
 // TCPBuilder builds one TCP-mesh group per generation, rendezvousing
@@ -166,7 +210,7 @@ func (b *TCPBuilder) Build(a *Assignment, cancel <-chan struct{}) (comm.ProcessG
 	if prefix == "" {
 		prefix = "elastic"
 	}
-	return comm.NewTCPGroupCancel(a.Rank, a.World, b.Store, fmt.Sprintf("%s-g%d", prefix, a.Generation), b.Opts, cancel)
+	return comm.NewTCPGroupCancel(a.Rank, a.World, b.Store, fmt.Sprintf("%s-g%d", prefix, a.Generation), topologyOptions(b.Opts, a), cancel)
 }
 
 // Config parameterizes an elastic worker.
@@ -175,6 +219,14 @@ type Config struct {
 	Store store.Store
 	// ID is this worker's stable identity. Required and unique.
 	ID string
+	// Host labels the machine this worker runs on; it is published
+	// with every rendezvous registration so regenerated process groups
+	// can rebuild their comm.Topology from the round. Defaults to
+	// os.Hostname() (all workers of a single-machine job then share
+	// one host and topology-aware algorithms correctly degrade to the
+	// flat ring). Tests and simulations set distinct labels to model
+	// multi-host layouts in one process.
+	Host string
 	// Prefix namespaces all elastic keys in the store ("elastic").
 	Prefix string
 	// MinWorld is the smallest world size a rendezvous round may seal
@@ -256,6 +308,13 @@ func (c Config) withDefaults() (Config, error) {
 	}
 	if c.Prefix == "" {
 		c.Prefix = "elastic"
+	}
+	if c.Host == "" {
+		if hn, err := os.Hostname(); err == nil && hn != "" {
+			c.Host = hn
+		} else {
+			c.Host = "localhost"
+		}
 	}
 	if c.MinWorld <= 0 {
 		c.MinWorld = 1

@@ -152,6 +152,63 @@ func (c Cluster) AllReduceSeconds(b Backend, nBytes int, world int) float64 {
 	}
 }
 
+// Servers returns how many machines a world of the given size spans
+// (GPUs fill servers in rank order, GPUsPerServer per machine).
+func (c Cluster) Servers(world int) int {
+	if world <= 0 {
+		return 0
+	}
+	return (world + c.GPUsPerServer - 1) / c.GPUsPerServer
+}
+
+// HierarchicalAllReduceSeconds returns the modeled wall time of one
+// topology-aware hierarchical AllReduce of nBytes across world ranks:
+// intra-host binomial reduce onto per-server leaders, ring AllReduce
+// among the h leaders, intra-host binomial broadcast back:
+//
+//	T = 2 ceil(log2 g) * (stepLatency + nBytes/intraEdge)   // phases 1+3
+//	  + 2(h-1) * stepLatency + 2 (h-1)/h * nBytes / nic     // phase 2
+//
+// The win over the flat ring (AllReduceSeconds) is in phase 2's edge
+// bandwidth: only ONE ring per server crosses machines, so its edges
+// get the whole NIC instead of a 1/GPUsPerServer share — at the price
+// of the extra intra-host hops, which ride NVLink and are cheap for
+// large buffers. Below one full server the hierarchy is empty and the
+// model equals the flat ring's.
+func (c Cluster) HierarchicalAllReduceSeconds(b Backend, nBytes int, world int) float64 {
+	if world <= c.GPUsPerServer {
+		return c.AllReduceSeconds(b, nBytes, world)
+	}
+	h := float64(c.Servers(world))
+	hops := 2 * math.Ceil(math.Log2(float64(c.GPUsPerServer)))
+	ringSteps := 2 * (h - 1)
+	ringVolume := 2 * (h - 1) / h * float64(nBytes)
+
+	var t float64
+	switch b {
+	case NCCLLike:
+		// Leaders' ring edges own the NIC outright (one crossing ring
+		// per server), so no GPUsPerServer division and no concurrency
+		// bonus to claim back.
+		t = hops*(c.NCCLStepLatency+float64(nBytes)/c.NVLinkBandwidth) +
+			ringSteps*c.NCCLStepLatency + ringVolume/c.NICBandwidth
+	case GlooLike:
+		intraBW := c.GlooBandwidth
+		ringBW := c.GlooBandwidth
+		if h > 2 {
+			ringBW *= 2 // distinct full-duplex paths per directed ring edge
+		}
+		t = hops*(c.GlooStepLatency+float64(nBytes)/intraBW) +
+			ringSteps*c.GlooStepLatency + ringVolume/ringBW
+	default:
+		panic("hw: unknown backend")
+	}
+	if c.SharedEntitlement {
+		t *= c.entitlementFactor(world)
+	}
+	return t
+}
+
 // entitlementFactor models the shared entitlement of Section 5.3: mild
 // degradation as jobs span more (heterogeneous) hosts, plus the sudden
 // congestion jump the paper observed going from 128 to 256 GPUs.

@@ -110,6 +110,63 @@ func TestCrossMachinePenalty(t *testing.T) {
 	}
 }
 
+func TestHierarchicalMatchesFlatWithinOneServer(t *testing.T) {
+	c := DefaultCluster()
+	for _, world := range []int{1, 2, 4, 8} {
+		for _, b := range []Backend{NCCLLike, GlooLike} {
+			flat := c.AllReduceSeconds(b, 4<<20, world)
+			hier := c.HierarchicalAllReduceSeconds(b, 4<<20, world)
+			if flat != hier {
+				t.Fatalf("%v world %d: hierarchy inside one server should be a no-op: %v vs %v", b, world, flat, hier)
+			}
+		}
+	}
+}
+
+func TestHierarchicalRecoversCrossMachineBandwidth(t *testing.T) {
+	// The tentpole claim: for multi-host worlds at >= 1M-element
+	// payloads the hierarchy's leader-only ring beats the flat ring
+	// whose per-ring NIC share collapsed to 1/GPUsPerServer.
+	c := DefaultCluster()
+	bytes := 1_000_000 * 4
+	for _, world := range []int{16, 32, 64, 128, 256} {
+		flat := c.AllReduceSeconds(NCCLLike, bytes, world)
+		hier := c.HierarchicalAllReduceSeconds(NCCLLike, bytes, world)
+		if hier >= flat {
+			t.Fatalf("world %d: hierarchical (%v) should beat flat ring (%v)", world, hier, flat)
+		}
+		// The recovery should be substantial, not marginal: the NIC
+		// share goes from ~1/8 to 1/1.
+		if flat/hier < 2 {
+			t.Fatalf("world %d: recovery only %.2fx", world, flat/hier)
+		}
+	}
+}
+
+func TestHierarchicalTinyPayloadsStayLatencyBound(t *testing.T) {
+	// For tiny buffers the hierarchy is pure latency: its inter-host
+	// ring still pays 2(h-1) steps, which at large scale loses to a
+	// log(k)-hop tree (2 binomial sweeps ~ 2*BroadcastSeconds' hop
+	// count) — the reason comm.Auto keeps small buckets on Tree.
+	c := DefaultCluster()
+	hier := c.HierarchicalAllReduceSeconds(NCCLLike, 256, 256)
+	treeish := 2 * c.BroadcastSeconds(NCCLLike, 256, 256)
+	if hier <= treeish {
+		t.Fatalf("tiny payload at 256 ranks: hierarchical (%v) should lose to the log-k tree path (%v)", hier, treeish)
+	}
+}
+
+func TestServers(t *testing.T) {
+	c := DefaultCluster()
+	for _, tc := range []struct{ world, want int }{
+		{0, 0}, {1, 1}, {8, 1}, {9, 2}, {16, 2}, {17, 3}, {256, 32},
+	} {
+		if got := c.Servers(tc.world); got != tc.want {
+			t.Fatalf("Servers(%d) = %d, want %d", tc.world, got, tc.want)
+		}
+	}
+}
+
 func TestSharedEntitlementJumpAt256(t *testing.T) {
 	c := DefaultCluster()
 	c.SharedEntitlement = true

@@ -57,6 +57,12 @@ type Config struct {
 	// CompressionRatio divides communicated bytes (Section 6.2.3
 	// gradient compression ablation); 0 or 1 means uncompressed.
 	CompressionRatio float64
+	// Hierarchical prices AllReduces with the topology-aware
+	// hierarchical cost model (hw.HierarchicalAllReduceSeconds: intra-
+	// host reduce, leader-only inter-host ring, intra-host broadcast)
+	// instead of the flat ring. Identical to the flat model while the
+	// world fits one server.
+	Hierarchical bool
 	// Jitter enables the stochastic effects observed in the paper's
 	// box-whisker plots: per-iteration noise, stragglers growing with
 	// world size, and delay spikes at 100-iteration boundaries.
@@ -201,7 +207,12 @@ func simulate(cfg Config, rng *rand.Rand, iter int) (Breakdown, []BucketEvent, e
 	events := make([]BucketEvent, 0, assign.NumBuckets())
 	for b := 0; b < assign.NumBuckets(); b++ {
 		bytes := int(float64(assign.BucketElems[b]*4) / cfg.CompressionRatio)
-		cost := cfg.Cluster.AllReduceSeconds(cfg.Backend, bytes, cfg.World)
+		var cost float64
+		if cfg.Hierarchical {
+			cost = cfg.Cluster.HierarchicalAllReduceSeconds(cfg.Backend, bytes, cfg.World)
+		} else {
+			cost = cfg.Cluster.AllReduceSeconds(cfg.Backend, bytes, cfg.World)
+		}
 		commBusy += cost
 		s := b % cfg.CommStreams
 		start := readyAt[b]

@@ -321,3 +321,36 @@ func TestTimelineCompressionShrinksBytes(t *testing.T) {
 		}
 	}
 }
+
+func TestHierarchicalCostModelReducesCommTime(t *testing.T) {
+	cfg := resnetCfg() // 32 GPUs: 4 servers on the default cluster
+	flat, err := SimulateIteration(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Hierarchical = true
+	hier, err := SimulateIteration(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hier.CommSeconds >= flat.CommSeconds {
+		t.Fatalf("hierarchical comm busy time (%v) not below flat (%v)", hier.CommSeconds, flat.CommSeconds)
+	}
+	if hier.TotalSeconds > flat.TotalSeconds {
+		t.Fatalf("hierarchical iteration (%v) slower than flat (%v)", hier.TotalSeconds, flat.TotalSeconds)
+	}
+	// Within one server the two models are the same function.
+	cfg.World = 8
+	hier8, err := SimulateIteration(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Hierarchical = false
+	flat8, err := SimulateIteration(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hier8.TotalSeconds != flat8.TotalSeconds {
+		t.Fatalf("single-server mismatch: %v vs %v", hier8.TotalSeconds, flat8.TotalSeconds)
+	}
+}

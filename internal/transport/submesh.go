@@ -1,0 +1,66 @@
+package transport
+
+import "fmt"
+
+// subMesh is a rank-remapped view of a base mesh restricted to a
+// subset of its ranks: local rank i is global rank ranks[i]. It is how
+// collective algorithms carve intra-host groups and inter-host leader
+// rings out of one fully-connected mesh without opening new
+// connections — messages travel over the base mesh's existing links,
+// tags pass through unchanged.
+type subMesh struct {
+	base  Mesh
+	ranks []int // ascending global ranks; local index = position
+	local int   // this rank's local index
+}
+
+// NewSubMesh returns a Mesh view of base restricted to the given
+// global ranks, which must be strictly ascending, within range, and
+// include base's own rank. The view is cheap (no I/O, no new
+// connections) and ephemeral: Close is a no-op so the base mesh stays
+// usable — sub-meshes are created per collective phase and simply
+// dropped. Aborting the base mesh aborts every view's in-flight
+// operations, since they share its links.
+func NewSubMesh(base Mesh, ranks []int) (Mesh, error) {
+	if len(ranks) == 0 {
+		return nil, fmt.Errorf("transport: submesh needs at least one rank")
+	}
+	local := -1
+	for i, r := range ranks {
+		if r < 0 || r >= base.Size() {
+			return nil, fmt.Errorf("transport: submesh rank %d out of range [0,%d)", r, base.Size())
+		}
+		if i > 0 && ranks[i-1] >= r {
+			return nil, fmt.Errorf("transport: submesh ranks not strictly ascending at %d", i)
+		}
+		if r == base.Rank() {
+			local = i
+		}
+	}
+	if local < 0 {
+		return nil, fmt.Errorf("transport: submesh %v does not include own rank %d", ranks, base.Rank())
+	}
+	return &subMesh{base: base, ranks: append([]int(nil), ranks...), local: local}, nil
+}
+
+func (s *subMesh) Rank() int { return s.local }
+func (s *subMesh) Size() int { return len(s.ranks) }
+
+func (s *subMesh) Send(to int, tag uint64, data []float32) error {
+	if to < 0 || to >= len(s.ranks) {
+		return fmt.Errorf("transport: invalid submesh send target %d from local rank %d", to, s.local)
+	}
+	return s.base.Send(s.ranks[to], tag, data)
+}
+
+func (s *subMesh) Recv(from int, tag uint64) ([]float32, error) {
+	if from < 0 || from >= len(s.ranks) {
+		return nil, fmt.Errorf("transport: invalid submesh recv source %d at local rank %d", from, s.local)
+	}
+	return s.base.Recv(s.ranks[from], tag)
+}
+
+// Close is a no-op: the view owns none of the base mesh's resources.
+func (s *subMesh) Close() error { return nil }
+
+var _ Mesh = (*subMesh)(nil)

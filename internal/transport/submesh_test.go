@@ -1,0 +1,149 @@
+package transport
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/store"
+)
+
+func TestSubMeshRemapsRanks(t *testing.T) {
+	meshes := NewInProcMeshes(6)
+	defer func() {
+		for _, m := range meshes {
+			m.Close()
+		}
+	}()
+	ranks := []int{1, 3, 4}
+	subs := make([]Mesh, len(ranks))
+	for i, r := range ranks {
+		s, err := NewSubMesh(meshes[r], ranks)
+		if err != nil {
+			t.Fatalf("submesh at global rank %d: %v", r, err)
+		}
+		if s.Rank() != i || s.Size() != len(ranks) {
+			t.Fatalf("global %d: local rank/size = %d/%d, want %d/%d", r, s.Rank(), s.Size(), i, len(ranks))
+		}
+		subs[i] = s
+	}
+	// Ring exchange in local rank space: i sends to (i+1)%3.
+	var wg sync.WaitGroup
+	errs := make([]error, len(subs))
+	vals := make([]float32, len(subs))
+	for i, s := range subs {
+		wg.Add(1)
+		go func(i int, s Mesh) {
+			defer wg.Done()
+			if err := s.Send((i+1)%len(ranks), 7, []float32{float32(i)}); err != nil {
+				errs[i] = err
+				return
+			}
+			buf, err := s.Recv((i-1+len(ranks))%len(ranks), 7)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			vals[i] = buf[0]
+		}(i, s)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("local rank %d: %v", i, err)
+		}
+		want := float32((i - 1 + len(ranks)) % len(ranks))
+		if vals[i] != want {
+			t.Fatalf("local rank %d received %v, want %v", i, vals[i], want)
+		}
+	}
+	// Close of the view must not close the base mesh.
+	subs[0].Close()
+	if err := meshes[1].Send(2, 9, []float32{1}); err != nil {
+		t.Fatalf("base mesh unusable after submesh close: %v", err)
+	}
+}
+
+func TestSubMeshValidation(t *testing.T) {
+	meshes := NewInProcMeshes(4)
+	defer func() {
+		for _, m := range meshes {
+			m.Close()
+		}
+	}()
+	if _, err := NewSubMesh(meshes[0], nil); err == nil {
+		t.Fatal("empty rank list accepted")
+	}
+	if _, err := NewSubMesh(meshes[0], []int{0, 4}); err == nil {
+		t.Fatal("out-of-range rank accepted")
+	}
+	if _, err := NewSubMesh(meshes[0], []int{0, 2, 2}); err == nil {
+		t.Fatal("non-ascending ranks accepted")
+	}
+	if _, err := NewSubMesh(meshes[0], []int{1, 2}); err == nil {
+		t.Fatal("rank list excluding own rank accepted")
+	}
+	s, err := NewSubMesh(meshes[0], []int{0, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Send(5, 0, nil); err == nil {
+		t.Fatal("out-of-range local send target accepted")
+	}
+	if _, err := s.Recv(-1, 0); err == nil {
+		t.Fatal("out-of-range local recv source accepted")
+	}
+}
+
+func TestTCPMeshDerivesHosts(t *testing.T) {
+	st := store.NewInMem(10 * time.Second)
+	defer st.Close()
+	const world = 3
+	meshes := make([]Mesh, world)
+	var wg sync.WaitGroup
+	errs := make([]error, world)
+	for r := 0; r < world; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			meshes[r], errs[r] = NewTCPMesh(r, world, st, "hosts-test")
+		}(r)
+	}
+	wg.Wait()
+	for r, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d: %v", r, err)
+		}
+		defer meshes[r].Close()
+	}
+	for r, m := range meshes {
+		hl, ok := m.(HostLister)
+		if !ok {
+			t.Fatalf("rank %d: TCP mesh does not implement HostLister", r)
+		}
+		hosts := hl.Hosts()
+		if len(hosts) != world {
+			t.Fatalf("rank %d: %d host labels for world %d", r, len(hosts), world)
+		}
+		for peer, h := range hosts {
+			// Everything runs on loopback here, so every derived label
+			// must agree — the single-host case hierarchical collapses on.
+			if h != "127.0.0.1" {
+				t.Fatalf("rank %d: host of rank %d = %q, want 127.0.0.1", r, peer, h)
+			}
+		}
+	}
+}
+
+func TestSingletonTCPMeshHasHosts(t *testing.T) {
+	st := store.NewInMem(time.Second)
+	defer st.Close()
+	m, err := NewTCPMesh(0, 1, st, "single")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	if hosts := m.(HostLister).Hosts(); len(hosts) != 1 {
+		t.Fatalf("singleton hosts = %v", hosts)
+	}
+}

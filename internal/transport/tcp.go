@@ -54,6 +54,7 @@ type tcpMesh struct {
 	rank, size int
 	ln         net.Listener
 	peers      []*tcpPeer // indexed by peer rank; nil at own rank
+	hosts      []string   // host part of each rank's published address
 
 	// st/addrKey let teardown release this rank's rendezvous key so an
 	// aborted or closed mesh leaves nothing behind in the store.
@@ -96,7 +97,7 @@ func NewTCPMesh(rank, size int, st store.Store, prefix string) (Mesh, error) {
 // mesh build must not stall survivors until the store timeout.
 func NewTCPMeshCancel(rank, size int, st store.Store, prefix string, cancel <-chan struct{}) (Mesh, error) {
 	if size == 1 {
-		return &tcpMesh{rank: 0, size: 1, aborted: make(chan struct{})}, nil
+		return &tcpMesh{rank: 0, size: 1, hosts: []string{"local"}, aborted: make(chan struct{})}, nil
 	}
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
@@ -123,10 +124,12 @@ func NewTCPMeshCancel(rank, size int, st store.Store, prefix string, cancel <-ch
 	m := &tcpMesh{
 		rank: rank, size: size, ln: ln,
 		peers:   make([]*tcpPeer, size),
+		hosts:   make([]string, size),
 		st:      st,
 		addrKey: key(rank),
 		aborted: make(chan struct{}),
 	}
+	m.hosts[rank] = addrHost(ln.Addr().String())
 	fail := func(err error) (Mesh, error) {
 		b.closeAll()
 		_ = st.Delete(key(rank))
@@ -161,7 +164,22 @@ func NewTCPMeshCancel(rank, size int, st store.Store, prefix string, cancel <-ch
 				acceptErr <- fmt.Errorf("transport: unexpected peer rank %d", peer)
 				return
 			}
+			host, err := readHostAnnouncement(conn)
+			if err != nil {
+				acceptErr <- fmt.Errorf("transport: handshake host from rank %d: %w", peer, err)
+				return
+			}
 			m.peers[peer] = newTCPPeer(conn)
+			// Topology: the handshake carries the host of the dialer's
+			// PUBLISHED listener address, so every rank labels peer
+			// `peer` from the same single source regardless of which
+			// side dialed — multi-homed hosts cannot end up labeled
+			// differently on different ranks, which would desynchronize
+			// topology-derived algorithm selection. Feeds Hosts().
+			// Disjoint slice elements, so this does not race the dial
+			// loop's writes; the acceptErr receive below orders it
+			// before any Hosts() read.
+			m.hosts[peer] = host
 		}
 		acceptErr <- nil
 	}()
@@ -172,13 +190,12 @@ func NewTCPMeshCancel(rank, size int, st store.Store, prefix string, cancel <-ch
 		if err != nil {
 			return fail(fmt.Errorf("transport: rendezvous with rank %d: %w", peer, err))
 		}
+		m.hosts[peer] = addrHost(string(addrBytes))
 		conn, err := b.dial(string(addrBytes))
 		if err != nil {
 			return fail(fmt.Errorf("transport: dial rank %d: %w", peer, err))
 		}
-		var hdr [4]byte
-		binary.LittleEndian.PutUint32(hdr[:], uint32(rank))
-		if _, err := conn.Write(hdr[:]); err != nil {
+		if err := writeHandshake(conn, rank, m.hosts[rank]); err != nil {
 			return fail(fmt.Errorf("transport: handshake write to rank %d: %w", peer, err))
 		}
 		m.peers[peer] = newTCPPeer(conn)
@@ -321,6 +338,55 @@ func newTCPPeer(conn net.Conn) *tcpPeer {
 
 func (m *tcpMesh) Rank() int { return m.rank }
 func (m *tcpMesh) Size() int { return m.size }
+
+// Hosts returns the host component of every rank's published listener
+// address — the mesh's auto-derived placement map (HostLister). Ranks
+// whose addresses share a host share its NIC, which is exactly the
+// sharing the hierarchical AllReduce exists to exploit.
+func (m *tcpMesh) Hosts() []string { return append([]string(nil), m.hosts...) }
+
+// addrHost extracts the host component of a host:port address,
+// returning the whole string when it does not parse.
+func addrHost(addr string) string {
+	host, _, err := net.SplitHostPort(addr)
+	if err != nil {
+		return addr
+	}
+	return host
+}
+
+// maxHostLen bounds the host label in the build handshake so a
+// desynced or hostile stream cannot demand an absurd allocation.
+const maxHostLen = 1 << 10
+
+// writeHandshake sends the mesh-build announcement after dialing: the
+// dialer's rank and the host of its published listener address.
+func writeHandshake(conn net.Conn, rank int, host string) error {
+	buf := make([]byte, 8+len(host))
+	binary.LittleEndian.PutUint32(buf[0:4], uint32(rank))
+	binary.LittleEndian.PutUint32(buf[4:8], uint32(len(host)))
+	copy(buf[8:], host)
+	_, err := conn.Write(buf)
+	return err
+}
+
+// readHostAnnouncement reads the host half of the handshake (the rank
+// was consumed by the caller to identify the peer first).
+func readHostAnnouncement(conn net.Conn) (string, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(conn, hdr[:]); err != nil {
+		return "", err
+	}
+	n := binary.LittleEndian.Uint32(hdr[:])
+	if n > maxHostLen {
+		return "", fmt.Errorf("host label of %d bytes exceeds limit %d", n, maxHostLen)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(conn, buf); err != nil {
+		return "", err
+	}
+	return string(buf), nil
+}
 
 // grow returns buf resized to n bytes, reallocating only when the
 // capacity is insufficient.
@@ -502,3 +568,4 @@ func (m *tcpMesh) Abort() error {
 
 var _ Mesh = (*tcpMesh)(nil)
 var _ Aborter = (*tcpMesh)(nil)
+var _ HostLister = (*tcpMesh)(nil)

@@ -24,8 +24,12 @@
 // for the header and one for the payload, then converts in a single
 // pass. There is no per-element I/O anywhere on the hot path.
 //
-// During mesh construction, each rank additionally sends a 4-byte
-// little-endian handshake (its own rank) immediately after dialing.
+// During mesh construction, each rank additionally sends a handshake
+// immediately after dialing: its own rank (uint32), then the host
+// component of its published listener address as a length-prefixed
+// string ([len uint32][len bytes]) — the single source every rank
+// labels every peer's host from (see HostLister), so topology
+// derivation cannot disagree across ranks on multi-homed machines.
 //
 // # Abort semantics
 //
@@ -75,6 +79,18 @@ type Mesh interface {
 // rank — it is the transport half of comm.AbortGroup.
 type Aborter interface {
 	Abort() error
+}
+
+// HostLister is implemented by meshes that know which host (machine)
+// every rank runs on: Hosts returns one label per rank, index == rank.
+// TCP meshes derive the labels from each rank's published rendezvous
+// address; the comm layer turns them into a Topology so topology-aware
+// collectives work without any extra configuration. The in-process
+// mesh deliberately does not implement it — all its ranks share one
+// process, so callers simulating multi-host layouts supply an explicit
+// topology instead.
+type HostLister interface {
+	Hosts() []string
 }
 
 // TagMismatchError reports a collective-ordering violation: the message
