@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 
+	"repro/internal/comm"
 	"repro/internal/ddp"
 	"repro/internal/hw"
 	"repro/internal/models"
@@ -66,18 +67,31 @@ func Ablation(w io.Writer) error {
 		fwd.NumBuckets(), offB.TotalSeconds)
 
 	header(w, "Ablation: gradient compression (Section 6.2.3)")
-	fmt.Fprintf(w, "%-8s %14s %14s\n", "codec", "latency (s)", "vs none")
+	// Ratios are measured from the codecs' real wire frames (the exact
+	// bytes CompressedAllReduce puts on the byte lanes), not assumed:
+	// EncodedSize over a representative bucket's element count, headers
+	// and all. BenchmarkCompressedAllReduce measures the same frames
+	// live on a TCP mesh (BENCH_compression.json).
+	const bucketElems = (25 << 20) / 4 // one default 25MB bucket
+	fmt.Fprintf(w, "%-8s %12s %12s %14s %14s\n", "codec", "bytes/bucket", "wire ratio", "latency (s)", "vs none")
 	for _, c := range []struct {
 		name  string
-		ratio float64
-	}{{"none", 1}, {"fp16", 2}, {"1bit", 32}} {
+		codec comm.WireCodec
+	}{{"none", nil}, {"fp16", comm.Float16Codec{}}, {"1bit", &comm.OneBitCodec{}}, {"topk", &comm.TopKCodec{}}} {
+		bytes := 4 * bucketElems
+		ratio := 1.0
+		if c.codec != nil {
+			bytes = c.codec.EncodedSize(bucketElems)
+			ratio = float64(4*bucketElems) / float64(bytes)
+		}
 		cfg := base
-		cfg.CompressionRatio = c.ratio
+		cfg.CompressionRatio = ratio
 		b, err := simnet.SimulateIteration(cfg)
 		if err != nil {
 			return err
 		}
-		fmt.Fprintf(w, "%-8s %14.4f %13.1f%%\n", c.name, b.TotalSeconds, 100*(1-b.TotalSeconds/on.TotalSeconds))
+		fmt.Fprintf(w, "%-8s %12d %11.1fx %14.4f %13.1f%%\n",
+			c.name, bytes, ratio, b.TotalSeconds, 100*(1-b.TotalSeconds/on.TotalSeconds))
 	}
 
 	header(w, "Ablation: communication streams (round-robin groups), BERT/NCCL 16 GPUs")

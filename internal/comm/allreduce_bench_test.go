@@ -25,30 +25,52 @@ type benchRecord struct {
 	CrossHostBytesPerOp int64   `json:"cross_host_bytes_per_op"`
 }
 
+// compressionRecord is one BenchmarkCompressedAllReduce measurement:
+// the REAL bytes each codec puts on the TCP wire per op, next to the
+// uncompressed Ring baseline — the ablation that replaces the
+// modeled-only CompressionRatio numbers.
+type compressionRecord struct {
+	Codec          string  `json:"codec"`
+	World          int     `json:"world"`
+	Elems          int     `json:"elems"`
+	NsPerOp        float64 `json:"ns_per_op"`
+	WireBytesPerOp int64   `json:"wire_bytes_per_op"`
+	RatioVsRing    float64 `json:"ratio_vs_ring"`
+}
+
 var (
-	benchMu      sync.Mutex
-	benchRecords []benchRecord
+	benchMu         sync.Mutex
+	benchRecords    []benchRecord
+	compressRecords []compressionRecord
 )
 
-// TestMain exists to flush the benchmark summary: after a -bench run
-// that exercised BenchmarkAllReduceAlgorithms, the records land in
-// BENCH_allreduce.json (override the path with BENCH_ALLREDUCE_OUT).
+// TestMain exists to flush the benchmark summaries: after a -bench run,
+// BenchmarkAllReduceAlgorithms records land in BENCH_allreduce.json and
+// BenchmarkCompressedAllReduce records in BENCH_compression.json
+// (override the paths with BENCH_ALLREDUCE_OUT / BENCH_COMPRESSION_OUT).
 // Plain `go test` runs collect nothing and write nothing.
 func TestMain(m *testing.M) {
 	code := m.Run()
 	benchMu.Lock()
 	records := benchRecords
+	compress := compressRecords
 	benchMu.Unlock()
-	if len(records) > 0 {
-		out := os.Getenv("BENCH_ALLREDUCE_OUT")
+	flushJSON := func(envKey, fallback string, v any) {
+		out := os.Getenv(envKey)
 		if out == "" {
-			out = "BENCH_allreduce.json"
+			out = fallback
 		}
-		if data, err := json.MarshalIndent(records, "", "  "); err == nil {
+		if data, err := json.MarshalIndent(v, "", "  "); err == nil {
 			if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
 				fmt.Fprintf(os.Stderr, "comm: writing %s: %v\n", out, err)
 			}
 		}
+	}
+	if len(records) > 0 {
+		flushJSON("BENCH_ALLREDUCE_OUT", "BENCH_allreduce.json", records)
+	}
+	if len(compress) > 0 {
+		flushJSON("BENCH_COMPRESSION_OUT", "BENCH_compression.json", compress)
 	}
 	os.Exit(code)
 }
@@ -179,4 +201,141 @@ func benchAllReduce(b *testing.B, tr string, algo Algorithm, n int) {
 	}
 	benchRecords = append(benchRecords, rec)
 	benchMu.Unlock()
+}
+
+// BenchmarkCompressedAllReduce sweeps codec x payload over a TCP mesh,
+// counting the real bytes each op puts on the wire (headers included,
+// both lanes) next to the uncompressed Ring baseline. The collected
+// records land in BENCH_compression.json — the compression ablation is
+// measured, not modeled.
+func BenchmarkCompressedAllReduce(b *testing.B) {
+	codecs := []struct {
+		name  string
+		codec WireCodec
+	}{
+		{"none", nil},
+		{"fp16", Float16Codec{}},
+		{"1bit", &OneBitCodec{}},
+		{"topk", &TopKCodec{}},
+	}
+	sizes := []int{1 << 14, 1 << 17}
+	// ringBytes[elems] is the measured uncompressed baseline, filled by
+	// the "none" rows (which the sweep runs first) so the codec rows can
+	// report a measured-vs-measured ratio.
+	ringBytes := make(map[int]int64)
+	for _, c := range codecs {
+		for _, n := range sizes {
+			b.Run(fmt.Sprintf("%s/%d", c.name, n), func(b *testing.B) {
+				benchCompressed(b, c.name, c.codec, n, ringBytes)
+			})
+		}
+	}
+}
+
+func benchCompressed(b *testing.B, name string, codec WireCodec, n int, ringBytes map[int]int64) {
+	meshes := benchMeshes(b, "tcp")
+	var wire atomic.Int64
+	groups := make([]ProcessGroup, benchWorldSize)
+	for r := range meshes {
+		groups[r] = NewGroup(&benchWireCounter{Mesh: meshes[r], bytes: &wire}, Options{Algorithm: Ring})
+	}
+	defer closeAll(groups)
+	bufs := make([][]float32, benchWorldSize)
+	residuals := make([][]float32, benchWorldSize)
+	for r := range bufs {
+		bufs[r] = make([]float32, n)
+		residuals[r] = make([]float32, n)
+		for i := range bufs[r] {
+			bufs[r][i] = float32(r+i) / 7
+		}
+	}
+	b.SetBytes(int64(4 * n))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var wg sync.WaitGroup
+		errs := make([]error, benchWorldSize)
+		for r := range groups {
+			wg.Add(1)
+			go func(r int) {
+				defer wg.Done()
+				if codec == nil {
+					errs[r] = groups[r].AllReduce(bufs[r], Sum).Wait()
+				} else {
+					errs[r] = CompressedAllReduce(groups[r], bufs[r], Sum, codec, residuals[r]).Wait()
+				}
+			}(r)
+		}
+		wg.Wait()
+		for r, err := range errs {
+			if err != nil {
+				b.Fatalf("rank %d: %v", r, err)
+			}
+		}
+	}
+	b.StopTimer()
+	perOp := wire.Load() / int64(b.N)
+	b.ReportMetric(float64(perOp), "wireB/op")
+	benchMu.Lock()
+	defer benchMu.Unlock()
+	if codec == nil {
+		ringBytes[n] = perOp
+	}
+	ratio := 0.0
+	if base := ringBytes[n]; base > 0 && perOp > 0 {
+		ratio = float64(base) / float64(perOp)
+	}
+	rec := compressionRecord{
+		Codec:          name,
+		World:          benchWorldSize,
+		Elems:          n,
+		NsPerOp:        float64(b.Elapsed().Nanoseconds()) / float64(b.N),
+		WireBytesPerOp: perOp,
+		RatioVsRing:    ratio,
+	}
+	for i := range compressRecords {
+		r := &compressRecords[i]
+		if r.Codec == rec.Codec && r.Elems == rec.Elems {
+			*r = rec
+			return
+		}
+	}
+	compressRecords = append(compressRecords, rec)
+}
+
+// benchWireCounter counts every byte this rank puts on the wire, on
+// both lanes (the bench twin of the test wireCounter, kept separate so
+// the bench file stays self-contained).
+type benchWireCounter struct {
+	transport.Mesh
+	bytes *atomic.Int64
+}
+
+func (c *benchWireCounter) Send(to int, tag uint64, data []float32) error {
+	c.bytes.Add(int64(12 + 4*len(data)))
+	return c.Mesh.Send(to, tag, data)
+}
+
+// SendBytes counts and forwards a byte-lane frame.
+func (c *benchWireCounter) SendBytes(to int, tag uint64, data []byte) error {
+	bm, ok := transport.ByteLanes(c.Mesh)
+	if !ok {
+		return fmt.Errorf("benchWireCounter: base mesh has no byte lanes")
+	}
+	c.bytes.Add(int64(12 + len(data)))
+	return bm.SendBytes(to, tag, data)
+}
+
+// RecvBytes forwards a byte-lane receive.
+func (c *benchWireCounter) RecvBytes(from int, tag uint64) ([]byte, error) {
+	bm, ok := transport.ByteLanes(c.Mesh)
+	if !ok {
+		return nil, fmt.Errorf("benchWireCounter: base mesh has no byte lanes")
+	}
+	return bm.RecvBytes(from, tag)
+}
+
+// HasByteLanes reports the base mesh's capability.
+func (c *benchWireCounter) HasByteLanes() bool {
+	_, ok := transport.ByteLanes(c.Mesh)
+	return ok
 }

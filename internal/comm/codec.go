@@ -1,13 +1,21 @@
 package comm
 
-import "math"
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
 
 // Codec models the gradient compression direction of Section 6.2.3:
 // gradients are projected into a lower-precision representation before
-// communication and reconstructed afterwards. In this pure-Go
-// reproduction the accuracy effect is faithful (values are actually
-// quantized); the byte-volume effect shows up in the simulator, which
-// scales communication cost by CompressionRatio.
+// communication and reconstructed afterwards. Quantize applies the
+// accuracy effect in place (values are actually degraded); codecs that
+// additionally implement WireCodec produce the real byte
+// representation, which CompressedAllReduce ships over the transports'
+// byte lanes so the volume effect is real too.
 type Codec interface {
 	// Name identifies the codec in benchmark output.
 	Name() string
@@ -18,7 +26,85 @@ type Codec interface {
 	Quantize(data []float32)
 }
 
+// WireCodec is a Codec that can materialize the compressed byte
+// representation itself — the lossy projection AND the wire format.
+// Encode/Decode round-tripping defines the quantization: for finite
+// in-range inputs, Quantize(data) is equivalent to Decode(Encode(data)).
+// (For non-finite inputs Encode applies the drop guard — see
+// DroppedNonFinite — and fp16's Encode saturates out-of-range values to
+// ±65504 where the legacy Quantize, predating error feedback,
+// saturates to ±Inf.)
+//
+// Error feedback is caller-owned: when Encode receives a non-nil
+// residual (same length as data), the value quantized for element i is
+// data[i]+residual[i] and residual[i] is replaced with the new
+// quantization error, so the error accumulates across iterations
+// instead of being lost (Seide et al.'s 1-bit SGD scheme). DDP keys
+// these residuals by parameter identity so they survive bucket
+// rebuilds and elastic reconfigurations.
+//
+// Encode and Decode must not mutate receiver state: one codec instance
+// may serve concurrent collectives (round-robin groups run one worker
+// per sub-group). All state rides in the arguments.
+type WireCodec interface {
+	Codec
+	// EncodedSize returns an upper bound on the bytes Encode produces
+	// for n elements (exact for fixed-rate codecs; adaptive codecs like
+	// top-k may produce less).
+	EncodedSize(n int) int
+	// Encode appends the compressed representation of data to dst and
+	// returns the extended slice. residual is nil (no error feedback)
+	// or a slice of len(data) updated in place. data itself is not
+	// modified. Encoding zero elements appends nothing.
+	Encode(dst []byte, data, residual []float32) []byte
+	// Decode expands one Encode frame into out, whose length must equal
+	// the element count that was encoded.
+	Decode(buf []byte, out []float32) error
+}
+
+// nonFiniteDropped counts gradient elements dropped because they were
+// Inf/NaN at encode time (see DroppedNonFinite).
+var nonFiniteDropped atomic.Uint64
+
+// DroppedNonFinite reports how many non-finite gradient elements the
+// codecs have dropped process-wide. A non-finite element would poison
+// scale computations (1-bit's mean magnitude) and, under error
+// feedback, the residual — forever, since NaN never decays. Instead
+// the codecs treat the element as zero: it is excluded from scale
+// computations, transmitted as zero (the zero sign, for 1-bit), its
+// poisoned residual is discarded, and this counter is bumped so the
+// event is observable rather than silently corrupting state.
+func DroppedNonFinite() uint64 { return nonFiniteDropped.Load() }
+
+// efValue returns the value to quantize for element i — data[i] plus
+// its residual under error feedback — and whether it is finite. A
+// non-finite value is dropped: the caller transmits 0, the residual is
+// zeroed, and the process-wide counter is bumped.
+func efValue(data, residual []float32, i int) (float32, bool) {
+	v := data[i]
+	if residual != nil {
+		v += residual[i]
+	}
+	if f64 := float64(v); math.IsNaN(f64) || math.IsInf(f64, 0) {
+		if residual != nil {
+			residual[i] = 0
+		}
+		nonFiniteDropped.Add(1)
+		return 0, false
+	}
+	return v, true
+}
+
+// setResidual records the quantization error v-q for element i when
+// error feedback is active.
+func setResidual(residual []float32, i int, v, q float32) {
+	if residual != nil {
+		residual[i] = v - q
+	}
+}
+
 // Float16Codec rounds values through IEEE half precision (2x smaller).
+// On the wire each element travels as its binary16 bits.
 type Float16Codec struct{}
 
 // Name implements Codec.
@@ -34,13 +120,68 @@ func (Float16Codec) Quantize(data []float32) {
 	}
 }
 
+// EncodedSize implements WireCodec: two bytes per element.
+func (Float16Codec) EncodedSize(n int) int { return 2 * n }
+
+// maxFloat16 is the largest finite half-precision value. Encode
+// saturates to it instead of ±Inf: a finite-but-out-of-range element
+// must stay finite on the wire (an Inf frame element turns the whole
+// reduced sum Inf) and must leave a finite residual — v-Inf is -Inf,
+// which would poison the accumulator exactly like the non-finite
+// inputs the drop guard exists for.
+const maxFloat16 = 65504
+
+// Encode implements WireCodec: each element's binary16 bits,
+// little-endian, saturating to ±maxFloat16. With error feedback the
+// rounding (and saturation) error accumulates in residual instead of
+// being lost.
+func (Float16Codec) Encode(dst []byte, data, residual []float32) []byte {
+	for i := range data {
+		v, ok := efValue(data, residual, i)
+		var h uint16
+		if ok {
+			q := v
+			switch {
+			case q > maxFloat16:
+				q = maxFloat16
+			case q < -maxFloat16:
+				q = -maxFloat16
+			}
+			h = float32ToFloat16(q)
+			// The residual is measured against the ORIGINAL value, so
+			// saturation error (v - 65504) is carried forward like any
+			// other quantization error, not discarded.
+			setResidual(residual, i, v, float16ToFloat32(h))
+		}
+		dst = binary.LittleEndian.AppendUint16(dst, h)
+	}
+	return dst
+}
+
+// Decode implements WireCodec.
+func (Float16Codec) Decode(buf []byte, out []float32) error {
+	if len(buf) != 2*len(out) {
+		return fmt.Errorf("comm: fp16 frame is %d bytes for %d elements", len(buf), len(out))
+	}
+	for i := range out {
+		out[i] = float16ToFloat32(binary.LittleEndian.Uint16(buf[2*i:]))
+	}
+	return nil
+}
+
 // OneBitCodec keeps only the sign of each gradient element, scaled by
 // the mean magnitude, with error feedback carrying the quantization
 // residual into the next iteration (Seide et al., the 1-bit SGD scheme
-// the paper cites). One codec instance must be used per bucket so the
-// residual lines up.
+// the paper cites). On the wire a frame is a 4-byte scale followed by a
+// sign bitmap (~32x smaller).
+//
+// Quantize uses a codec-internal residual for standalone use; DDP and
+// CompressedAllReduce instead pass a caller-owned residual to Encode,
+// keyed by parameter identity, so the accumulated error survives
+// bucket rebuilds and process-group swaps.
 type OneBitCodec struct {
 	residual []float32
+	scratch  []byte
 }
 
 // Name implements Codec.
@@ -52,23 +193,317 @@ func (c *OneBitCodec) CompressionRatio() float64 { return 32 }
 // Quantize replaces data with sign(data+residual) * mean|data+residual|
 // and stores the quantization error for the next call.
 func (c *OneBitCodec) Quantize(data []float32) {
+	if len(data) == 0 {
+		return
+	}
 	if len(c.residual) != len(data) {
 		c.residual = make([]float32, len(data))
 	}
-	var meanAbs float64
-	for i := range data {
-		data[i] += c.residual[i]
-		meanAbs += math.Abs(float64(data[i]))
+	c.scratch = c.Encode(c.scratch[:0], data, c.residual)
+	// A frame we just produced always decodes.
+	_ = c.Decode(c.scratch, data)
+}
+
+// EncodedSize implements WireCodec: a 4-byte scale plus one bit per
+// element.
+func (c *OneBitCodec) EncodedSize(n int) int {
+	if n == 0 {
+		return 0
 	}
-	scale := float32(meanAbs / float64(len(data)))
-	for i, v := range data {
+	return 4 + (n+7)/8
+}
+
+// Encode implements WireCodec: [scale float32][sign bitmap], bit set =
+// negative. The scale is the mean magnitude over the finite values;
+// non-finite elements are dropped (treated as zero: excluded from the
+// scale, transmitted as the zero sign) instead of making the scale —
+// and every element of the frame — NaN.
+func (c *OneBitCodec) Encode(dst []byte, data, residual []float32) []byte {
+	n := len(data)
+	if n == 0 {
+		return dst
+	}
+	start := len(dst)
+	dst = append(dst, make([]byte, c.EncodedSize(n))...)
+	// Materialize the combined values once so the scale pass and the
+	// sign pass agree on exactly what each element is — recomputing
+	// data[i]+residual[i] after efValue sanitized the residual would
+	// see a DIFFERENT (possibly huge-but-finite) value for a dropped
+	// element and leak it into the residual.
+	vals := make([]float32, n)
+	var meanAbs float64
+	finite := 0
+	for i := 0; i < n; i++ {
+		v, ok := efValue(data, residual, i)
+		vals[i] = v // 0 when dropped
+		if ok {
+			meanAbs += math.Abs(float64(v))
+			finite++
+		}
+	}
+	var scale float32
+	if finite > 0 {
+		scale = float32(meanAbs / float64(finite))
+	}
+	binary.LittleEndian.PutUint32(dst[start:], math.Float32bits(scale))
+	bitmap := dst[start+4:]
+	for i, v := range vals {
 		q := scale
 		if v < 0 {
 			q = -scale
+			bitmap[i/8] |= 1 << (i % 8)
 		}
-		c.residual[i] = v - q
-		data[i] = q
+		setResidual(residual, i, v, q)
 	}
+	return dst
+}
+
+// Decode implements WireCodec.
+func (c *OneBitCodec) Decode(buf []byte, out []float32) error {
+	n := len(out)
+	if len(buf) != c.EncodedSize(n) {
+		return fmt.Errorf("comm: 1bit frame is %d bytes for %d elements", len(buf), n)
+	}
+	if n == 0 {
+		return nil
+	}
+	scale := math.Float32frombits(binary.LittleEndian.Uint32(buf))
+	bitmap := buf[4:]
+	for i := range out {
+		if bitmap[i/8]&(1<<(i%8)) != 0 {
+			out[i] = -scale
+		} else {
+			out[i] = scale
+		}
+	}
+	return nil
+}
+
+// DefaultTopKFraction is the kept fraction TopKCodec uses when K is
+// zero: the top 10% of elements by magnitude, a common operating point
+// in the gradient sparsification literature.
+const DefaultTopKFraction = 0.1
+
+// TopKCodec transmits only the largest-magnitude fraction of the
+// elements as (index, value) pairs; everything else is carried forward
+// by error feedback (Quantize's internal residual, or the caller-owned
+// residual handed to Encode). Values selected are transmitted exactly,
+// so with error feedback every gradient element eventually arrives —
+// just spread over iterations.
+type TopKCodec struct {
+	// K is the kept fraction in (0, 1]; 0 selects DefaultTopKFraction.
+	K float64
+
+	residual []float32
+	scratch  []byte
+}
+
+// fraction returns the effective kept fraction.
+func (c *TopKCodec) fraction() float64 {
+	if c.K <= 0 || c.K > 1 {
+		return DefaultTopKFraction
+	}
+	return c.K
+}
+
+// kept returns how many of n elements a frame carries.
+func (c *TopKCodec) kept(n int) int {
+	if n == 0 {
+		return 0
+	}
+	k := int(math.Ceil(c.fraction() * float64(n)))
+	if k < 1 {
+		k = 1
+	}
+	if k > n {
+		k = n
+	}
+	return k
+}
+
+// Name implements Codec.
+func (c *TopKCodec) Name() string { return "topk" }
+
+// CompressionRatio implements Codec: each kept element costs 8 bytes
+// (index + value) against 4 bytes for every dense element, so the
+// asymptotic ratio is 1/(2K).
+func (c *TopKCodec) CompressionRatio() float64 { return 1 / (2 * c.fraction()) }
+
+// Quantize keeps the top-K fraction in place, zeroing the rest into an
+// internal error-feedback residual.
+func (c *TopKCodec) Quantize(data []float32) {
+	if len(data) == 0 {
+		return
+	}
+	if len(c.residual) != len(data) {
+		c.residual = make([]float32, len(data))
+	}
+	c.scratch = c.Encode(c.scratch[:0], data, c.residual)
+	_ = c.Decode(c.scratch, data)
+}
+
+// EncodedSize implements WireCodec: a 4-byte count plus 8 bytes per
+// kept element.
+func (c *TopKCodec) EncodedSize(n int) int {
+	if n == 0 {
+		return 0
+	}
+	return 4 + 8*c.kept(n)
+}
+
+// Encode implements WireCodec:
+// [count uint32][count x index uint32][count x value float32].
+// Selection is by descending magnitude with ascending-index
+// tie-breaking — a deterministic total order, found by quickselect in
+// O(n) expected time (this runs per bucket per iteration; a full sort
+// of multi-million-element buckets would eat the latency the
+// compression buys). Indices are emitted ascending.
+func (c *TopKCodec) Encode(dst []byte, data, residual []float32) []byte {
+	n := len(data)
+	if n == 0 {
+		return dst
+	}
+	// Scratch comes from pools, not instance fields: Encode must stay
+	// goroutine-safe (one codec serves concurrent collectives), and a
+	// 25MB bucket would otherwise allocate ~12n bytes of garbage per
+	// call on the hot path.
+	vp := topkValsPool.Get().(*[]float32)
+	vals := growFloat32(*vp, n)
+	defer func() { *vp = vals; topkValsPool.Put(vp) }()
+	for i := range data {
+		vals[i], _ = efValue(data, residual, i)
+	}
+	ip := topkIdxPool.Get().(*[]int)
+	idx := growInt(*ip, n)
+	defer func() { *ip = idx; topkIdxPool.Put(ip) }()
+	for i := range idx {
+		idx[i] = i
+	}
+	k := c.kept(n)
+	selectTopK(idx, vals, k)
+	sel := idx[:k]
+	sort.Ints(sel)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(k))
+	for _, i := range sel {
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(i))
+	}
+	for _, i := range sel {
+		dst = binary.LittleEndian.AppendUint32(dst, math.Float32bits(vals[i]))
+	}
+	if residual != nil {
+		// sel is ascending: one two-pointer pass splits transmitted
+		// (residual zeroed — the value went out exactly) from carried.
+		s := 0
+		for i := range vals {
+			if s < len(sel) && sel[s] == i {
+				residual[i] = 0
+				s++
+			} else {
+				residual[i] = vals[i]
+			}
+		}
+	}
+	return dst
+}
+
+// topkValsPool / topkIdxPool recycle Encode's selection scratch across
+// calls and goroutines.
+var (
+	topkValsPool = sync.Pool{New: func() any { return new([]float32) }}
+	topkIdxPool  = sync.Pool{New: func() any { return new([]int) }}
+)
+
+// growFloat32 returns buf resized to n elements, reallocating only when
+// capacity is insufficient.
+func growFloat32(buf []float32, n int) []float32 {
+	if cap(buf) < n {
+		return make([]float32, n)
+	}
+	return buf[:n]
+}
+
+// growInt is growFloat32 for int slices.
+func growInt(buf []int, n int) []int {
+	if cap(buf) < n {
+		return make([]int, n)
+	}
+	return buf[:n]
+}
+
+// topKRanks reports whether element a outranks element b in top-k
+// selection: greater magnitude first, ascending index on ties. A total
+// order, so the selected set is deterministic.
+func topKRanks(vals []float32, a, b int) bool {
+	ma := math.Abs(float64(vals[a]))
+	mb := math.Abs(float64(vals[b]))
+	if ma != mb {
+		return ma > mb
+	}
+	return a < b
+}
+
+// selectTopK partially orders idx so its first k entries are exactly
+// the top-k elements under topKRanks (in unspecified internal order) —
+// Hoare-partition quickselect with a middle pivot, O(n) expected.
+func selectTopK(idx []int, vals []float32, k int) {
+	lo, hi := 0, len(idx)
+	for hi-lo > 1 && k > lo && k < hi {
+		pivot := idx[lo+(hi-lo)/2]
+		i, j := lo, hi-1
+		for i <= j {
+			for topKRanks(vals, idx[i], pivot) {
+				i++
+			}
+			for topKRanks(vals, pivot, idx[j]) {
+				j--
+			}
+			if i <= j {
+				idx[i], idx[j] = idx[j], idx[i]
+				i++
+				j--
+			}
+		}
+		// idx[lo:j+1] all rank >= pivot's side, idx[i:hi] all rank
+		// after; recurse into whichever span still straddles k.
+		if k <= j {
+			hi = j + 1
+		} else if k >= i {
+			lo = i
+		} else {
+			return
+		}
+	}
+}
+
+// Decode implements WireCodec: zero the output and scatter the pairs.
+func (c *TopKCodec) Decode(buf []byte, out []float32) error {
+	n := len(out)
+	if n == 0 {
+		if len(buf) != 0 {
+			return fmt.Errorf("comm: topk frame is %d bytes for 0 elements", len(buf))
+		}
+		return nil
+	}
+	if len(buf) < 4 {
+		return fmt.Errorf("comm: topk frame truncated (%d bytes)", len(buf))
+	}
+	k := int(binary.LittleEndian.Uint32(buf))
+	if k < 0 || k > n || len(buf) != 4+8*k {
+		return fmt.Errorf("comm: topk frame claims %d pairs in %d bytes for %d elements", k, len(buf), n)
+	}
+	for i := range out {
+		out[i] = 0
+	}
+	idxs := buf[4:]
+	valBase := 4 + 4*k
+	for j := 0; j < k; j++ {
+		i := int(binary.LittleEndian.Uint32(idxs[4*j:]))
+		if i >= n {
+			return fmt.Errorf("comm: topk index %d out of range [0,%d)", i, n)
+		}
+		out[i] = math.Float32frombits(binary.LittleEndian.Uint32(buf[valBase+4*j:]))
+	}
+	return nil
 }
 
 // Float16Round converts f to IEEE 754 half precision and back,
@@ -138,3 +573,9 @@ func float16ToFloat32(h uint16) float32 {
 		return math.Float32frombits(sign | (exp+127-15)<<23 | mant<<13)
 	}
 }
+
+var (
+	_ WireCodec = Float16Codec{}
+	_ WireCodec = (*OneBitCodec)(nil)
+	_ WireCodec = (*TopKCodec)(nil)
+)

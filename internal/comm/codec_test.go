@@ -2,6 +2,8 @@ package comm
 
 import (
 	"math"
+	"math/rand"
+	"sort"
 	"testing"
 	"testing/quick"
 )
@@ -108,5 +110,306 @@ func TestOneBitCodecErrorFeedbackConverges(t *testing.T) {
 		if math.Abs(avg-float64(truth[i])) > 0.05 {
 			t.Fatalf("element %d average transmitted %v, want %v", i, avg, truth[i])
 		}
+	}
+}
+
+// wireCodecs lists every WireCodec under test.
+func wireCodecs() []WireCodec {
+	return []WireCodec{Float16Codec{}, &OneBitCodec{}, &TopKCodec{}, &TopKCodec{K: 0.5}}
+}
+
+// TestWireCodecRoundTrip: Encode must produce a frame within
+// EncodedSize that Decode expands losslessly for values already in the
+// codec's representable set, across the awkward shapes (empty, single
+// element, non-power-of-two lengths).
+func TestWireCodecRoundTrip(t *testing.T) {
+	inputs := [][]float32{
+		{},
+		{1.5},
+		{0.5, -0.25, 0, 3, -7},          // non-pow2
+		{1, -1, 1, -1, 1, -1, 1, -1, 1}, // 9 elems: partial bitmap byte
+		make([]float32, 100),            // all zero
+	}
+	for i := range inputs[4] {
+		inputs[4][i] = float32(i%13) - 6
+	}
+	for _, c := range wireCodecs() {
+		for ti, in := range inputs {
+			data := append([]float32(nil), in...)
+			frame := c.Encode(nil, data, nil)
+			if len(frame) > c.EncodedSize(len(in)) {
+				t.Fatalf("%s case %d: frame %d bytes exceeds EncodedSize %d", c.Name(), ti, len(frame), c.EncodedSize(len(in)))
+			}
+			for j := range in {
+				if data[j] != in[j] {
+					t.Fatalf("%s case %d: Encode mutated data", c.Name(), ti)
+				}
+			}
+			out := make([]float32, len(in))
+			if err := c.Decode(frame, out); err != nil {
+				t.Fatalf("%s case %d: decode: %v", c.Name(), ti, err)
+			}
+			// Decode(Encode(x)) must equal Quantize(x) for finite x.
+			want := append([]float32(nil), in...)
+			freshQuantizer(c).Quantize(want)
+			for j := range want {
+				if out[j] != want[j] {
+					t.Fatalf("%s case %d elem %d: wire %v, quantize %v", c.Name(), ti, j, out[j], want[j])
+				}
+			}
+		}
+	}
+}
+
+// freshQuantizer returns an unused instance of the same codec type, so
+// internal Quantize residuals start from zero like a nil Encode
+// residual.
+func freshQuantizer(c WireCodec) Codec {
+	switch v := c.(type) {
+	case Float16Codec:
+		return Float16Codec{}
+	case *OneBitCodec:
+		return &OneBitCodec{}
+	case *TopKCodec:
+		return &TopKCodec{K: v.K}
+	default:
+		return c
+	}
+}
+
+// TestWireCodecDecodeRejectsBadFrames: wrong sizes and out-of-range
+// indices must error, not corrupt memory.
+func TestWireCodecDecodeRejectsBadFrames(t *testing.T) {
+	out := make([]float32, 8)
+	for _, c := range wireCodecs() {
+		if err := c.Decode([]byte{1, 2, 3}, out); err == nil {
+			t.Fatalf("%s: truncated frame decoded", c.Name())
+		}
+	}
+	// topk frame with an out-of-range index.
+	tk := &TopKCodec{}
+	frame := tk.Encode(nil, []float32{1, 2, 3, 4}, nil)
+	frame[4] = 0xff // first index -> 255
+	if err := tk.Decode(frame, make([]float32, 4)); err == nil {
+		t.Fatal("topk: out-of-range index decoded")
+	}
+}
+
+// TestCodecNonFiniteGuard: Inf/NaN elements must not poison the 1-bit
+// scale or any error-feedback residual — they are dropped, counted, and
+// the rest of the frame stays usable (the satellite bugfix: before the
+// guard, one Inf made the residual NaN forever).
+func TestCodecNonFiniteGuard(t *testing.T) {
+	inf := float32(math.Inf(1))
+	nan := float32(math.NaN())
+	for _, c := range wireCodecs() {
+		data := []float32{1, inf, -2, nan, 3}
+		residual := make([]float32, len(data))
+		before := DroppedNonFinite()
+		frame := c.Encode(nil, data, residual)
+		if got := DroppedNonFinite() - before; got != 2 {
+			t.Fatalf("%s: dropped counter advanced by %d, want 2", c.Name(), got)
+		}
+		for i, r := range residual {
+			if math.IsNaN(float64(r)) || math.IsInf(float64(r), 0) {
+				t.Fatalf("%s: residual[%d] = %v is non-finite", c.Name(), i, r)
+			}
+		}
+		out := make([]float32, len(data))
+		if err := c.Decode(frame, out); err != nil {
+			t.Fatalf("%s: decode: %v", c.Name(), err)
+		}
+		for i, v := range out {
+			if math.IsNaN(float64(v)) || math.IsInf(float64(v), 0) {
+				t.Fatalf("%s: decoded[%d] = %v is non-finite", c.Name(), i, v)
+			}
+		}
+		// A second encode must keep working with sane values.
+		c.Encode(nil, []float32{1, -1}, residual[:2])
+		for _, r := range residual[:2] {
+			if math.IsNaN(float64(r)) {
+				t.Fatalf("%s: residual poisoned after recovery", c.Name())
+			}
+		}
+	}
+}
+
+// TestOneBitQuantizeGuards covers the legacy Quantize entry points: an
+// empty slice is a no-op (no 0/0 scale), and a non-finite element no
+// longer corrupts the internal residual forever.
+func TestOneBitQuantizeGuards(t *testing.T) {
+	c := &OneBitCodec{}
+	c.Quantize(nil) // must not panic or divide by zero
+
+	data := []float32{1, float32(math.Inf(1)), -3}
+	c.Quantize(data)
+	for i, v := range data {
+		if math.IsNaN(float64(v)) || math.IsInf(float64(v), 0) {
+			t.Fatalf("quantized[%d] = %v", i, v)
+		}
+	}
+	// The next iteration sees finite values and a finite residual.
+	data2 := []float32{1, 2, -3}
+	c.Quantize(data2)
+	for i, v := range data2 {
+		if math.IsNaN(float64(v)) {
+			t.Fatalf("iteration 2 element %d is NaN: residual was poisoned", i)
+		}
+	}
+}
+
+// TestTopKCodecSelection: the largest-magnitude elements survive, the
+// rest land in the residual.
+func TestTopKCodecSelection(t *testing.T) {
+	c := &TopKCodec{K: 0.4} // keep 2 of 5
+	data := []float32{0.1, -5, 0.2, 4, -0.3}
+	residual := make([]float32, 5)
+	frame := c.Encode(nil, data, residual)
+	out := make([]float32, 5)
+	if err := c.Decode(frame, out); err != nil {
+		t.Fatal(err)
+	}
+	want := []float32{0, -5, 0, 4, 0}
+	wantRes := []float32{0.1, 0, 0.2, 0, -0.3}
+	for i := range want {
+		if out[i] != want[i] || residual[i] != wantRes[i] {
+			t.Fatalf("elem %d: out %v (want %v), residual %v (want %v)", i, out[i], want[i], residual[i], wantRes[i])
+		}
+	}
+	// With feedback, the residual rides into the next frame: 0.3 is now
+	// the biggest leftover and must be selected once data is quiet.
+	quiet := make([]float32, 5)
+	frame2 := c.Encode(nil, quiet, residual)
+	if err := c.Decode(frame2, out); err != nil {
+		t.Fatal(err)
+	}
+	if out[4] != -0.3 {
+		t.Fatalf("carried residual not transmitted: %v", out)
+	}
+}
+
+// TestErrorFeedbackAccumulates: repeated encodes of the same gradient
+// transmit, on average, the true value — the property that makes
+// quantized SGD converge (and that dies without residual carry).
+func TestErrorFeedbackAccumulates(t *testing.T) {
+	for _, c := range []WireCodec{&OneBitCodec{}, &TopKCodec{K: 0.34}} {
+		truth := []float32{0.5, -1.5, 0.25}
+		residual := make([]float32, len(truth))
+		sent := make([]float64, len(truth))
+		const iters = 400
+		out := make([]float32, len(truth))
+		for it := 0; it < iters; it++ {
+			frame := c.Encode(nil, truth, residual)
+			if err := c.Decode(frame, out); err != nil {
+				t.Fatal(err)
+			}
+			for i, v := range out {
+				sent[i] += float64(v)
+			}
+		}
+		for i := range truth {
+			avg := sent[i] / iters
+			if math.Abs(avg-float64(truth[i])) > 0.05 {
+				t.Fatalf("%s element %d: average transmitted %v, want %v", c.Name(), i, avg, truth[i])
+			}
+		}
+	}
+}
+
+// TestSelectTopKMatchesFullSort pins quickselect's selected SET (and
+// its deterministic tie-breaking) against the full-sort reference, over
+// shapes with duplicates, ties, zeros, and every k.
+func TestSelectTopKMatchesFullSort(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	cases := [][]float32{
+		{1},
+		{0, 0, 0, 0},
+		{1, -1, 1, -1, 2},
+		{5, 4, 3, 2, 1},
+		{1, 2, 3, 4, 5},
+	}
+	for c := 0; c < 20; c++ {
+		n := 1 + rng.Intn(64)
+		vals := make([]float32, n)
+		for i := range vals {
+			vals[i] = float32(rng.Intn(7)-3) / 2 // many ties
+		}
+		cases = append(cases, vals)
+	}
+	for ci, vals := range cases {
+		n := len(vals)
+		ref := make([]int, n)
+		for i := range ref {
+			ref[i] = i
+		}
+		sort.Slice(ref, func(a, b int) bool { return topKRanks(vals, ref[a], ref[b]) })
+		for k := 1; k <= n; k++ {
+			idx := make([]int, n)
+			for i := range idx {
+				idx[i] = i
+			}
+			selectTopK(idx, vals, k)
+			got := append([]int(nil), idx[:k]...)
+			want := append([]int(nil), ref[:k]...)
+			sort.Ints(got)
+			sort.Ints(want)
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("case %d k=%d: selected %v, want %v (vals %v)", ci, k, got, want, vals)
+				}
+			}
+		}
+	}
+}
+
+// TestOneBitOverflowingResidualDropped: data+residual overflowing to
+// Inf (both operands finite) must be dropped consistently — the scale
+// excludes it AND the residual must not retain the huge pre-overflow
+// value (the pass-1/pass-2 disagreement found in review).
+func TestOneBitOverflowingResidualDropped(t *testing.T) {
+	c := &OneBitCodec{}
+	data := []float32{3e38, 1, -1}
+	residual := []float32{3e38, 0, 0} // 3e38+3e38 overflows float32
+	frame := c.Encode(nil, data, residual)
+	out := make([]float32, 3)
+	if err := c.Decode(frame, out); err != nil {
+		t.Fatal(err)
+	}
+	// Scale must come from the finite elements only: mean(|1|,|-1|)=1.
+	if out[1] != 1 || out[2] != -1 {
+		t.Fatalf("scale polluted by overflowed element: %v", out)
+	}
+	// The overflowed element's residual must be small feedback, not 3e38.
+	if math.Abs(float64(residual[0])) > 10 {
+		t.Fatalf("overflowed element leaked into residual: %v", residual[0])
+	}
+}
+
+// TestFloat16SaturationKeepsResidualFinite: a finite value beyond fp16
+// range must saturate to ±65504 on the wire (not ±Inf, which turns the
+// reduced sum Inf) and leave the saturation error in the residual, not
+// -Inf.
+func TestFloat16SaturationKeepsResidualFinite(t *testing.T) {
+	c := Float16Codec{}
+	data := []float32{1e5, -1e5, 1}
+	residual := make([]float32, 3)
+	frame := c.Encode(nil, data, residual)
+	out := make([]float32, 3)
+	if err := c.Decode(frame, out); err != nil {
+		t.Fatal(err)
+	}
+	if out[0] != 65504 || out[1] != -65504 {
+		t.Fatalf("out-of-range values must saturate finite: %v", out)
+	}
+	if residual[0] != 1e5-65504 || residual[1] != -(1e5-65504) {
+		t.Fatalf("saturation error must be carried in the residual: %v", residual)
+	}
+	// Without error feedback the wire stays finite too.
+	frame = c.Encode(nil, []float32{1e6}, nil)
+	if err := c.Decode(frame, out[:1]); err != nil {
+		t.Fatal(err)
+	}
+	if math.IsInf(float64(out[0]), 0) {
+		t.Fatal("wire value must not be Inf")
 	}
 }

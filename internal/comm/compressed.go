@@ -1,0 +1,303 @@
+package comm
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/transport"
+)
+
+// GradientCompressor is implemented by process groups whose AllReduce
+// can ship a codec's byte representation on the wire instead of full
+// float32 frames (Section 6.2.3 made real: the byte savings exist on
+// the sockets, not just in the simulator's cost model). meshGroup and
+// RoundRobin implement it; CompressedAllReduce is the capability-probing
+// entry point callers (DDP) should use.
+type GradientCompressor interface {
+	// CompressedAllReduce reduces data in place across all ranks like
+	// AllReduce, quantizing through codec. residual is nil or a
+	// caller-owned error-feedback accumulator of len(data), updated
+	// during execution (read it only after Wait).
+	CompressedAllReduce(data []float32, op ReduceOp, codec WireCodec, residual []float32) Work
+}
+
+// CompressedAllReduce reduces data across pg through codec's compressed
+// representation, shipping real bytes when the group supports it
+// (GradientCompressor over a byte-lane transport) and degrading to
+// quantize-then-AllReduce otherwise. The two paths are NOT numerically
+// interchangeable: the wire path quantizes twice (each rank's
+// contribution, then the reduced chunk before the all-gather), while
+// the fallback quantizes once and reduces exactly in float32 — both
+// converge under error feedback, but runs on byte-lane and float-only
+// transports follow different trajectories, like switching AllReduce
+// algorithms does. residual enables error feedback; see WireCodec.
+// Like AllReduce, every rank must submit the same collectives in the
+// same order, and all ranks finish with bitwise-identical data.
+//
+// The compressed schedule is a flat reduce-scatter/all-gather; the
+// group's configured Algorithm and topology govern its OTHER
+// collectives and the quantize-then-AllReduce fallback, not the
+// byte-lane schedule (a topology-aware compressed path — compressing
+// only the inter-host leader ring — is a noted follow-on).
+func CompressedAllReduce(pg ProcessGroup, data []float32, op ReduceOp, codec WireCodec, residual []float32) Work {
+	if codec == nil {
+		return pg.AllReduce(data, op)
+	}
+	if gc, ok := pg.(GradientCompressor); ok {
+		return gc.CompressedAllReduce(data, op, codec, residual)
+	}
+	// Generic fallback: quantize in place, reduce exactly. The residual
+	// is committed only if the AllReduce succeeds (see the meshGroup
+	// method for why a failed collective must not update it).
+	var pre []float32
+	if residual != nil {
+		pre = append([]float32(nil), residual...)
+	}
+	if err := quantizeThrough(codec, data, residual); err != nil {
+		if residual != nil {
+			copy(residual, pre)
+		}
+		return CompletedWork(err)
+	}
+	w := pg.AllReduce(data, op)
+	if residual == nil {
+		return w
+	}
+	return &residualGuard{inner: w, residual: residual, pre: pre}
+}
+
+// residualGuard rolls a residual vector back to its pre-collective
+// contents when the wrapped Work fails.
+type residualGuard struct {
+	inner    Work
+	once     sync.Once
+	residual []float32
+	pre      []float32
+	err      error
+}
+
+// Wait reports the wrapped collective's result, undoing the residual
+// update on failure.
+func (w *residualGuard) Wait() error {
+	w.once.Do(func() {
+		w.err = w.inner.Wait()
+		if w.err != nil {
+			copy(w.residual, w.pre)
+		}
+	})
+	return w.err
+}
+
+// CompressedAllReduce implements GradientCompressor on the mesh-backed
+// group: the collective executes on the group's worker in submission
+// order, exactly like AllReduce.
+//
+// Residual updates are transactional: the collective runs against a
+// shadow copy that is committed only on success. A collective aborted
+// mid-flight (the elastic failure path) transmitted nothing, so the
+// residual must not claim it did — a half-updated accumulator would
+// skew every subsequent gradient, and nondeterministically, since the
+// abort point depends on timing.
+func (g *meshGroup) CompressedAllReduce(data []float32, op ReduceOp, codec WireCodec, residual []float32) Work {
+	if codec == nil {
+		return g.AllReduce(data, op)
+	}
+	if residual != nil && len(residual) != len(data) {
+		return CompletedWork(fmt.Errorf("comm: residual has %d elements for %d data elements", len(residual), len(data)))
+	}
+	// The float fallback (byte-lane-less mesh, or Min/Max/Prod) honors
+	// the group's configured algorithm and topology exactly like
+	// AllReduce, instead of hard-coding Ring.
+	algo := g.opts.Algorithm
+	if algo == Auto {
+		algo = chooseAlgorithm(g.topo, len(data), g.mesh.Size())
+	}
+	return g.submit(func(tag uint64) error {
+		shadow := residual
+		if residual != nil {
+			shadow = append([]float32(nil), residual...)
+		}
+		if err := compressedAllReduce(g.mesh, tag, data, op, codec, shadow, algo, g.topo); err != nil {
+			return err
+		}
+		if residual != nil {
+			copy(residual, shadow)
+		}
+		return nil
+	})
+}
+
+// CompressedAllReduce dispatches to the next sub-group, using its
+// wire-level path when available (GradientCompressor on RoundRobin).
+func (r *RoundRobin) CompressedAllReduce(data []float32, op ReduceOp, codec WireCodec, residual []float32) Work {
+	g := r.pick()
+	if g == nil {
+		return CompletedWork(ErrClosed)
+	}
+	return CompressedAllReduce(g, data, op, codec, residual)
+}
+
+// quantizeThrough applies codec's wire round trip to data in place —
+// the degradation a compressed transfer would have produced — updating
+// residual under error feedback.
+func quantizeThrough(codec WireCodec, data, residual []float32) error {
+	if len(data) == 0 {
+		return nil
+	}
+	frame := codec.Encode(make([]byte, 0, codec.EncodedSize(len(data))), data, residual)
+	if err := codec.Decode(frame, data); err != nil {
+		return fmt.Errorf("comm: codec %s round trip: %w", codec.Name(), err)
+	}
+	return nil
+}
+
+// compressedAllReduce is the wire-level compressed AllReduce: a
+// reduce-scatter + all-gather in which every frame is the codec's byte
+// representation riding the transport's byte lanes.
+//
+// Stage 1 (compressed reduce-scatter): the buffer is split into k
+// chunks, chunk j owned by rank j. Every rank encodes each chunk — with
+// its slice of the error-feedback residual — and sends frame j to rank
+// j. The owner decodes all k contributions (its own included, so every
+// contribution passes through the same quantization) and folds them in
+// rank order.
+//
+// Stage 2 (compressed all-gather): each owner re-encodes its reduced
+// chunk (no residual: this second quantization is of the already-
+// reduced sum) and broadcasts the frame; every rank — the owner too —
+// decodes the identical bytes, so all ranks finish bitwise-identical,
+// the invariant DDP's replica consistency rests on.
+//
+// Per rank the wire carries 2(k-1) compressed chunk frames instead of
+// the flat ring's 2(k-1) float32 chunks: the full codec ratio, minus
+// headers.
+//
+// Falls back to quantize-then-AllReduce (under the caller's configured
+// algorithm) when the mesh has no byte lanes or when the op is not
+// Sum/Avg — decode-reduce-reencode of Min/Max/Prod through a lossy
+// representation compounds unpredictably, so those take the exact
+// float path on quantized inputs.
+func compressedAllReduce(m transport.Mesh, tag uint64, data []float32, op ReduceOp, codec WireCodec, residual []float32, algo Algorithm, topo *Topology) error {
+	k := m.Size()
+	if k == 1 {
+		// Quantization must not depend on world size: a single rank
+		// still pays the codec's accuracy cost (and keeps its residual
+		// trajectory comparable to any other world's).
+		return quantizeThrough(codec, data, residual)
+	}
+	bm, haveBytes := transport.ByteLanes(m)
+	if !haveBytes || (op != Sum && op != Avg) {
+		if err := quantizeThrough(codec, data, residual); err != nil {
+			return err
+		}
+		switch algo {
+		case Tree:
+			return treeAllReduce(m, tag, data, op)
+		case Naive:
+			return naiveAllReduce(m, tag, data, op)
+		case Hierarchical:
+			return hierarchicalAllReduce(m, tag, data, op, topo)
+		default:
+			return ringAllReduce(m, tag, data, op)
+		}
+	}
+
+	rank := m.Rank()
+	n := len(data)
+
+	// Stage 1: encode every chunk and ship each to its owner.
+	encs := make([][]byte, k)
+	for j := 0; j < k; j++ {
+		lo, hi := chunkBounds(n, k, j)
+		var res []float32
+		if residual != nil {
+			res = residual[lo:hi]
+		}
+		encs[j] = codec.Encode(make([]byte, 0, codec.EncodedSize(hi-lo)), data[lo:hi], res)
+	}
+	errcs := make([]<-chan error, 0, k-1)
+	for j := 0; j < k; j++ {
+		if j != rank {
+			errcs = append(errcs, sendBytesAsync(bm, j, tag, encs[j]))
+		}
+	}
+
+	lo, hi := chunkBounds(n, k, rank)
+	acc := make([]float32, hi-lo)
+	scratch := make([]float32, hi-lo)
+	for r := 0; r < k; r++ {
+		frame := encs[rank]
+		if r != rank {
+			var err error
+			frame, err = bm.RecvBytes(r, tag)
+			if err != nil {
+				return err
+			}
+		}
+		dst := acc
+		if r > 0 {
+			dst = scratch
+		}
+		if err := codec.Decode(frame, dst); err != nil {
+			return fmt.Errorf("comm: decoding chunk contribution from rank %d: %w", r, err)
+		}
+		if r > 0 {
+			reduceInto(acc, scratch, Sum)
+		}
+	}
+	for _, errc := range errcs {
+		if err := <-errc; err != nil {
+			return err
+		}
+	}
+
+	// Stage 2: broadcast the re-encoded reduced chunk; decode everyone's
+	// (own included — all ranks must hold the decode of the same bytes).
+	reduced := codec.Encode(make([]byte, 0, codec.EncodedSize(hi-lo)), acc, nil)
+	errcs = errcs[:0]
+	for j := 0; j < k; j++ {
+		if j != rank {
+			errcs = append(errcs, sendBytesAsync(bm, j, tag, reduced))
+		}
+	}
+	if err := codec.Decode(reduced, data[lo:hi]); err != nil {
+		return fmt.Errorf("comm: decoding own reduced chunk: %w", err)
+	}
+	for r := 0; r < k; r++ {
+		if r == rank {
+			continue
+		}
+		frame, err := bm.RecvBytes(r, tag)
+		if err != nil {
+			return err
+		}
+		rlo, rhi := chunkBounds(n, k, r)
+		if err := codec.Decode(frame, data[rlo:rhi]); err != nil {
+			return fmt.Errorf("comm: decoding reduced chunk from rank %d: %w", r, err)
+		}
+	}
+	for _, errc := range errcs {
+		if err := <-errc; err != nil {
+			return err
+		}
+	}
+
+	if op == Avg {
+		scale := 1 / float32(k)
+		for i := range data {
+			data[i] *= scale
+		}
+	}
+	return nil
+}
+
+// sendBytesAsync issues SendBytes on its own goroutine so matching
+// receives can proceed concurrently (the byte-lane twin of sendAsync).
+func sendBytesAsync(bm transport.ByteMesh, to int, tag uint64, data []byte) <-chan error {
+	errc := make(chan error, 1)
+	go func() { errc <- bm.SendBytes(to, tag, data) }()
+	return errc
+}
+
+var _ GradientCompressor = (*meshGroup)(nil)
+var _ GradientCompressor = (*RoundRobin)(nil)

@@ -45,6 +45,32 @@
 // reduction order differs), so all ranks must also agree on the
 // algorithm, which Options and Auto's deterministic rule ensure.
 //
+// # Gradient compression
+//
+// The Codec interface models Section 6.2.3's compression direction;
+// codecs that also implement WireCodec (Float16Codec, OneBitCodec,
+// TopKCodec) produce the real byte representation, and
+// CompressedAllReduce ships it over the transports' byte lanes
+// (transport.ByteMesh): a reduce-scatter + all-gather in which every
+// frame is compressed, so the codec's ratio lands on the wire rather
+// than only in the simulator's cost model. Groups expose the
+// capability through GradientCompressor; the package-level
+// CompressedAllReduce probes for it and falls back to
+// quantize-then-AllReduce (one quantization, exact float32 reduction —
+// a different numerical trajectory than the wire path's two-stage
+// quantization, though both converge under error feedback) when the
+// group or transport cannot carry bytes, or for Min/Max/Prod where the
+// compressed form cannot be reduced exactly.
+//
+// Error feedback is caller-owned: Encode takes a residual vector that
+// accumulates each element's quantization error across iterations
+// (1-bit SGD's convergence trick). DDP keys these residuals by
+// parameter identity so bucket rebuilds re-map them, and elastic
+// recovery broadcasts them with the rest of the training state.
+// Non-finite gradient elements are dropped and counted
+// (DroppedNonFinite) instead of poisoning scales and residuals with
+// NaN.
+//
 // # Topology
 //
 // Topology maps ranks to host labels. Groups obtain one from (in

@@ -34,9 +34,18 @@ type Options struct {
 	// AllReduce per iteration, so it is off by default, exactly as in
 	// PyTorch.
 	FindUnusedParameters bool
-	// Codec optionally compresses bucket gradients before communication
-	// (Section 6.2.3 extension). One codec instance is cloned per bucket
-	// via the factory so error-feedback state stays per-bucket.
+	// NewCodec optionally compresses bucket gradients before
+	// communication (Section 6.2.3 extension). When the factory's
+	// product implements comm.WireCodec (all built-in codecs do), DDP
+	// keeps ONE instance and routes buckets through
+	// comm.CompressedAllReduce — real bytes on the wire — with
+	// error-feedback residuals owned by DDP and keyed by parameter
+	// identity, so they survive the Section 6.2.1 bucket rebuild and
+	// SetProcessGroup instead of silently resetting. A plain Codec is
+	// cloned per bucket and only degrades values in place; if such a
+	// codec keeps internal error-feedback state, that state is lost on
+	// every rebuild — implement comm.WireCodec to get the carried
+	// residuals.
 	NewCodec func() comm.Codec
 	// SkipInitialBroadcast suppresses the constructor's rank-0
 	// broadcast of parameters and buffers. Only safe when replica
@@ -70,7 +79,16 @@ type DDP struct {
 	sizes  []int // element counts, model order
 	assign *Assignment
 	bucket []*bucketState
-	codecs []comm.Codec
+	codecs []comm.Codec   // per-bucket quantizers (plain, non-wire codecs)
+	wire   comm.WireCodec // wire-level codec; residual state lives in DDP
+
+	// residuals holds each parameter's error-feedback accumulator in
+	// model order — keyed by parameter identity, NOT bucket index, so
+	// bucket rebuilds and process-group swaps re-map rather than drop
+	// the accumulated quantization error. Working copies live in the
+	// buckets' resFlat buffers between rebuilds; flushResiduals folds
+	// them back here.
+	residuals [][]float32
 
 	// Per-iteration reducer state.
 	noSync           bool
@@ -100,6 +118,7 @@ type DDP struct {
 type bucketState struct {
 	members  []int // param indices
 	flat     []float32
+	resFlat  []float32 // error-feedback residuals, same layout as flat
 	pending  int
 	ready    bool
 	launched bool
@@ -122,6 +141,15 @@ func New(module nn.Module, pg comm.ProcessGroup, opts Options) (*DDP, error) {
 	d.sizes = make([]int, len(d.params))
 	for i, p := range d.params {
 		d.sizes[i] = p.Value.Size()
+	}
+	if opts.NewCodec != nil {
+		if wc, ok := opts.NewCodec().(comm.WireCodec); ok {
+			d.wire = wc
+			d.residuals = make([][]float32, len(d.params))
+			for i, size := range d.sizes {
+				d.residuals[i] = make([]float32, size)
+			}
+		}
 	}
 
 	// Align replicas: broadcast parameters and buffers from rank 0.
@@ -156,20 +184,49 @@ func New(module nn.Module, pg comm.ProcessGroup, opts Options) (*DDP, error) {
 }
 
 // installAssignment (re)builds bucket runtime state for an assignment.
+// Error-feedback residuals are carried, not dropped: the outgoing
+// layout's working copies are folded into the per-parameter store
+// first, then scattered into the new layout — the fix for the residual
+// reset that used to happen on every Section 6.2.1 rebuild and every
+// elastic SetProcessGroup, exactly when accumulated error matters most.
 func (d *DDP) installAssignment(assign *Assignment) {
+	d.flushResiduals()
 	d.assign = assign
 	d.bucket = make([]*bucketState, assign.NumBuckets())
 	for b, members := range assign.Buckets {
-		d.bucket[b] = &bucketState{
+		bs := &bucketState{
 			members: members,
 			flat:    make([]float32, assign.BucketElems[b]),
 		}
+		if d.wire != nil {
+			bs.resFlat = make([]float32, assign.BucketElems[b])
+			for _, idx := range members {
+				off := assign.OffsetOf[idx]
+				copy(bs.resFlat[off:off+d.sizes[idx]], d.residuals[idx])
+			}
+		}
+		d.bucket[b] = bs
 	}
 	d.codecs = nil
-	if d.opts.NewCodec != nil {
+	if d.opts.NewCodec != nil && d.wire == nil {
 		d.codecs = make([]comm.Codec, assign.NumBuckets())
 		for b := range d.codecs {
 			d.codecs[b] = d.opts.NewCodec()
+		}
+	}
+}
+
+// flushResiduals folds the current bucket layout's residual buffers
+// back into the per-parameter store. No-op without a wire codec or
+// before the first assignment is installed.
+func (d *DDP) flushResiduals() {
+	if d.wire == nil || d.assign == nil {
+		return
+	}
+	for b, bs := range d.bucket {
+		for _, idx := range d.assign.Buckets[b] {
+			off := d.assign.OffsetOf[idx]
+			copy(d.residuals[idx], bs.resFlat[off:off+d.sizes[idx]])
 		}
 	}
 }
@@ -390,10 +447,20 @@ func (d *DDP) markReady(idx int) {
 func (d *DDP) launchReadyBuckets() {
 	for d.nextToLaunch < len(d.bucket) && d.bucket[d.nextToLaunch].ready {
 		b := d.bucket[d.nextToLaunch]
-		if d.codecs != nil {
+		switch {
+		case d.wire != nil:
+			// Wire-level path: the codec's bytes ride the transport's
+			// byte lanes (or degrade to quantize-then-Ring), with this
+			// bucket's error-feedback residuals updated during
+			// execution — they are only read back at the next rebuild
+			// or state sync, both of which happen after Wait.
+			b.work = comm.CompressedAllReduce(d.pg, b.flat, comm.Avg, d.wire, b.resFlat)
+		case d.codecs != nil:
 			d.codecs[d.nextToLaunch].Quantize(b.flat)
+			b.work = d.pg.AllReduce(b.flat, comm.Avg)
+		default:
+			b.work = d.pg.AllReduce(b.flat, comm.Avg)
 		}
-		b.work = d.pg.AllReduce(b.flat, comm.Avg)
 		b.launched = true
 		d.nextToLaunch++
 	}
@@ -499,6 +566,62 @@ func (d *DDP) Rebuilt() bool { return d.rebuilt }
 // pass (the trace Section 6.2.1 proposes recording).
 func (d *DDP) ObservedReadyOrder() []int {
 	return append([]int(nil), d.observedReady...)
+}
+
+// ResidualState returns the error-feedback residuals flattened in
+// parameter order — training state exactly like optimizer moments: a
+// reconfigured world must carry the elected source's residuals to
+// joiners (elastic.SyncResiduals broadcasts this vector) or the
+// quantization error accumulated so far is lost at the worst possible
+// moment. The layout depends only on the model, never on the bucket
+// assignment or world size, so it re-shards trivially. Empty when no
+// wire codec is configured. Do not call between Forward and Backward —
+// buckets may be mid-flight.
+func (d *DDP) ResidualState() []float32 {
+	if d.wire == nil {
+		return nil
+	}
+	d.flushResiduals()
+	total := 0
+	for _, s := range d.sizes {
+		total += s
+	}
+	out := make([]float32, 0, total)
+	for _, r := range d.residuals {
+		out = append(out, r...)
+	}
+	return out
+}
+
+// SetResidualState installs residuals produced by ResidualState on
+// another (or this) replica, scattering them into the current bucket
+// layout. Like ResidualState, it must not be called between Forward
+// and Backward.
+func (d *DDP) SetResidualState(flat []float32) error {
+	if d.wire == nil {
+		if len(flat) == 0 {
+			return nil
+		}
+		return errors.New("ddp: residual state offered but no wire codec is configured")
+	}
+	want := 0
+	for _, s := range d.sizes {
+		want += s
+	}
+	if len(flat) != want {
+		return fmt.Errorf("ddp: residual state has %d elements, expected %d", len(flat), want)
+	}
+	off := 0
+	for i := range d.residuals {
+		off += copy(d.residuals[i], flat[off:off+d.sizes[i]])
+	}
+	for b, bs := range d.bucket {
+		for _, idx := range d.assign.Buckets[b] {
+			o := d.assign.OffsetOf[idx]
+			copy(bs.resFlat[o:o+d.sizes[idx]], d.residuals[idx])
+		}
+	}
+	return nil
 }
 
 // RebuildBuckets implements the gradient-order-prediction improvement of

@@ -364,6 +364,21 @@ func (a *Agent) reconfigure() error {
 		a.mu.Lock()
 		a.d = d
 		a.mu.Unlock()
+		// Error-feedback residuals are training state like optimizer
+		// moments, but they live in the DDP wrapper — so unlike
+		// SyncState this broadcast must run AFTER every rank holds a
+		// wrapper (fresh joiners just built theirs, with zero
+		// residuals). A failure here is recoverable the same way a
+		// SyncState failure is: force the next round.
+		if err := SyncResiduals(pg, source, d); err != nil {
+			if a.isKilled() {
+				return ErrKilled
+			}
+			if _, perr := a.rdzv.ProposeGeneration(assign.Generation); perr != nil {
+				return perr
+			}
+			continue
+		}
 		// The new world is fully formed; its saves get a fresh abandon
 		// signal (closed again by the next interrupt or Kill).
 		a.armSaves()

@@ -50,3 +50,44 @@ func SyncState(pg comm.ProcessGroup, source int, model nn.Module, opt optim.Opti
 	}
 	return nil
 }
+
+// ResidualCarrier is implemented by training wrappers that hold
+// error-feedback residual state which must travel with reconfiguration
+// — ddp.DDP when a gradient-compression wire codec is configured. The
+// residual vector is flattened in parameter order, so like checkpoints
+// it is world-size independent and re-shards trivially.
+type ResidualCarrier interface {
+	// ResidualState returns the flattened residuals (empty when the
+	// codec keeps none).
+	ResidualState() []float32
+	// SetResidualState installs a vector produced by ResidualState on
+	// the elected source.
+	SetResidualState([]float32) error
+}
+
+// SyncResiduals broadcasts rc's error-feedback residuals from source to
+// every rank of pg — the compression analogue of SyncState's optimizer
+// broadcast. Accumulated quantization error is training state: a joiner
+// that starts from zero residuals while survivors carry theirs would
+// re-inject gradient mass the survivors already accounted for, exactly
+// when a reconfiguration has made the schedule most fragile. Every rank
+// must call it with the same source, after the DDP wrapper exists on
+// all ranks (unlike SyncState, which runs before a fresh joiner has
+// built one). The residual vector's length is a pure function of the
+// model and codec configuration, so ranks always agree on whether a
+// broadcast happens.
+func SyncResiduals(pg comm.ProcessGroup, source int, rc ResidualCarrier) error {
+	flat := rc.ResidualState()
+	if len(flat) == 0 {
+		return nil
+	}
+	if err := pg.Broadcast(flat, source).Wait(); err != nil {
+		return fmt.Errorf("elastic: broadcasting error-feedback residuals: %w", err)
+	}
+	if pg.Rank() != source {
+		if err := rc.SetResidualState(flat); err != nil {
+			return fmt.Errorf("elastic: installing error-feedback residuals: %w", err)
+		}
+	}
+	return nil
+}

@@ -60,7 +60,42 @@ func (s *subMesh) Recv(from int, tag uint64) ([]float32, error) {
 	return s.base.Recv(s.ranks[from], tag)
 }
 
+// SendBytes forwards a byte-lane frame over the base mesh's link
+// (ByteMesh); it errors when the base mesh has no byte lanes.
+func (s *subMesh) SendBytes(to int, tag uint64, data []byte) error {
+	if to < 0 || to >= len(s.ranks) {
+		return fmt.Errorf("transport: invalid submesh send target %d from local rank %d", to, s.local)
+	}
+	bm, ok := ByteLanes(s.base)
+	if !ok {
+		return fmt.Errorf("transport: submesh base mesh has no byte lanes")
+	}
+	return bm.SendBytes(s.ranks[to], tag, data)
+}
+
+// RecvBytes receives a byte-lane frame over the base mesh's link
+// (ByteMesh); it errors when the base mesh has no byte lanes.
+func (s *subMesh) RecvBytes(from int, tag uint64) ([]byte, error) {
+	if from < 0 || from >= len(s.ranks) {
+		return nil, fmt.Errorf("transport: invalid submesh recv source %d at local rank %d", from, s.local)
+	}
+	bm, ok := ByteLanes(s.base)
+	if !ok {
+		return nil, fmt.Errorf("transport: submesh base mesh has no byte lanes")
+	}
+	return bm.RecvBytes(s.ranks[from], tag)
+}
+
+// HasByteLanes reports whether the base mesh carries byte frames
+// (ByteLaneProber) — the view only forwards, it adds no capability.
+func (s *subMesh) HasByteLanes() bool {
+	_, ok := ByteLanes(s.base)
+	return ok
+}
+
 // Close is a no-op: the view owns none of the base mesh's resources.
 func (s *subMesh) Close() error { return nil }
 
 var _ Mesh = (*subMesh)(nil)
+var _ ByteMesh = (*subMesh)(nil)
+var _ ByteLaneProber = (*subMesh)(nil)

@@ -43,9 +43,20 @@ func float32Bytes(data []float32) []byte {
 var ErrAborted = errors.New("transport: mesh aborted")
 
 // frameHeaderLen is the fixed frame prefix: [tag uint64][count uint32],
-// little-endian, followed by count little-endian float32 words. See the
-// package comment for the full wire contract.
+// little-endian, followed by the payload. See the package comment for
+// the full wire contract.
 const frameHeaderLen = 12
+
+// rawFrameFlag marks a byte-lane frame in the header's count field: the
+// low 31 bits then hold the payload length in BYTES (not float32
+// words). Float frames never set it, so the two lanes share one
+// connection and one FIFO without ambiguity. maxByteFrame is the
+// largest payload those 31 bits can describe (and fits int on 32-bit
+// platforms, unlike the flag itself).
+const (
+	rawFrameFlag uint32 = 1 << 31
+	maxByteFrame        = 1<<31 - 1
+)
 
 // tcpMesh is a full mesh of TCP connections between ranks, established
 // through a rendezvous store: every rank publishes its listener address,
@@ -451,6 +462,80 @@ func (m *tcpMesh) Send(to int, tag uint64, data []float32) error {
 	return nil
 }
 
+// SendBytes writes one byte-lane frame: the standard header with
+// rawFrameFlag set (count = payload length in bytes) followed by the
+// raw payload, written as a single writev so the lane shares Send's
+// one-syscall property. The write completes before SendBytes returns,
+// so the caller may reuse data.
+func (m *tcpMesh) SendBytes(to int, tag uint64, data []byte) error {
+	if to == m.rank || to < 0 || to >= m.size {
+		return fmt.Errorf("transport: invalid send target %d from rank %d", to, m.rank)
+	}
+	if len(data) > maxByteFrame {
+		return fmt.Errorf("transport: byte frame of %d bytes exceeds the wire limit", len(data))
+	}
+	p := m.peers[to]
+	if p == nil {
+		return m.stateErr()
+	}
+	p.wmu.Lock()
+	defer p.wmu.Unlock()
+	var hdr [frameHeaderLen]byte
+	binary.LittleEndian.PutUint64(hdr[0:8], tag)
+	binary.LittleEndian.PutUint32(hdr[8:12], uint32(len(data))|rawFrameFlag)
+	bufs := net.Buffers{hdr[:], data}
+	if _, err := bufs.WriteTo(p.conn); err != nil {
+		return m.wireErr("send to", to, err)
+	}
+	return nil
+}
+
+// RecvBytes reads one byte-lane frame: header ReadFull, then the
+// payload lands directly in the result slice. Tag and lane mismatches
+// surface as their dedicated error types with the stream drained, so
+// framing survives for callers that can continue.
+func (m *tcpMesh) RecvBytes(from int, tag uint64) ([]byte, error) {
+	if from == m.rank || from < 0 || from >= m.size {
+		return nil, fmt.Errorf("transport: invalid recv source %d at rank %d", from, m.rank)
+	}
+	p := m.peers[from]
+	if p == nil {
+		return nil, m.stateErr()
+	}
+	p.rmu.Lock()
+	defer p.rmu.Unlock()
+	var hdr [frameHeaderLen]byte
+	if _, err := io.ReadFull(p.conn, hdr[:]); err != nil {
+		return nil, m.wireErr("recv header from", from, err)
+	}
+	gotTag := binary.LittleEndian.Uint64(hdr[0:8])
+	count := binary.LittleEndian.Uint32(hdr[8:12])
+	if gotTag != tag || count&rawFrameFlag == 0 {
+		if _, err := io.CopyN(io.Discard, p.conn, framePayloadLen(count)); err != nil {
+			return nil, m.wireErr("recv payload from", from, err)
+		}
+		if gotTag != tag {
+			return nil, &TagMismatchError{From: from, Want: tag, Got: gotTag}
+		}
+		return nil, &LaneMismatchError{From: from, WantRaw: true, Tag: tag}
+	}
+	data := make([]byte, count&^rawFrameFlag)
+	if _, err := io.ReadFull(p.conn, data); err != nil {
+		return nil, m.wireErr("recv payload from", from, err)
+	}
+	return data, nil
+}
+
+// framePayloadLen is the byte length of a frame payload as declared by
+// its header count field: raw frames count bytes, float frames count
+// 4-byte words.
+func framePayloadLen(count uint32) int64 {
+	if count&rawFrameFlag != 0 {
+		return int64(count &^ rawFrameFlag)
+	}
+	return 4 * int64(count)
+}
+
 // Recv reads one frame: one ReadFull for the header, one for the
 // payload. On little-endian hosts the payload lands directly in the
 // result slice (zero-copy, no decode pass); the portable fallback
@@ -471,16 +556,19 @@ func (m *tcpMesh) Recv(from int, tag uint64) ([]float32, error) {
 	}
 	gotTag := binary.LittleEndian.Uint64(hdr[0:8])
 	count := binary.LittleEndian.Uint32(hdr[8:12])
-	if gotTag != tag {
+	if gotTag != tag || count&rawFrameFlag != 0 {
 		// Check the tag BEFORE trusting count: a desynced stream (the
 		// case this error exists for) yields garbage in both fields,
 		// and allocating count floats could demand gigabytes. Drain
 		// the claimed payload through a bounded buffer so framing is
 		// preserved for callers that can continue.
-		if _, err := io.CopyN(io.Discard, p.conn, int64(4)*int64(count)); err != nil {
+		if _, err := io.CopyN(io.Discard, p.conn, framePayloadLen(count)); err != nil {
 			return nil, m.wireErr("recv payload from", from, err)
 		}
-		return nil, &TagMismatchError{From: from, Want: tag, Got: gotTag}
+		if gotTag != tag {
+			return nil, &TagMismatchError{From: from, Want: tag, Got: gotTag}
+		}
+		return nil, &LaneMismatchError{From: from, WantRaw: false, Tag: tag}
 	}
 	data := make([]float32, count)
 	if hostLittleEndian {
@@ -569,3 +657,4 @@ func (m *tcpMesh) Abort() error {
 var _ Mesh = (*tcpMesh)(nil)
 var _ Aborter = (*tcpMesh)(nil)
 var _ HostLister = (*tcpMesh)(nil)
+var _ ByteMesh = (*tcpMesh)(nil)

@@ -15,14 +15,18 @@
 //
 // Every message is one frame, all fields little-endian:
 //
-//	[tag uint64][count uint32][count x float32]
+//	[tag uint64][count uint32][payload]
 //
 // The 12-byte header carries the collective's tag (for ordering
-// verification) and the payload element count. Frames are encoded and
-// decoded in bulk: the sender serializes header+payload into one reused
-// buffer and issues a single Write; the receiver issues one ReadFull
-// for the header and one for the payload, then converts in a single
-// pass. There is no per-element I/O anywhere on the hot path.
+// verification) and the payload size. Two frame kinds share the header:
+// float frames (count = element count, payload = count x float32) and
+// byte frames (the count field's high bit set, low 31 bits = payload
+// length in bytes, payload = raw bytes — the ByteMesh lane compressed
+// gradients ride). Frames are encoded and decoded in bulk: the sender
+// serializes header+payload into one reused buffer and issues a single
+// Write; the receiver issues one ReadFull for the header and one for
+// the payload, then converts in a single pass. There is no per-element
+// I/O anywhere on the hot path.
 //
 // During mesh construction, each rank additionally sends a handshake
 // immediately after dialing: its own rank (uint32), then the host
@@ -81,6 +85,66 @@ type Aborter interface {
 	Abort() error
 }
 
+// ByteMesh is the byte-frame lane of a mesh: the same per-peer FIFO
+// links that carry float32 frames also carry opaque byte payloads, so
+// compressed gradient representations travel at their true wire size
+// instead of being re-inflated to float32 (the comm package's
+// CompressedAllReduce rides this lane). Byte frames and float frames
+// share each link's ordering and tag verification; receiving one kind
+// while the sender shipped the other is a lane mismatch and surfaces as
+// an error, exactly like a tag mismatch.
+type ByteMesh interface {
+	// SendBytes delivers raw bytes to peer `to` with the given tag. Like
+	// Send, the payload is copied (or fully written) before SendBytes
+	// returns, so callers may reuse it.
+	SendBytes(to int, tag uint64, data []byte) error
+	// RecvBytes returns the next byte frame from peer `from`, which must
+	// carry the expected tag.
+	RecvBytes(from int, tag uint64) ([]byte, error)
+}
+
+// ByteLaneProber is implemented by meshes whose byte-lane support
+// depends on something else (sub-meshes delegate to their base mesh;
+// instrumentation wrappers delegate to what they wrap). ByteLanes
+// consults it so a view over a float-only mesh is not mistaken for a
+// byte-capable one just because the methods exist.
+type ByteLaneProber interface {
+	// HasByteLanes reports whether SendBytes/RecvBytes actually work.
+	HasByteLanes() bool
+}
+
+// ByteLanes returns m's byte-frame lane when it has a working one. Both
+// built-in meshes do; callers (the compressed collectives) fall back to
+// float32 frames when it reports false.
+func ByteLanes(m Mesh) (ByteMesh, bool) {
+	bm, ok := m.(ByteMesh)
+	if !ok {
+		return nil, false
+	}
+	if p, ok := m.(ByteLaneProber); ok && !p.HasByteLanes() {
+		return nil, false
+	}
+	return bm, true
+}
+
+// LaneMismatchError reports that a float32 frame arrived where a byte
+// frame was expected (or vice versa) — the byte-lane analogue of a tag
+// mismatch: the ranks' collective schedules disagree on the frame kind.
+type LaneMismatchError struct {
+	From    int
+	WantRaw bool
+	Tag     uint64
+}
+
+// Error names the expected and received lanes and the sending rank.
+func (e *LaneMismatchError) Error() string {
+	want, got := "byte", "float32"
+	if !e.WantRaw {
+		want, got = got, want
+	}
+	return fmt.Sprintf("transport: lane mismatch from rank %d at tag %d: expected a %s frame, got a %s frame (collective schedules disagree)", e.From, e.Tag, want, got)
+}
+
 // HostLister is implemented by meshes that know which host (machine)
 // every rank runs on: Hosts returns one label per rank, index == rank.
 // TCP meshes derive the labels from each rank's published rendezvous
@@ -109,6 +173,10 @@ func (e *TagMismatchError) Error() string {
 type frame struct {
 	tag  uint64
 	data []float32
+	// raw/isRaw carry byte-lane frames (ByteMesh); isRaw distinguishes
+	// an empty byte payload from a float frame.
+	raw   []byte
+	isRaw bool
 }
 
 // inProcMesh is one rank's view of a shared channel matrix.
@@ -156,6 +224,16 @@ func (m *inProcMesh) Rank() int { return m.rank }
 func (m *inProcMesh) Size() int { return m.size }
 
 func (m *inProcMesh) Send(to int, tag uint64, data []float32) error {
+	return m.send(to, frame{tag: tag, data: append([]float32(nil), data...)})
+}
+
+// SendBytes implements ByteMesh over the same frame channels as Send;
+// byte and float frames share each link's FIFO order.
+func (m *inProcMesh) SendBytes(to int, tag uint64, data []byte) error {
+	return m.send(to, frame{tag: tag, raw: append([]byte(nil), data...), isRaw: true})
+}
+
+func (m *inProcMesh) send(to int, f frame) error {
 	if to == m.rank || to < 0 || to >= m.size {
 		return fmt.Errorf("transport: invalid send target %d from rank %d", to, m.rank)
 	}
@@ -165,7 +243,7 @@ func (m *inProcMesh) Send(to int, tag uint64, data []float32) error {
 	default:
 	}
 	select {
-	case m.chans[m.rank][to] <- frame{tag: tag, data: append([]float32(nil), data...)}:
+	case m.chans[m.rank][to] <- f:
 		return nil
 	case <-m.closed[m.rank]:
 		return fmt.Errorf("transport: mesh closed at rank %d", m.rank)
@@ -175,8 +253,26 @@ func (m *inProcMesh) Send(to int, tag uint64, data []float32) error {
 }
 
 func (m *inProcMesh) Recv(from int, tag uint64) ([]float32, error) {
+	f, err := m.recv(from, tag, false)
+	if err != nil {
+		return nil, err
+	}
+	return f.data, nil
+}
+
+// RecvBytes implements ByteMesh: it returns the next byte frame from
+// the peer, erroring on tag or lane mismatches.
+func (m *inProcMesh) RecvBytes(from int, tag uint64) ([]byte, error) {
+	f, err := m.recv(from, tag, true)
+	if err != nil {
+		return nil, err
+	}
+	return f.raw, nil
+}
+
+func (m *inProcMesh) recv(from int, tag uint64, wantRaw bool) (frame, error) {
 	if from == m.rank || from < 0 || from >= m.size {
-		return nil, fmt.Errorf("transport: invalid recv source %d at rank %d", from, m.rank)
+		return frame{}, fmt.Errorf("transport: invalid recv source %d at rank %d", from, m.rank)
 	}
 	ch := m.chans[from][m.rank]
 	// Drain buffered frames before honouring shutdown signals, so a
@@ -189,24 +285,29 @@ func (m *inProcMesh) Recv(from int, tag uint64) ([]float32, error) {
 		select {
 		case f = <-ch:
 		case <-m.closed[m.rank]:
-			return nil, fmt.Errorf("transport: mesh closed at rank %d", m.rank)
+			return frame{}, fmt.Errorf("transport: mesh closed at rank %d", m.rank)
 		case <-m.closed[from]:
 			// The peer may have delivered the frame concurrently with
 			// closing; prefer the data if it is there.
 			select {
 			case f = <-ch:
 			default:
-				return nil, fmt.Errorf("transport: channel from rank %d closed", from)
+				return frame{}, fmt.Errorf("transport: channel from rank %d closed", from)
 			}
 		}
 	}
 	if f.tag != tag {
-		return nil, &TagMismatchError{From: from, Want: tag, Got: f.tag}
+		return frame{}, &TagMismatchError{From: from, Want: tag, Got: f.tag}
 	}
-	return f.data, nil
+	if f.isRaw != wantRaw {
+		return frame{}, &LaneMismatchError{From: from, WantRaw: wantRaw, Tag: tag}
+	}
+	return f, nil
 }
 
 func (m *inProcMesh) Close() error {
 	m.closeOnce.Do(func() { close(m.closed[m.rank]) })
 	return nil
 }
+
+var _ ByteMesh = (*inProcMesh)(nil)
