@@ -11,14 +11,15 @@
 #
 # Audited packages: the fault-tolerance stack (elastic, store,
 # transport), the checkpoint subsystem (ckpt), the collective layer
-# (comm), the DDP wrapper (ddp), and the hardware cost model (hw) —
-# the packages whose exported surface the architecture docs point into.
+# (comm), the DDP wrapper (ddp), the hardware cost model (hw), and the
+# observability plane (metrics, trace) — the packages whose exported
+# surface the architecture docs point into.
 set -eu
 
 cd "$(dirname "$0")/.."
 
 fail=0
-for dir in internal/elastic internal/store internal/transport internal/ckpt internal/comm internal/ddp internal/hw; do
+for dir in internal/elastic internal/store internal/transport internal/ckpt internal/comm internal/ddp internal/hw internal/metrics internal/trace; do
     for f in "$dir"/*.go; do
         case "$f" in
         *_test.go | *'*'*) continue ;;

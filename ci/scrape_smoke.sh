@@ -1,0 +1,141 @@
+#!/bin/sh
+# scrape_smoke.sh — CI gate: the metrics plane works end to end.
+#
+# Runs the ddptrain elastic demo (crash + recovery + checkpointing)
+# with -metrics-addr and -trace-out, scrapes /metrics over HTTP while
+# the job trains, and asserts that the observability contract holds:
+#
+#   - the collective histograms are populated (comm_allreduce_*),
+#   - the checkpoint SLO gauges moved (ckpt_last_*),
+#   - the elastic plane reports generation/world/recoveries,
+#   - the per-bucket DDP histogram and transport counters are live,
+#   - the recovery span JSON parses and every span's phase durations
+#     sum exactly to the span's duration (the tiling invariant).
+#
+# Artifacts (scrape + span trees) land in SCRAPE_SMOKE_DIR (default: a
+# fresh temp dir) so the workflow can upload them.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+dir="${SCRAPE_SMOKE_DIR:-$(mktemp -d)}"
+mkdir -p "$dir"
+bin="$dir/ddptrain"
+log="$dir/ddptrain.log"
+scrape="$dir/metrics.txt"
+spans="$dir/recovery-spans.json"
+
+go build -o "$bin" ./cmd/ddptrain
+
+# Port 0: the kernel picks a free port; parse it from the startup line.
+"$bin" -elastic -world 3 -iters 120 -kill-step 40 \
+    -metrics-addr 127.0.0.1:0 -trace-out "$spans" \
+    -ckpt-dir "$dir/ckpt" -ckpt-every 10 >"$log" 2>&1 &
+pid=$!
+
+addr=""
+i=0
+while [ $i -lt 100 ]; do
+    addr=$(sed -n 's|.*serving http://\([^/]*\)/metrics.*|\1|p' "$log")
+    [ -n "$addr" ] && break
+    if ! kill -0 "$pid" 2>/dev/null; then
+        echo "scrape_smoke: ddptrain exited before serving metrics" >&2
+        cat "$log" >&2
+        exit 1
+    fi
+    sleep 0.1
+    i=$((i + 1))
+done
+if [ -z "$addr" ]; then
+    echo "scrape_smoke: metrics server never announced itself" >&2
+    cat "$log" >&2
+    exit 1
+fi
+
+# Poll the endpoint until one scrape shows the whole contract at once
+# (training, recovery, and at least one checkpoint save have happened),
+# or the demo exits. Each successful scrape is kept, so the last one
+# before exit is available for the assertions either way.
+want_live() {
+    grep -q '^comm_allreduce_duration_seconds_count' "$scrape" &&
+        awk '/^comm_allreduce_duration_seconds_count/ { if ($2+0 > 0) ok=1 } END { exit !ok }' "$scrape" &&
+        awk '/^elastic_recoveries_total/ { if ($2+0 > 0) ok=1 } END { exit !ok }' "$scrape" &&
+        awk '/^ckpt_save_duration_seconds_count/ { if ($2+0 > 0) ok=1 } END { exit !ok }' "$scrape"
+}
+live=0
+i=0
+while [ $i -lt 300 ]; do
+    curl -sf "http://$addr/metrics" -o "$scrape.tmp" 2>/dev/null && mv "$scrape.tmp" "$scrape" || true
+    if [ -s "$scrape" ] && want_live; then
+        live=1
+        break
+    fi
+    if ! kill -0 "$pid" 2>/dev/null; then
+        break
+    fi
+    sleep 0.1
+    i=$((i + 1))
+done
+
+if ! wait "$pid"; then
+    echo "scrape_smoke: ddptrain failed" >&2
+    cat "$log" >&2
+    exit 1
+fi
+if [ "$live" -ne 1 ]; then
+    echo "scrape_smoke: never caught a live scrape with collectives+recovery+checkpoint populated" >&2
+    cat "$log" >&2
+    [ -s "$scrape" ] && cat "$scrape" >&2
+    exit 1
+fi
+
+# Family-presence assertions on the captured scrape.
+fail=0
+for family in \
+    comm_allreduce_duration_seconds_bucket \
+    comm_allreduce_payload_bytes_bucket \
+    ddp_bucket_reduce_duration_seconds_bucket \
+    transport_frames_sent_total \
+    transport_bytes_sent_total \
+    elastic_generation \
+    elastic_world_size \
+    elastic_recoveries_total \
+    elastic_recovery_duration_seconds_bucket \
+    elastic_heartbeat_misses_total \
+    ckpt_save_duration_seconds_bucket \
+    ckpt_last_save_duration_seconds \
+    ckpt_last_saved_step; do
+    if ! grep -q "^$family" "$scrape"; then
+        echo "scrape_smoke: metric family $family missing from scrape" >&2
+        fail=1
+    fi
+done
+# Every sample line must parse as `name{labels} value` with a numeric
+# value — the text-format contract a real Prometheus server relies on.
+if ! awk '!/^#/ && NF { if (NF != 2 || $2 != $2+0) { print "bad line: " $0; exit 1 } }' "$scrape"; then
+    echo "scrape_smoke: unparseable sample line in scrape" >&2
+    fail=1
+fi
+
+# The recovery span dump: valid JSON, and phases tile every span.
+if ! python3 - "$spans" <<'EOF'
+import json, sys
+spans = json.load(open(sys.argv[1]))
+assert spans, "no recovery spans recorded"
+for s in spans:
+    assert s["name"] == "recovery", s["name"]
+    kids = s.get("children") or []
+    assert kids, "recovery span with no phases"
+    total = sum(c["duration_ns"] for c in kids)
+    assert total == s["duration_ns"], f"phases sum to {total}, span is {s['duration_ns']}"
+print(f"scrape_smoke: {len(spans)} recovery spans, all phase-tiled")
+EOF
+then
+    echo "scrape_smoke: recovery span JSON failed validation" >&2
+    fail=1
+fi
+
+if [ "$fail" -ne 0 ]; then
+    exit 1
+fi
+echo "scrape_smoke: metrics endpoint and recovery trace verified ($scrape)"

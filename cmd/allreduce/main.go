@@ -22,20 +22,32 @@ import (
 	"time"
 
 	"repro/internal/comm"
+	"repro/internal/metrics"
 	"repro/internal/store"
 	"repro/internal/transport"
 )
 
 func main() {
 	var (
-		world     = flag.Int("world", 4, "number of ranks (goroutines)")
-		transp    = flag.String("transport", "inproc", "transport: inproc or tcp")
-		algosFlag = flag.String("algos", "ring,tree,naive", "comma-separated algorithms")
-		minElems  = flag.Int("min", 1024, "smallest message (float32 elements)")
-		maxElems  = flag.Int("max", 1<<22, "largest message (float32 elements)")
-		reps      = flag.Int("reps", 5, "repetitions per size (median reported)")
+		world       = flag.Int("world", 4, "number of ranks (goroutines)")
+		transp      = flag.String("transport", "inproc", "transport: inproc or tcp")
+		algosFlag   = flag.String("algos", "ring,tree,naive", "comma-separated algorithms")
+		minElems    = flag.Int("min", 1024, "smallest message (float32 elements)")
+		maxElems    = flag.Int("max", 1<<22, "largest message (float32 elements)")
+		reps        = flag.Int("reps", 5, "repetitions per size (median reported)")
+		metricsAddr = flag.String("metrics-addr", "", "serve Prometheus text-format metrics at this address under /metrics (empty: disabled)")
 	)
 	flag.Parse()
+
+	if *metricsAddr != "" {
+		msrv, err := metrics.Default().Serve(*metricsAddr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "allreduce: metrics server: %v\n", err)
+			os.Exit(1)
+		}
+		defer msrv.Close()
+		fmt.Printf("[metrics] serving http://%s/metrics\n", msrv.Addr())
+	}
 
 	algos, err := parseAlgos(*algosFlag)
 	if err != nil {

@@ -22,13 +22,25 @@ import (
 	"strings"
 
 	"repro/internal/bench"
+	"repro/internal/metrics"
 )
 
 func main() {
 	exp := flag.String("exp", "all", "experiment id: fig2, fig6, fig7, fig8, fig9, fig10, fig11, fig12, table1, ablation, hierarchical, or all")
 	iters := flag.Int("iters", 400, "iterations per simulated latency distribution")
 	trainIters := flag.Int("train-iters", 350, "training iterations for the fig11 convergence runs")
+	metricsAddr := flag.String("metrics-addr", "", "serve Prometheus text-format metrics at this address under /metrics while experiments run (empty: disabled)")
 	flag.Parse()
+
+	if *metricsAddr != "" {
+		msrv, err := metrics.Default().Serve(*metricsAddr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ddpbench: metrics server: %v\n", err)
+			os.Exit(1)
+		}
+		defer msrv.Close()
+		fmt.Printf("[metrics] serving http://%s/metrics\n", msrv.Addr())
+	}
 
 	runners := map[string]func(io.Writer) error{
 		"fig2":         bench.Fig2,

@@ -75,6 +75,7 @@ import (
 	"repro/internal/data"
 	"repro/internal/ddp"
 	"repro/internal/elastic"
+	"repro/internal/metrics"
 	"repro/internal/models"
 	"repro/internal/nn"
 	"repro/internal/optim"
@@ -85,43 +86,55 @@ import (
 
 func main() {
 	var (
-		rank      = flag.Int("rank", 0, "this process's rank")
-		world     = flag.Int("world", 1, "number of processes")
-		storeAddr = flag.String("store", "127.0.0.1:29500", "rendezvous store address (rank 0 binds it)")
-		launch    = flag.Bool("launch", false, "spawn ranks 1..world-1 as subprocesses of this one")
-		iters     = flag.Int("iters", 100, "training iterations")
-		batch     = flag.Int("batch", 16, "per-rank batch size")
-		lr        = flag.Float64("lr", 0.05, "learning rate")
-		bucketMB  = flag.Int("bucket-mb", 25, "DDP bucket size in MB (0 = per-parameter buckets)")
-		algo      = flag.String("algo", "ring", "allreduce algorithm: ring, tree, naive, hierarchical, auto")
-		compress  = flag.String("compress", "", "gradient compression codec: fp16, 1bit, or topk (empty: none); compressed frames ride the TCP byte lanes with error feedback")
-		hosts     = flag.String("hosts", "", "comma-separated host label per rank (topology for hierarchical/auto; empty: derive from peer addresses)")
-		syncEvery = flag.Int("sync-every", 1, "synchronize gradients every n iterations (no_sync)")
-		rr        = flag.Int("rr", 1, "number of round-robin process groups (Section 5.4)")
-		elast     = flag.Bool("elastic", false, "run the elastic fault-tolerance demo instead (in-proc; with -launch, across OS processes)")
-		killStep  = flag.Int("kill-step", -1, "elastic: step at which one worker is crashed (default iters/3)")
-		killAll   = flag.Bool("kill-all", false, "elastic -launch: crash EVERY worker at -kill-step, then cold-restart the whole world from the last checkpoint (requires -ckpt-dir)")
-		respawn   = flag.Bool("respawn", true, "elastic: boot a replacement worker after the crash")
-		ckptDir   = flag.String("ckpt-dir", "", "elastic: durable checkpoint directory (empty: checkpointing disabled)")
-		ckptEvery = flag.Int("ckpt-every", 10, "elastic: save a sharded checkpoint every n steps")
-		ckptAsync = flag.Bool("ckpt-async", true, "elastic: persist checkpoints on a background goroutine instead of the training hot path")
-		resume    = flag.Bool("resume", false, "elastic: cold-start restore from the newest committed checkpoint in -ckpt-dir")
-		worker    = flag.Bool("worker", false, "internal: run as a single elastic worker process (spawned by -elastic -launch)")
-		workerID  = flag.String("id", "", "internal: elastic worker identity")
-		admitStep = flag.Int("admit-step", -1, "internal: step at which incumbents yield to admit a respawned worker")
+		rank        = flag.Int("rank", 0, "this process's rank")
+		world       = flag.Int("world", 1, "number of processes")
+		storeAddr   = flag.String("store", "127.0.0.1:29500", "rendezvous store address (rank 0 binds it)")
+		launch      = flag.Bool("launch", false, "spawn ranks 1..world-1 as subprocesses of this one")
+		iters       = flag.Int("iters", 100, "training iterations")
+		batch       = flag.Int("batch", 16, "per-rank batch size")
+		lr          = flag.Float64("lr", 0.05, "learning rate")
+		bucketMB    = flag.Int("bucket-mb", 25, "DDP bucket size in MB (0 = per-parameter buckets)")
+		algo        = flag.String("algo", "ring", "allreduce algorithm: ring, tree, naive, hierarchical, auto")
+		compress    = flag.String("compress", "", "gradient compression codec: fp16, 1bit, or topk (empty: none); compressed frames ride the TCP byte lanes with error feedback")
+		hosts       = flag.String("hosts", "", "comma-separated host label per rank (topology for hierarchical/auto; empty: derive from peer addresses)")
+		syncEvery   = flag.Int("sync-every", 1, "synchronize gradients every n iterations (no_sync)")
+		rr          = flag.Int("rr", 1, "number of round-robin process groups (Section 5.4)")
+		elast       = flag.Bool("elastic", false, "run the elastic fault-tolerance demo instead (in-proc; with -launch, across OS processes)")
+		killStep    = flag.Int("kill-step", -1, "elastic: step at which one worker is crashed (default iters/3)")
+		killAll     = flag.Bool("kill-all", false, "elastic -launch: crash EVERY worker at -kill-step, then cold-restart the whole world from the last checkpoint (requires -ckpt-dir)")
+		respawn     = flag.Bool("respawn", true, "elastic: boot a replacement worker after the crash")
+		ckptDir     = flag.String("ckpt-dir", "", "elastic: durable checkpoint directory (empty: checkpointing disabled)")
+		ckptEvery   = flag.Int("ckpt-every", 10, "elastic: save a sharded checkpoint every n steps")
+		ckptAsync   = flag.Bool("ckpt-async", true, "elastic: persist checkpoints on a background goroutine instead of the training hot path")
+		resume      = flag.Bool("resume", false, "elastic: cold-start restore from the newest committed checkpoint in -ckpt-dir")
+		worker      = flag.Bool("worker", false, "internal: run as a single elastic worker process (spawned by -elastic -launch)")
+		workerID    = flag.String("id", "", "internal: elastic worker identity")
+		admitStep   = flag.Int("admit-step", -1, "internal: step at which incumbents yield to admit a respawned worker")
+		metricsAddr = flag.String("metrics-addr", "", "serve Prometheus text-format metrics at this address under /metrics (empty: disabled)")
+		traceOut    = flag.String("trace-out", "", "elastic: write recovery span trees as JSON to this file on exit (worker processes append -<id>.json)")
 	)
 	flag.Parse()
+
+	if *metricsAddr != "" {
+		msrv, err := metrics.Default().Serve(*metricsAddr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ddptrain: metrics server: %v\n", err)
+			os.Exit(1)
+		}
+		defer msrv.Close()
+		fmt.Printf("[metrics] serving http://%s/metrics\n", msrv.Addr())
+	}
 
 	if *elast {
 		ck := ckptFlags{dir: *ckptDir, every: *ckptEvery, async: *ckptAsync, resume: *resume}
 		var err error
 		switch {
 		case *worker:
-			err = runElasticWorker(*workerID, *storeAddr, *world, *iters, *batch, float32(*lr), *killStep, *admitStep, *compress, ck)
+			err = runElasticWorker(*workerID, *storeAddr, *world, *iters, *batch, float32(*lr), *killStep, *admitStep, *compress, ck, *traceOut)
 		case *launch:
-			err = runElasticSupervisor(*world, *iters, *batch, float32(*lr), *killStep, *killAll, *respawn, *storeAddr, *compress, ck)
+			err = runElasticSupervisor(*world, *iters, *batch, float32(*lr), *killStep, *killAll, *respawn, *storeAddr, *compress, ck, *traceOut)
 		default:
-			err = runElastic(*world, *iters, *batch, float32(*lr), *killStep, *respawn, *compress, ck)
+			err = runElastic(*world, *iters, *batch, float32(*lr), *killStep, *respawn, *compress, ck, *traceOut)
 		}
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "ddptrain elastic: %v\n", err)
@@ -366,6 +379,37 @@ func parseHosts(hosts string, world int) (*comm.Topology, error) {
 	return comm.NewTopology(labels), nil
 }
 
+// stragglerLog is the elastic modes' straggler configuration: detection
+// with default thresholds, surfacing every verdict transition as a log
+// line (the elastic_straggler gauge carries the same signal to
+// -metrics-addr scrapes).
+func stragglerLog() *elastic.StragglerConfig {
+	return &elastic.StragglerConfig{
+		OnFlag: func(f elastic.StragglerFlag) {
+			state := "FLAGGED as straggler"
+			if !f.Flagged {
+				state = "no longer a straggler"
+			}
+			fmt.Printf("[straggler] worker %s %s: median step %v vs world median %v\n",
+				f.Worker, state, f.Median.Round(time.Microsecond), f.WorldMedian.Round(time.Microsecond))
+		},
+	}
+}
+
+// dumpTrace writes the tracer's recovery span trees to path as JSON.
+func dumpTrace(tr *trace.Tracer, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("creating trace file: %w", err)
+	}
+	defer f.Close()
+	if err := tr.WriteJSON(f); err != nil {
+		return fmt.Errorf("writing trace: %w", err)
+	}
+	fmt.Printf("[trace] wrote %d recovery span tree(s) to %s\n", len(tr.Roots()), path)
+	return nil
+}
+
 // ---- elastic across OS processes -------------------------------------------
 
 // ckptFlags bundles the checkpoint command-line knobs threaded through
@@ -410,7 +454,7 @@ func (c ckptFlags) config() *elastic.CheckpointConfig {
 // killStep instead — the failure elastic recovery alone cannot survive
 // — and the supervisor relaunches the whole world with -resume, which
 // cold-starts from the last committed checkpoint.
-func runElasticSupervisor(world, iters, batch int, lr float32, killStep int, killAll, respawn bool, storeAddr, compress string, ck ckptFlags) error {
+func runElasticSupervisor(world, iters, batch int, lr float32, killStep int, killAll, respawn bool, storeAddr, compress string, ck ckptFlags, traceOut string) error {
 	if _, err := codecFactory(compress); err != nil {
 		return err
 	}
@@ -456,6 +500,9 @@ func runElasticSupervisor(world, iters, batch int, lr float32, killStep int, kil
 			"-batch", fmt.Sprint(batch), "-lr", fmt.Sprint(lr),
 			"-compress", compress,
 			"-admit-step", fmt.Sprint(admitStep)}
+		if traceOut != "" {
+			args = append(args, "-trace-out", traceOut)
+		}
 		args = append(args, c.args()...)
 		if victim {
 			args = append(args, "-kill-step", fmt.Sprint(killStep))
@@ -612,7 +659,7 @@ func advanceGeneration(storeAddr string) error {
 // step — os.Exit runs no cleanup, so peers observe exactly what a
 // SIGKILL produces: heartbeat silence and connections closed by the
 // kernel.
-func runElasticWorker(id, storeAddr string, world, iters, batch int, lr float32, killStep, admitStep int, compress string, ck ckptFlags) error {
+func runElasticWorker(id, storeAddr string, world, iters, batch int, lr float32, killStep, admitStep int, compress string, ck ckptFlags, traceOut string) error {
 	if id == "" {
 		return fmt.Errorf("-worker requires -id")
 	}
@@ -644,10 +691,19 @@ func runElasticWorker(id, storeAddr string, world, iters, batch int, lr float32,
 		Builder:           &elastic.TCPBuilder{Store: client},
 		DDP:               ddp.Options{BucketCapBytes: 1 << 16, NewCodec: newCodec},
 		Checkpoint:        ck.config(),
+		Tracer:            trace.NewTracer(),
+		Straggler:         stragglerLog(),
 	}
 	agent, err := elastic.NewAgent(cfg, model, opt)
 	if err != nil {
 		return err
+	}
+	if traceOut != "" {
+		defer func() {
+			if err := dumpTrace(agent.Tracer(), fmt.Sprintf("%s-%s.json", traceOut, id)); err != nil {
+				fmt.Fprintf(os.Stderr, "[%s] %v\n", id, err)
+			}
+		}()
 	}
 
 	logged := false
@@ -720,7 +776,7 @@ func elasticBatch(step int64, rank, world, batch, features, classes int) (*tenso
 // workers train in-proc; one is crashed mid-iteration, survivors
 // detect it and reconfigure, a replacement rejoins and is brought up
 // to date, and every surviving replica ends bit-identical.
-func runElastic(world, iters, batch int, lr float32, killStep int, respawn bool, compress string, ck ckptFlags) error {
+func runElastic(world, iters, batch int, lr float32, killStep int, respawn bool, compress string, ck ckptFlags, traceOut string) error {
 	newCodec, err := codecFactory(compress)
 	if err != nil {
 		return err
@@ -739,6 +795,17 @@ func runElastic(world, iters, batch int, lr float32, killStep int, respawn bool,
 	st := store.NewInMem(60 * time.Second)
 	defer st.Close()
 	reg := comm.NewInProcRegistry()
+	// One tracer shared by every in-proc worker: each recovery is built
+	// by its own goroutine, the tracer only serializes the root list, so
+	// the dump interleaves all workers' span trees in start order.
+	tracer := trace.NewTracer()
+	if traceOut != "" {
+		defer func() {
+			if err := dumpTrace(tracer, traceOut); err != nil {
+				fmt.Fprintf(os.Stderr, "[elastic] %v\n", err)
+			}
+		}()
+	}
 	cfg := func(id string) elastic.Config {
 		return elastic.Config{
 			Store:             st,
@@ -751,6 +818,8 @@ func runElastic(world, iters, batch int, lr float32, killStep int, respawn bool,
 			Builder:           &elastic.InProcBuilder{Registry: reg},
 			DDP:               ddp.Options{BucketCapBytes: 1 << 16, NewCodec: newCodec},
 			Checkpoint:        ck.config(),
+			Tracer:            tracer,
+			Straggler:         stragglerLog(),
 		}
 	}
 

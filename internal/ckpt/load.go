@@ -7,6 +7,7 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"time"
 
 	"repro/internal/nn"
 	"repro/internal/optim"
@@ -54,11 +55,17 @@ func Load(dir string) (*Snapshot, *Manifest, error) {
 // opt and returns its captured progress. See Load for the fallback and
 // error contract.
 func Restore(dir string, model nn.Module, opt optim.Optimizer) (Meta, error) {
-	snap, _, err := Load(dir)
+	start := time.Now()
+	snap, m, err := Load(dir)
 	if err != nil {
 		return Meta{}, err
 	}
-	return snap.Apply(model, opt)
+	meta, err := snap.Apply(model, opt)
+	if err == nil {
+		mRestoreDur.Observe(time.Since(start).Seconds())
+		mRestoreBytes.Set(float64(m.BlobBytes))
+	}
+	return meta, err
 }
 
 // LatestMeta reports the progress of the newest committed checkpoint

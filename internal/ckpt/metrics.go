@@ -1,0 +1,39 @@
+package ckpt
+
+import "repro/internal/metrics"
+
+// Checkpointing SLO instruments. The histograms give the distribution
+// a dashboard alerts on; the ckpt_last_* gauges are the SLO readouts
+// themselves — "how stale is durable state right now" is
+// ckpt_last_saved_step against the training step, and a save-latency
+// regression shows up in ckpt_last_save_duration_seconds before it
+// shows up in a histogram percentile.
+var (
+	mSaveDur = metrics.Default().Histogram(
+		"ckpt_save_duration_seconds",
+		"Wall time of successful Writer.Save calls (shard write + commit barrier; on rank 0 also manifest commit).",
+		metrics.DurationBuckets)
+	mSaveBytes = metrics.Default().Histogram(
+		"ckpt_save_bytes",
+		"Shard payload bytes written per successful Save.",
+		metrics.SizeBuckets)
+	mLastSaveDur = metrics.Default().Gauge(
+		"ckpt_last_save_duration_seconds",
+		"Duration of the most recent successful Save.")
+	mLastSaveBytes = metrics.Default().Gauge(
+		"ckpt_last_save_bytes",
+		"Shard payload bytes of the most recent successful Save.")
+	mLastSavedStep = metrics.Default().Gauge(
+		"ckpt_last_saved_step",
+		"Training step captured by the most recent successful Save on this rank.")
+	mCommitFailures = metrics.Default().Counter(
+		"ckpt_commit_failures_total",
+		"Saves that failed at or after the commit barrier (abandoned saves on generation change are not failures and excluded).")
+	mRestoreDur = metrics.Default().Histogram(
+		"ckpt_restore_duration_seconds",
+		"Wall time of successful Restore calls (load + apply).",
+		metrics.DurationBuckets)
+	mRestoreBytes = metrics.Default().Gauge(
+		"ckpt_restore_bytes",
+		"Blob bytes of the most recently restored checkpoint.")
+)

@@ -1,11 +1,13 @@
 package ckpt
 
 import (
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
 	"sort"
 	"strings"
+	"time"
 )
 
 // Writer persists sharded checkpoints into one directory. Every rank of
@@ -50,6 +52,7 @@ func (w *Writer) Save(snap *Snapshot, rank, world int, cancel <-chan struct{}) e
 	if err := os.MkdirAll(w.Dir, 0o755); err != nil {
 		return fmt.Errorf("ckpt: creating checkpoint dir: %w", err)
 	}
+	start := time.Now()
 	blob := snap.Bytes()
 	meta := snap.Meta
 	off, length := ShardRange(int64(len(blob)), rank, world)
@@ -66,12 +69,24 @@ func (w *Writer) Save(snap *Snapshot, rank, world int, cancel <-chan struct{}) e
 		return err
 	}
 	if err := w.Committer.Done(meta.Generation, meta.Step, rank, world, cancel); err != nil {
+		if !errors.Is(err, ErrAbandoned) {
+			mCommitFailures.Inc()
+		}
 		return err
 	}
-	if rank != 0 {
-		return nil
+	if rank == 0 {
+		if err := w.commit(meta, world, int64(len(blob))); err != nil {
+			mCommitFailures.Inc()
+			return err
+		}
 	}
-	return w.commit(meta, world, int64(len(blob)))
+	dur := time.Since(start)
+	mSaveDur.Observe(dur.Seconds())
+	mSaveBytes.Observe(float64(length))
+	mLastSaveDur.Set(dur.Seconds())
+	mLastSaveBytes.Set(float64(length))
+	mLastSavedStep.Set(float64(meta.Step))
+	return nil
 }
 
 // commit is rank 0's post-barrier duty: sanity-check every shard's

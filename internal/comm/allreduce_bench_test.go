@@ -9,6 +9,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/metrics"
 	"repro/internal/store"
 	"repro/internal/transport"
 )
@@ -23,6 +24,30 @@ type benchRecord struct {
 	Elems               int     `json:"elems"`
 	NsPerOp             float64 `json:"ns_per_op"`
 	CrossHostBytesPerOp int64   `json:"cross_host_bytes_per_op"`
+	// The runtime metrics plane's view of the same ops: a summary of
+	// the comm_allreduce_duration_seconds histogram restricted to this
+	// run's timed loop (per-rank observations, so HistCount ≈ world ×
+	// b.N). Bench rows and live /metrics scrapes thereby share one
+	// schema — a dashboard percentile and a bench percentile come from
+	// the identical instrument.
+	HistP50Ns float64 `json:"hist_p50_ns"`
+	HistP99Ns float64 `json:"hist_p99_ns"`
+	HistCount uint64  `json:"hist_count"`
+}
+
+// histDelta returns the distribution observed between two snapshots of
+// the same histogram (after minus before, bucket by bucket).
+func histDelta(before, after metrics.HistogramSnapshot) metrics.HistogramSnapshot {
+	d := metrics.HistogramSnapshot{
+		Bounds: after.Bounds,
+		Counts: make([]uint64, len(after.Counts)),
+		Count:  after.Count - before.Count,
+		Sum:    after.Sum - before.Sum,
+	}
+	for i := range after.Counts {
+		d.Counts[i] = after.Counts[i] - before.Counts[i]
+	}
+	return d
 }
 
 // compressionRecord is one BenchmarkCompressedAllReduce measurement:
@@ -158,8 +183,17 @@ func benchAllReduce(b *testing.B, tr string, algo Algorithm, n int) {
 			bufs[r][i] = float32(r + i)
 		}
 	}
+	// Resolve Auto exactly like meshGroup.AllReduce does, so the
+	// snapshot delta below reads the histogram child the timed ops
+	// actually observe into.
+	resolved := algo
+	if resolved == Auto {
+		resolved = chooseAlgorithm(topo, n, benchWorldSize)
+	}
+	hist := mAllReduceDur.With(resolved.String())
 	b.SetBytes(int64(4 * n))
 	b.ResetTimer()
+	before := hist.Snapshot()
 	for i := 0; i < b.N; i++ {
 		var wg sync.WaitGroup
 		errs := make([]error, benchWorldSize)
@@ -178,6 +212,7 @@ func benchAllReduce(b *testing.B, tr string, algo Algorithm, n int) {
 		}
 	}
 	b.StopTimer()
+	lat := histDelta(before, hist.Snapshot())
 	crossPerOp := cross.Load() / int64(b.N)
 	b.ReportMetric(float64(crossPerOp), "crossB/op")
 	rec := benchRecord{
@@ -187,6 +222,9 @@ func benchAllReduce(b *testing.B, tr string, algo Algorithm, n int) {
 		Elems:               n,
 		NsPerOp:             float64(b.Elapsed().Nanoseconds()) / float64(b.N),
 		CrossHostBytesPerOp: crossPerOp,
+		HistP50Ns:           lat.Quantile(0.5) * 1e9,
+		HistP99Ns:           lat.Quantile(0.99) * 1e9,
+		HistCount:           lat.Count,
 	}
 	benchMu.Lock()
 	// The harness re-runs each case while calibrating b.N; keep only

@@ -90,6 +90,7 @@ func efValue(data, residual []float32, i int) (float32, bool) {
 			residual[i] = 0
 		}
 		nonFiniteDropped.Add(1)
+		mDroppedNonFinite.Inc()
 		return 0, false
 	}
 	return v, true

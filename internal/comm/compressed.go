@@ -3,6 +3,7 @@ package comm
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"repro/internal/transport"
 )
@@ -113,15 +114,21 @@ func (g *meshGroup) CompressedAllReduce(data []float32, op ReduceOp, codec WireC
 		algo = chooseAlgorithm(g.topo, len(data), g.mesh.Size())
 	}
 	return g.submit(func(tag uint64) error {
+		start := time.Now()
 		shadow := residual
 		if residual != nil {
 			shadow = append([]float32(nil), residual...)
 		}
-		if err := compressedAllReduce(g.mesh, tag, data, op, codec, shadow, algo, g.topo); err != nil {
+		wire, err := compressedAllReduce(g.mesh, tag, data, op, codec, shadow, algo, g.topo)
+		if err != nil {
 			return err
 		}
 		if residual != nil {
 			copy(residual, shadow)
+		}
+		observeAllReduce("compressed", len(data), start, nil)
+		if wire > 0 {
+			mCompressedWireBytes.With(codec.Name()).Observe(float64(wire))
 		}
 		return nil
 	})
@@ -177,33 +184,38 @@ func quantizeThrough(codec WireCodec, data, residual []float32) error {
 // Sum/Avg — decode-reduce-reencode of Min/Max/Prod through a lossy
 // representation compounds unpredictably, so those take the exact
 // float path on quantized inputs.
-func compressedAllReduce(m transport.Mesh, tag uint64, data []float32, op ReduceOp, codec WireCodec, residual []float32, algo Algorithm, topo *Topology) error {
+//
+// The int result is the number of encoded payload bytes this rank put
+// on the byte lanes (0 on the float fallback paths) — the sample the
+// comm_compressed_wire_bytes histogram records.
+func compressedAllReduce(m transport.Mesh, tag uint64, data []float32, op ReduceOp, codec WireCodec, residual []float32, algo Algorithm, topo *Topology) (int, error) {
 	k := m.Size()
 	if k == 1 {
 		// Quantization must not depend on world size: a single rank
 		// still pays the codec's accuracy cost (and keeps its residual
 		// trajectory comparable to any other world's).
-		return quantizeThrough(codec, data, residual)
+		return 0, quantizeThrough(codec, data, residual)
 	}
 	bm, haveBytes := transport.ByteLanes(m)
 	if !haveBytes || (op != Sum && op != Avg) {
 		if err := quantizeThrough(codec, data, residual); err != nil {
-			return err
+			return 0, err
 		}
 		switch algo {
 		case Tree:
-			return treeAllReduce(m, tag, data, op)
+			return 0, treeAllReduce(m, tag, data, op)
 		case Naive:
-			return naiveAllReduce(m, tag, data, op)
+			return 0, naiveAllReduce(m, tag, data, op)
 		case Hierarchical:
-			return hierarchicalAllReduce(m, tag, data, op, topo)
+			return 0, hierarchicalAllReduce(m, tag, data, op, topo)
 		default:
-			return ringAllReduce(m, tag, data, op)
+			return 0, ringAllReduce(m, tag, data, op)
 		}
 	}
 
 	rank := m.Rank()
 	n := len(data)
+	wire := 0
 
 	// Stage 1: encode every chunk and ship each to its owner.
 	encs := make([][]byte, k)
@@ -218,6 +230,7 @@ func compressedAllReduce(m transport.Mesh, tag uint64, data []float32, op Reduce
 	errcs := make([]<-chan error, 0, k-1)
 	for j := 0; j < k; j++ {
 		if j != rank {
+			wire += len(encs[j])
 			errcs = append(errcs, sendBytesAsync(bm, j, tag, encs[j]))
 		}
 	}
@@ -231,7 +244,7 @@ func compressedAllReduce(m transport.Mesh, tag uint64, data []float32, op Reduce
 			var err error
 			frame, err = bm.RecvBytes(r, tag)
 			if err != nil {
-				return err
+				return 0, err
 			}
 		}
 		dst := acc
@@ -239,7 +252,7 @@ func compressedAllReduce(m transport.Mesh, tag uint64, data []float32, op Reduce
 			dst = scratch
 		}
 		if err := codec.Decode(frame, dst); err != nil {
-			return fmt.Errorf("comm: decoding chunk contribution from rank %d: %w", r, err)
+			return 0, fmt.Errorf("comm: decoding chunk contribution from rank %d: %w", r, err)
 		}
 		if r > 0 {
 			reduceInto(acc, scratch, Sum)
@@ -247,13 +260,14 @@ func compressedAllReduce(m transport.Mesh, tag uint64, data []float32, op Reduce
 	}
 	for _, errc := range errcs {
 		if err := <-errc; err != nil {
-			return err
+			return 0, err
 		}
 	}
 
 	// Stage 2: broadcast the re-encoded reduced chunk; decode everyone's
 	// (own included — all ranks must hold the decode of the same bytes).
 	reduced := codec.Encode(make([]byte, 0, codec.EncodedSize(hi-lo)), acc, nil)
+	wire += (k - 1) * len(reduced)
 	errcs = errcs[:0]
 	for j := 0; j < k; j++ {
 		if j != rank {
@@ -261,7 +275,7 @@ func compressedAllReduce(m transport.Mesh, tag uint64, data []float32, op Reduce
 		}
 	}
 	if err := codec.Decode(reduced, data[lo:hi]); err != nil {
-		return fmt.Errorf("comm: decoding own reduced chunk: %w", err)
+		return 0, fmt.Errorf("comm: decoding own reduced chunk: %w", err)
 	}
 	for r := 0; r < k; r++ {
 		if r == rank {
@@ -269,16 +283,16 @@ func compressedAllReduce(m transport.Mesh, tag uint64, data []float32, op Reduce
 		}
 		frame, err := bm.RecvBytes(r, tag)
 		if err != nil {
-			return err
+			return 0, err
 		}
 		rlo, rhi := chunkBounds(n, k, r)
 		if err := codec.Decode(frame, data[rlo:rhi]); err != nil {
-			return fmt.Errorf("comm: decoding reduced chunk from rank %d: %w", r, err)
+			return 0, fmt.Errorf("comm: decoding reduced chunk from rank %d: %w", r, err)
 		}
 	}
 	for _, errc := range errcs {
 		if err := <-errc; err != nil {
-			return err
+			return 0, err
 		}
 	}
 
@@ -288,7 +302,7 @@ func compressedAllReduce(m transport.Mesh, tag uint64, data []float32, op Reduce
 			data[i] *= scale
 		}
 	}
-	return nil
+	return wire, nil
 }
 
 // sendBytesAsync issues SendBytes on its own goroutine so matching

@@ -3,6 +3,7 @@ package comm
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"repro/internal/store"
 	"repro/internal/transport"
@@ -162,18 +163,22 @@ func (g *meshGroup) AllReduce(data []float32, op ReduceOp) Work {
 		algo = chooseAlgorithm(g.topo, len(data), g.mesh.Size())
 	}
 	return g.submit(func(tag uint64) error {
+		start := time.Now()
+		var err error
 		switch algo {
 		case Ring:
-			return ringAllReduce(g.mesh, tag, data, op)
+			err = ringAllReduce(g.mesh, tag, data, op)
 		case Tree:
-			return treeAllReduce(g.mesh, tag, data, op)
+			err = treeAllReduce(g.mesh, tag, data, op)
 		case Naive:
-			return naiveAllReduce(g.mesh, tag, data, op)
+			err = naiveAllReduce(g.mesh, tag, data, op)
 		case Hierarchical:
-			return hierarchicalAllReduce(g.mesh, tag, data, op, g.topo)
+			err = hierarchicalAllReduce(g.mesh, tag, data, op, g.topo)
 		default:
-			return fmt.Errorf("comm: unknown algorithm %v", g.opts.Algorithm)
+			err = fmt.Errorf("comm: unknown algorithm %v", g.opts.Algorithm)
 		}
+		observeAllReduce(algo.String(), len(data), start, err)
+		return err
 	})
 }
 

@@ -1,0 +1,40 @@
+package comm
+
+import (
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// Prometheus instruments for the collective hot path. Only successful
+// collectives are observed: an aborted AllReduce (the elastic teardown
+// path) measures time-to-abort, not collective latency, and would skew
+// the distributions the paper's Figs 7–8 correspond to. Failures
+// surface through errors and the elastic recovery counters instead.
+var (
+	mAllReduceDur = metrics.Default().HistogramVec(
+		"comm_allreduce_duration_seconds",
+		"AllReduce wall time from worker dispatch to completion, by resolved algorithm (compressed collectives report as \"compressed\").",
+		metrics.DurationBuckets, "algorithm")
+	mAllReduceBytes = metrics.Default().HistogramVec(
+		"comm_allreduce_payload_bytes",
+		"AllReduce payload size in uncompressed float32 bytes, by resolved algorithm.",
+		metrics.SizeBuckets, "algorithm")
+	mCompressedWireBytes = metrics.Default().HistogramVec(
+		"comm_compressed_wire_bytes",
+		"Encoded bytes this rank put on the byte lanes per compressed AllReduce, by codec (0-byte fallbacks to the float path are not observed).",
+		metrics.SizeBuckets, "codec")
+	mDroppedNonFinite = metrics.Default().Counter(
+		"comm_dropped_nonfinite_total",
+		"Non-finite gradient elements dropped by compression codecs; mirrors DroppedNonFinite().")
+)
+
+// observeAllReduce records one completed collective under the resolved
+// algorithm label.
+func observeAllReduce(algo string, elems int, start time.Time, err error) {
+	if err != nil {
+		return
+	}
+	mAllReduceDur.With(algo).Observe(time.Since(start).Seconds())
+	mAllReduceBytes.With(algo).Observe(float64(4 * elems))
+}

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"strings"
+	"time"
 
 	"repro/internal/autograd"
 	"repro/internal/comm"
@@ -122,7 +123,10 @@ type bucketState struct {
 	pending  int
 	ready    bool
 	launched bool
-	work     comm.Work
+	// launchedAt stamps the AllReduce launch for the backward-to-reduce
+	// latency histogram.
+	launchedAt time.Time
+	work       comm.Work
 }
 
 // New wraps module for distributed data parallel training over pg.
@@ -447,6 +451,7 @@ func (d *DDP) markReady(idx int) {
 func (d *DDP) launchReadyBuckets() {
 	for d.nextToLaunch < len(d.bucket) && d.bucket[d.nextToLaunch].ready {
 		b := d.bucket[d.nextToLaunch]
+		b.launchedAt = time.Now()
 		switch {
 		case d.wire != nil:
 			// Wire-level path: the codec's bytes ride the transport's
@@ -501,6 +506,7 @@ func (d *DDP) finalizeBackward() error {
 		if err := b.work.Wait(); err != nil {
 			return fmt.Errorf("ddp: AllReduce on bucket %d: %w", bi, err)
 		}
+		mBucketReduceDur.Observe(time.Since(b.launchedAt).Seconds())
 		for _, idx := range b.members {
 			if trackUnused && !d.globallyUsed[idx] {
 				// Globally unused: leave .Grad intact (nil here), so an
@@ -555,6 +561,7 @@ func (d *DDP) rebuildFromTracedOrder() {
 		return
 	}
 	d.installAssignment(assign)
+	mBucketRebuilds.Inc()
 }
 
 // Rebuilt reports whether the one-shot automatic bucket rebuild has
@@ -640,5 +647,6 @@ func (d *DDP) RebuildBuckets() error {
 		return err
 	}
 	d.installAssignment(assign)
+	mBucketRebuilds.Inc()
 	return nil
 }

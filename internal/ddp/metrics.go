@@ -1,0 +1,18 @@
+package ddp
+
+import "repro/internal/metrics"
+
+var (
+	// mBucketReduceDur measures launch-to-completion per bucket: from the
+	// moment the backward pass launched the bucket's AllReduce to the
+	// moment finalizeBackward observed it done. This is the overlap
+	// window Section 3.2.3 is about — time hidden behind the remaining
+	// backward compute shows up here but not in step latency.
+	mBucketReduceDur = metrics.Default().Histogram(
+		"ddp_bucket_reduce_duration_seconds",
+		"Per-bucket latency from AllReduce launch during backward to observed completion.",
+		metrics.DurationBuckets)
+	mBucketRebuilds = metrics.Default().Counter(
+		"ddp_bucket_rebuilds_total",
+		"Bucket layout rebuilds (traced-order one-shot rebuilds plus explicit RebuildBuckets calls).")
+)

@@ -10,6 +10,7 @@ import (
 	"repro/internal/ddp"
 	"repro/internal/nn"
 	"repro/internal/optim"
+	"repro/internal/trace"
 )
 
 // StepContext is what a StepFunc sees for one training step. Rank and
@@ -43,6 +44,7 @@ type Agent struct {
 	model nn.Module
 	opt   optim.Optimizer
 	rdzv  *Rendezvous
+	strag *StragglerDetector // nil unless Config.Straggler is set
 
 	hb  *Heartbeat
 	mon *Monitor
@@ -88,8 +90,20 @@ func NewAgent(cfg Config, model nn.Module, opt optim.Optimizer) (*Agent, error) 
 	if err != nil {
 		return nil, err
 	}
-	return &Agent{cfg: cfg, model: model, opt: opt, rdzv: rdzv}, nil
+	a := &Agent{cfg: cfg, model: model, opt: opt, rdzv: rdzv}
+	if cfg.Straggler != nil {
+		a.strag = NewStragglerDetector(cfg.Store, cfg.Prefix, cfg.ID, *cfg.Straggler)
+	}
+	return a, nil
 }
+
+// Tracer returns the configured recovery tracer (nil when tracing is
+// disabled) — the handle ddptrain dumps recovery span trees from.
+func (a *Agent) Tracer() *trace.Tracer { return a.cfg.Tracer }
+
+// Straggler returns the straggler detector (nil when detection is
+// disabled).
+func (a *Agent) Straggler() *StragglerDetector { return a.strag }
 
 // Step returns the number of completed training steps.
 func (a *Agent) Step() int64 {
@@ -259,16 +273,29 @@ func (a *Agent) teardownGroup() {
 // rebuild the group, synchronize state, and swap the group into DDP.
 // It retries (bumping the generation) when a round collapses mid-way,
 // up to MaxRestarts attempts.
+//
+// With a Config.Tracer each attempt records one "recovery" span whose
+// phases tile it exactly (trace.Span.Phase), so phase durations sum to
+// the attempt's duration; the elastic_* gauges and recovery histogram
+// are updated on success only.
 func (a *Agent) reconfigure() error {
 	for attempt := 0; attempt < a.cfg.MaxRestarts; attempt++ {
 		if a.isKilled() {
 			return ErrKilled
 		}
+		start := time.Now()
+		var root *trace.Span
+		if a.cfg.Tracer != nil {
+			root = a.cfg.Tracer.StartSpan("recovery")
+		}
+		root.Phase("teardown")
 		a.teardownGroup()
 		a.cancelSaves()
 
+		root.Phase("rendezvous")
 		assign, err := a.rdzv.Join(Member{ID: a.cfg.ID, Step: a.Step(), Host: a.cfg.Host})
 		if err != nil {
+			root.Finish()
 			return fmt.Errorf("elastic: rendezvous: %w", err)
 		}
 
@@ -301,11 +328,13 @@ func (a *Agent) reconfigure() error {
 			a.interrupt(assign.Generation)
 		}()
 
+		root.Phase("mesh-build")
 		pg, err := a.cfg.Builder.Build(assign, cancel)
 		a.mu.Lock()
 		a.buildCancel = nil
 		a.mu.Unlock()
 		if err != nil {
+			root.Finish()
 			// The round was viable but the group could not form (e.g. a
 			// member died between seal and build); force the next round.
 			if _, perr := a.rdzv.ProposeGeneration(assign.Generation); perr != nil {
@@ -326,8 +355,10 @@ func (a *Agent) reconfigure() error {
 		// (the round's watcher goroutine armed before the build).
 		a.mon.SetPeers(peerIDs(assign, a.cfg.ID))
 
+		root.Phase("state-sync")
 		source, sourceStep := assign.Source()
 		if err := SyncState(pg, source, a.model, a.opt); err != nil {
+			root.Finish()
 			if a.isKilled() {
 				return ErrKilled
 			}
@@ -343,6 +374,7 @@ func (a *Agent) reconfigure() error {
 		// retried step must start from a clean slate.
 		nn.ZeroGrad(a.model)
 
+		root.Phase("ddp-swap")
 		a.mu.Lock()
 		d := a.d
 		a.mu.Unlock()
@@ -356,9 +388,11 @@ func (a *Agent) reconfigure() error {
 			opts.SkipInitialBroadcast = true
 			d, err = ddp.New(a.model, pg, opts)
 			if err != nil {
+				root.Finish()
 				return fmt.Errorf("elastic: wrapping model: %w", err)
 			}
 		} else if err := d.SetProcessGroup(pg); err != nil {
+			root.Finish()
 			return fmt.Errorf("elastic: swapping process group: %w", err)
 		}
 		a.mu.Lock()
@@ -370,7 +404,9 @@ func (a *Agent) reconfigure() error {
 		// wrapper (fresh joiners just built theirs, with zero
 		// residuals). A failure here is recoverable the same way a
 		// SyncState failure is: force the next round.
+		root.Phase("residual-sync")
 		if err := SyncResiduals(pg, source, d); err != nil {
+			root.Finish()
 			if a.isKilled() {
 				return ErrKilled
 			}
@@ -382,6 +418,14 @@ func (a *Agent) reconfigure() error {
 		// The new world is fully formed; its saves get a fresh abandon
 		// signal (closed again by the next interrupt or Kill).
 		a.armSaves()
+		root.Finish()
+		mGeneration.With(a.cfg.ID).Set(float64(assign.Generation))
+		mWorldSize.With(a.cfg.ID).Set(float64(assign.World))
+		mRecoveries.Inc()
+		mRecoveryDur.Observe(time.Since(start).Seconds())
+		if a.strag != nil {
+			a.strag.SetPeers(peerIDs(assign, a.cfg.ID))
+		}
 		return nil
 	}
 	return fmt.Errorf("elastic: giving up after %d failed reconfiguration attempts", a.cfg.MaxRestarts)
@@ -467,6 +511,7 @@ func (a *Agent) Run(totalSteps int64, step StepFunc) error {
 		}
 		a.mu.Unlock()
 
+		stepStart := time.Now()
 		err := step(ctx)
 		if a.isKilled() {
 			return ErrKilled
@@ -474,6 +519,12 @@ func (a *Agent) Run(totalSteps int64, step StepFunc) error {
 		switch {
 		case err == nil:
 			failures = 0
+			if a.strag != nil {
+				// Only completed steps enter the straggler window — a
+				// failed step's latency measures the failure, not this
+				// worker's pace.
+				a.strag.Record(time.Since(stepStart))
+			}
 			a.mu.Lock()
 			a.step++
 			a.mu.Unlock()

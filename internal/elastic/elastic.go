@@ -50,6 +50,7 @@ import (
 	"repro/internal/comm"
 	"repro/internal/ddp"
 	"repro/internal/store"
+	"repro/internal/trace"
 )
 
 // Sentinel errors of the elastic control flow.
@@ -267,6 +268,13 @@ type Config struct {
 	// With it, the run survives even the failure mode elastic recovery
 	// alone cannot: every worker dying at once.
 	Checkpoint *CheckpointConfig
+	// Tracer, when non-nil, records one hierarchical span tree per
+	// reconfiguration attempt (teardown → rendezvous → mesh-build →
+	// state-sync → residual-sync); dump with trace.Tracer.WriteJSON.
+	Tracer *trace.Tracer
+	// Straggler enables median-gossip straggler detection (nil:
+	// disabled). See StragglerConfig.
+	Straggler *StragglerConfig
 }
 
 // CheckpointConfig wires the ckpt subsystem into an elastic worker:

@@ -166,6 +166,7 @@ func (m *Monitor) expiredPeers() []string {
 			p.lastBeat = now
 		} else if now.Sub(p.lastBeat) > m.lease {
 			p.suspected = true
+			mHeartbeatMisses.Inc()
 			expired = append(expired, id)
 		}
 		m.mu.Unlock()

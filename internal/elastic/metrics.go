@@ -1,0 +1,32 @@
+package elastic
+
+import "repro/internal/metrics"
+
+// Elastic-plane instruments. Gauges that describe one worker's view of
+// the job carry a "worker" label because in-proc jobs host many agents
+// in one process (one scrape endpoint); a real one-process-per-worker
+// deployment simply produces single-child families.
+var (
+	mGeneration = metrics.Default().GaugeVec(
+		"elastic_generation",
+		"Rendezvous generation of the worker's current assignment.",
+		"worker")
+	mWorldSize = metrics.Default().GaugeVec(
+		"elastic_world_size",
+		"World size of the worker's current assignment.",
+		"worker")
+	mHeartbeatMisses = metrics.Default().Counter(
+		"elastic_heartbeat_misses_total",
+		"Peer heartbeat leases this process's monitors saw expire (one per peer per suspicion, not per poll).")
+	mRecoveries = metrics.Default().Counter(
+		"elastic_recoveries_total",
+		"Successful reconfigurations (rendezvous through state sync) completed by agents in this process.")
+	mRecoveryDur = metrics.Default().Histogram(
+		"elastic_recovery_duration_seconds",
+		"Wall time of successful Agent reconfigurations, teardown through residual sync.",
+		metrics.DurationBuckets)
+	mStraggler = metrics.Default().GaugeVec(
+		"elastic_straggler",
+		"1 while the worker's median step latency exceeds the straggler threshold, else 0.",
+		"worker")
+)

@@ -1,0 +1,35 @@
+// Package metrics is a dependency-free Prometheus instrumentation
+// library: counters, gauges, and log-bucketed histograms registered in
+// a process-wide (or test-local) Registry and rendered in the text
+// exposition format (version 0.0.4) that any Prometheus-compatible
+// scraper ingests.
+//
+// The paper argues entirely through measurement — per-phase latency
+// breakdowns (Fig 6), collective latency distributions (Figs 7–8) —
+// and this package is the runtime half of that methodology: every hot
+// path in the system (collectives, transport frames, DDP bucket
+// reductions, checkpoint saves, elastic recoveries) reports through
+// instruments registered here, and ddptrain exports the lot over HTTP
+// with -metrics-addr.
+//
+// # Design
+//
+//   - Registration is idempotent: the same (name, kind, labels,
+//     buckets) schema returns the existing family, so instruments can
+//     be declared as package-level vars wherever they are used. A
+//     conflicting schema panics — that is a programming error.
+//   - Samples are lock-free on the hot path: scalar values and
+//     histogram bucket counts are atomics; float updates use CAS on
+//     the IEEE-754 bit pattern.
+//   - Scrapes are snapshots: WriteTo copies the family list and every
+//     sample under the registry lock and atomics before encoding, so a
+//     scrape never observes a torn value and never blocks an observer.
+//   - Histograms store per-bucket counts and cumulate only at render
+//     time; Snapshot exposes the same state programmatically with a
+//     Quantile estimator, which is how bench output and runtime
+//     metrics share one schema.
+//
+// Unlabeled instruments eagerly create their single sample, so every
+// registered family appears in the very first scrape — absence of a
+// metric means absence of the code path, not "no events yet".
+package metrics

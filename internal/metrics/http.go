@@ -1,0 +1,47 @@
+package metrics
+
+import (
+	"bytes"
+	"net"
+	"net/http"
+)
+
+// Handler returns an http.Handler that serves the registry's scrape.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		var buf bytes.Buffer
+		if _, err := r.WriteTo(&buf); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_, _ = w.Write(buf.Bytes())
+	})
+}
+
+// Server is a running scrape endpoint started by Serve.
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Serve starts an HTTP server exposing the registry at /metrics on
+// addr (":0" picks a free port) and returns immediately; scrape it at
+// http://<Addr()>/metrics.
+func (r *Registry) Serve(addr string) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", r.Handler())
+	srv := &http.Server{Handler: mux}
+	go func() { _ = srv.Serve(ln) }()
+	return &Server{ln: ln, srv: srv}, nil
+}
+
+// Addr returns the server's bound address (host:port).
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close shuts the server down.
+func (s *Server) Close() error { return s.srv.Close() }

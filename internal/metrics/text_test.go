@@ -1,0 +1,50 @@
+package metrics
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestScrapeGolden pins the exact text-format bytes: family and child
+// ordering, HELP/label escaping, histogram bucket cumulativity and the
+// +Inf terminator. Regenerate with -update-golden after a deliberate
+// format change.
+func TestScrapeGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("test_requests_total", "Total requests.").Add(3)
+
+	ev := r.CounterVec("test_errors_total", "Errors by kind.", "kind")
+	ev.With("io").Inc()
+	ev.With("eof").Add(2)
+
+	r.Gauge("test_temp_celsius", "Backslash \\ and\nnewline in help.").Set(-4.5)
+	r.GaugeVec("test_info", "Labeled gauge.", "version", "note").
+		With(`v"1\2`, "line1\nline2").Set(1)
+
+	h := r.Histogram("test_latency_seconds", "Latency.", []float64{1, 10, 100})
+	for _, v := range []float64{0.5, 1, 50, 500} {
+		h.Observe(v)
+	}
+	r.HistogramVec("test_sizes_bytes", "Sizes.", []float64{1, 10}, "op").
+		With("read").Observe(3)
+
+	var buf bytes.Buffer
+	n, err := r.WriteTo(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(buf.Len()) {
+		t.Fatalf("WriteTo returned %d, wrote %d", n, buf.Len())
+	}
+
+	golden := filepath.Join("testdata", "scrape.golden")
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("scrape differs from %s:\n--- got ---\n%s\n--- want ---\n%s", golden, buf.Bytes(), want)
+	}
+}

@@ -11,11 +11,13 @@ import (
 	"sort"
 )
 
-// Summary is a five-number summary plus mean — one box of a box-whisker
-// plot.
+// Summary is a five-number summary plus mean and tail quantile — one
+// box of a box-whisker plot. P99 serves the straggler detector's
+// thresholds and histogram sanity checks; at small N it interpolates
+// toward (and at N == 1 equals) the maximum.
 type Summary struct {
-	Min, P25, Median, P75, Max, Mean float64
-	N                                int
+	Min, P25, Median, P75, P99, Max, Mean float64
+	N                                     int
 }
 
 // Summarize computes the summary of samples (which it sorts a copy of).
@@ -34,6 +36,7 @@ func Summarize(samples []float64) Summary {
 		P25:    quantile(s, 0.25),
 		Median: quantile(s, 0.5),
 		P75:    quantile(s, 0.75),
+		P99:    quantile(s, 0.99),
 		Max:    s[len(s)-1],
 		Mean:   sum / float64(len(s)),
 		N:      len(s),

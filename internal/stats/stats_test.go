@@ -26,6 +26,33 @@ func TestSummarizeInterpolatesQuantiles(t *testing.T) {
 	}
 }
 
+func TestSummarizeP99SmallN(t *testing.T) {
+	// N = 1: every quantile is the sample.
+	if s := Summarize([]float64{7}); s.P99 != 7 {
+		t.Fatalf("singleton P99 = %v", s.P99)
+	}
+	// N = 2: pos = 0.99 → 0.01·x[0] + 0.99·x[1].
+	if s := Summarize([]float64{0, 100}); math.Abs(s.P99-99) > 1e-12 {
+		t.Fatalf("two-sample P99 = %v, want 99", s.P99)
+	}
+	// N = 5: pos = 0.99·4 = 3.96 → between x[3] and x[4].
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	if math.Abs(s.P99-4.96) > 1e-12 {
+		t.Fatalf("five-sample P99 = %v, want 4.96", s.P99)
+	}
+	if s.P99 > s.Max || s.P99 < s.P75 {
+		t.Fatalf("P99 = %v outside [P75=%v, Max=%v]", s.P99, s.P75, s.Max)
+	}
+	// N = 101 of 0..100: pos = 0.99·100 = 99 exactly.
+	big := make([]float64, 101)
+	for i := range big {
+		big[i] = float64(i)
+	}
+	if s := Summarize(big); s.P99 != 99 {
+		t.Fatalf("P99 of 0..100 = %v, want 99", s.P99)
+	}
+}
+
 func TestSummarizeEdgeCases(t *testing.T) {
 	if s := Summarize(nil); s.N != 0 {
 		t.Fatal("empty summary should be zero")

@@ -1,0 +1,133 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+func TestResetMidPhaseKeepsPhaseRunning(t *testing.T) {
+	c := &fakeClock{}
+	tm := NewTimerWithClock(c.now)
+	tm.Start("x")
+	c.advance(10 * time.Millisecond)
+	tm.Reset() // mid-phase: pre-Reset time is discarded, phase keeps running
+	c.advance(5 * time.Millisecond)
+	tm.Stop()
+	if got := tm.Phase("x"); got != 5*time.Millisecond {
+		t.Fatalf("post-Reset phase time = %v, want 5ms", got)
+	}
+	if got := tm.Phases(); len(got) != 1 || got[0] != "x" {
+		t.Fatalf("phases = %v, want [x]", got)
+	}
+}
+
+func TestSpanPhasesTileParentExactly(t *testing.T) {
+	c := &fakeClock{}
+	tr := NewTracerWithClock(c.now)
+	root := tr.StartSpan("recovery")
+	root.Phase("rendezvous")
+	c.advance(7 * time.Millisecond)
+	root.Phase("mesh-build")
+	c.advance(13 * time.Millisecond)
+	root.Phase("state-sync")
+	c.advance(29 * time.Millisecond)
+	root.Phase("residual-sync")
+	c.advance(3 * time.Millisecond)
+	root.Finish()
+
+	if got := root.Duration(); got != 52*time.Millisecond {
+		t.Fatalf("root duration = %v", got)
+	}
+	var sum time.Duration
+	for i, ch := range root.Children {
+		if ch.End.IsZero() {
+			t.Fatalf("child %d (%s) never ended", i, ch.Name)
+		}
+		sum += ch.Duration()
+		if i > 0 && !ch.Start.Equal(root.Children[i-1].End) {
+			t.Fatalf("gap between %s and %s", root.Children[i-1].Name, ch.Name)
+		}
+	}
+	if sum != root.Duration() {
+		t.Fatalf("phase sum %v != root %v", sum, root.Duration())
+	}
+	if !root.Children[0].Start.Equal(root.Start) && len(root.Children) > 0 {
+		// The first phase started after the root (Phase called later) —
+		// legal in general, but here they coincide.
+		t.Fatalf("first phase start %v != root start %v", root.Children[0].Start, root.Start)
+	}
+}
+
+func TestSpanFinishIdempotent(t *testing.T) {
+	c := &fakeClock{}
+	tr := NewTracerWithClock(c.now)
+	s := tr.StartSpan("s")
+	c.advance(time.Millisecond)
+	s.Finish()
+	end := s.End
+	c.advance(time.Hour)
+	s.Finish()
+	if !s.End.Equal(end) {
+		t.Fatal("second Finish moved the end timestamp")
+	}
+}
+
+func TestStartChildOverlaps(t *testing.T) {
+	c := &fakeClock{}
+	tr := NewTracerWithClock(c.now)
+	root := tr.StartSpan("root")
+	a := root.StartChild("a")
+	c.advance(time.Millisecond)
+	b := root.StartChild("b") // a still open: overlapping children
+	c.advance(time.Millisecond)
+	a.Finish()
+	b.Finish()
+	root.Finish()
+	if a.Duration() != 2*time.Millisecond || b.Duration() != time.Millisecond {
+		t.Fatalf("a=%v b=%v", a.Duration(), b.Duration())
+	}
+}
+
+func TestTracerJSONDump(t *testing.T) {
+	c := &fakeClock{t: time.Unix(1000, 0).UTC()}
+	tr := NewTracerWithClock(c.now)
+	root := tr.StartSpan("recovery")
+	root.Phase("rendezvous")
+	c.advance(4 * time.Millisecond)
+	root.Phase("mesh-build")
+	c.advance(6 * time.Millisecond)
+	root.Finish()
+	open := tr.StartSpan("in-flight") // dumped with no end
+	_ = open
+
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var dump []struct {
+		Name       string `json:"name"`
+		End        string `json:"end"`
+		DurationNs int64  `json:"duration_ns"`
+		Children   []struct {
+			Name       string `json:"name"`
+			DurationNs int64  `json:"duration_ns"`
+		} `json:"children"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &dump); err != nil {
+		t.Fatalf("dump is not valid JSON: %v\n%s", err, buf.Bytes())
+	}
+	if len(dump) != 2 || dump[0].Name != "recovery" || dump[1].Name != "in-flight" {
+		t.Fatalf("dump = %+v", dump)
+	}
+	if dump[0].DurationNs != int64(10*time.Millisecond) {
+		t.Fatalf("root duration_ns = %d", dump[0].DurationNs)
+	}
+	if len(dump[0].Children) != 2 || dump[0].Children[0].DurationNs != int64(4*time.Millisecond) {
+		t.Fatalf("children = %+v", dump[0].Children)
+	}
+	if dump[1].End != "" || dump[1].DurationNs != 0 {
+		t.Fatalf("open span should have no end: %+v", dump[1])
+	}
+}

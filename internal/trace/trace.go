@@ -1,8 +1,13 @@
-// Package trace provides per-phase wall-clock instrumentation for real
-// training loops, producing the forward / backward-compute /
-// backward-comm / optimizer breakdown of the paper's Fig 6 for code that
-// actually executes (the simulator computes the same breakdown
-// analytically).
+// Package trace provides wall-clock instrumentation for real training
+// loops in two shapes. Timer is a flat per-phase accumulator, producing
+// the forward / backward-compute / backward-comm / optimizer breakdown
+// of the paper's Fig 6 for code that actually executes (the simulator
+// computes the same breakdown analytically). Tracer/Span add
+// hierarchical spans with explicit start/end timestamps and a JSON
+// dump — the shape elastic recovery uses, where a root "recovery" span
+// is tiled exactly by its rendezvous / mesh-build / state-sync /
+// residual-sync phases so a regression names the phase that slowed
+// down.
 package trace
 
 import (
@@ -68,11 +73,17 @@ func (t *Timer) Total() time.Duration {
 // Phases returns phase names in first-start order.
 func (t *Timer) Phases() []string { return append([]string(nil), t.order...) }
 
-// Reset clears all accumulated time.
+// Reset clears all accumulated time. A phase in flight is not lost: it
+// keeps running from the moment of the Reset, so the Stop (or Start)
+// that eventually lands accounts the post-Reset portion under the same
+// phase name instead of silently dropping it.
 func (t *Timer) Reset() {
 	t.totals = make(map[string]time.Duration)
 	t.order = nil
-	t.current = ""
+	if t.current != "" {
+		t.order = append(t.order, t.current)
+		t.started = t.now()
+	}
 }
 
 // Breakdown renders phases with their share of the total, e.g.

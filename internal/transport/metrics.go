@@ -1,0 +1,61 @@
+package transport
+
+import "repro/internal/metrics"
+
+// Wire-level instruments, split by link locality: "cross" frames leave
+// the machine (the traffic the hierarchical AllReduce exists to
+// shrink), "local" frames stay on it (loopback between co-hosted
+// ranks, and every in-process frame). Only successfully transferred
+// frames are counted; byte counts include the 12-byte header on TCP
+// links and are pure payload on the in-process mesh, which has no
+// header.
+var (
+	mFramesSent = metrics.Default().CounterVec(
+		"transport_frames_sent_total",
+		"Frames written to peers, by link locality.", "link")
+	mFramesRecv = metrics.Default().CounterVec(
+		"transport_frames_received_total",
+		"Frames read from peers, by link locality.", "link")
+	mBytesSent = metrics.Default().CounterVec(
+		"transport_bytes_sent_total",
+		"Bytes written to peers (TCP: headers included), by link locality.", "link")
+	mBytesRecv = metrics.Default().CounterVec(
+		"transport_bytes_received_total",
+		"Bytes read from peers (TCP: headers included), by link locality.", "link")
+)
+
+// linkCounters is one locality's pre-resolved instrument set, attached
+// to each peer at mesh build so the per-frame hot path never takes the
+// vec's map lookup.
+type linkCounters struct {
+	framesSent, framesRecv metrics.Counter
+	bytesSent, bytesRecv   metrics.Counter
+}
+
+var (
+	localLink = &linkCounters{
+		framesSent: mFramesSent.With("local"), framesRecv: mFramesRecv.With("local"),
+		bytesSent: mBytesSent.With("local"), bytesRecv: mBytesRecv.With("local"),
+	}
+	crossLink = &linkCounters{
+		framesSent: mFramesSent.With("cross"), framesRecv: mFramesRecv.With("cross"),
+		bytesSent: mBytesSent.With("cross"), bytesRecv: mBytesRecv.With("cross"),
+	}
+)
+
+func linkFor(sameHost bool) *linkCounters {
+	if sameHost {
+		return localLink
+	}
+	return crossLink
+}
+
+func (lc *linkCounters) sent(bytes int) {
+	lc.framesSent.Inc()
+	lc.bytesSent.Add(float64(bytes))
+}
+
+func (lc *linkCounters) received(bytes int) {
+	lc.framesRecv.Inc()
+	lc.bytesRecv.Add(float64(bytes))
+}

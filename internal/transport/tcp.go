@@ -81,6 +81,9 @@ type tcpMesh struct {
 
 type tcpPeer struct {
 	conn net.Conn
+	// link is the peer's locality instrument set (cross-host vs local),
+	// resolved once at mesh build.
+	link *linkCounters
 	wmu  sync.Mutex
 	rmu  sync.Mutex
 	// wbuf/rbuf are reusable frame scratch buffers, guarded by wmu/rmu:
@@ -180,7 +183,7 @@ func NewTCPMeshCancel(rank, size int, st store.Store, prefix string, cancel <-ch
 				acceptErr <- fmt.Errorf("transport: handshake host from rank %d: %w", peer, err)
 				return
 			}
-			m.peers[peer] = newTCPPeer(conn)
+			m.peers[peer] = newTCPPeer(conn, linkFor(host == m.hosts[rank]))
 			// Topology: the handshake carries the host of the dialer's
 			// PUBLISHED listener address, so every rank labels peer
 			// `peer` from the same single source regardless of which
@@ -209,7 +212,7 @@ func NewTCPMeshCancel(rank, size int, st store.Store, prefix string, cancel <-ch
 		if err := writeHandshake(conn, rank, m.hosts[rank]); err != nil {
 			return fail(fmt.Errorf("transport: handshake write to rank %d: %w", peer, err))
 		}
-		m.peers[peer] = newTCPPeer(conn)
+		m.peers[peer] = newTCPPeer(conn, linkFor(m.hosts[peer] == m.hosts[rank]))
 	}
 
 	if err := <-acceptErr; err != nil {
@@ -340,11 +343,11 @@ func (b *meshBuilder) cancelled() bool {
 	return false
 }
 
-func newTCPPeer(conn net.Conn) *tcpPeer {
+func newTCPPeer(conn net.Conn, link *linkCounters) *tcpPeer {
 	if tc, ok := conn.(*net.TCPConn); ok {
 		tc.SetNoDelay(true)
 	}
-	return &tcpPeer{conn: conn}
+	return &tcpPeer{conn: conn, link: link}
 }
 
 func (m *tcpMesh) Rank() int { return m.rank }
@@ -451,6 +454,7 @@ func (m *tcpMesh) Send(to int, tag uint64, data []float32) error {
 		if _, err := bufs.WriteTo(p.conn); err != nil {
 			return m.wireErr("send to", to, err)
 		}
+		p.link.sent(frameHeaderLen + 4*len(data))
 		return nil
 	}
 	n := frameHeaderLen + 4*len(data)
@@ -459,6 +463,7 @@ func (m *tcpMesh) Send(to int, tag uint64, data []float32) error {
 	if _, err := p.conn.Write(p.wbuf); err != nil {
 		return m.wireErr("send to", to, err)
 	}
+	p.link.sent(n)
 	return nil
 }
 
@@ -487,6 +492,7 @@ func (m *tcpMesh) SendBytes(to int, tag uint64, data []byte) error {
 	if _, err := bufs.WriteTo(p.conn); err != nil {
 		return m.wireErr("send to", to, err)
 	}
+	p.link.sent(frameHeaderLen + len(data))
 	return nil
 }
 
@@ -523,6 +529,7 @@ func (m *tcpMesh) RecvBytes(from int, tag uint64) ([]byte, error) {
 	if _, err := io.ReadFull(p.conn, data); err != nil {
 		return nil, m.wireErr("recv payload from", from, err)
 	}
+	p.link.received(frameHeaderLen + len(data))
 	return data, nil
 }
 
@@ -582,6 +589,7 @@ func (m *tcpMesh) Recv(from int, tag uint64) ([]float32, error) {
 		}
 		decodePayload(p.rbuf, data)
 	}
+	p.link.received(frameHeaderLen + 4*int(count))
 	return data, nil
 }
 

@@ -179,6 +179,15 @@ type frame struct {
 	isRaw bool
 }
 
+// payloadLen is the frame's payload size in bytes (in-process frames
+// carry no header), the sample the transport byte counters record.
+func (f frame) payloadLen() int {
+	if f.isRaw {
+		return len(f.raw)
+	}
+	return 4 * len(f.data)
+}
+
 // inProcMesh is one rank's view of a shared channel matrix.
 //
 // Frame channels are never closed; instead each rank has a shared
@@ -244,6 +253,7 @@ func (m *inProcMesh) send(to int, f frame) error {
 	}
 	select {
 	case m.chans[m.rank][to] <- f:
+		localLink.sent(f.payloadLen())
 		return nil
 	case <-m.closed[m.rank]:
 		return fmt.Errorf("transport: mesh closed at rank %d", m.rank)
@@ -302,6 +312,7 @@ func (m *inProcMesh) recv(from int, tag uint64, wantRaw bool) (frame, error) {
 	if f.isRaw != wantRaw {
 		return frame{}, &LaneMismatchError{From: from, WantRaw: wantRaw, Tag: tag}
 	}
+	localLink.received(f.payloadLen())
 	return f, nil
 }
 
