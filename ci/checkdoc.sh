@@ -11,15 +11,16 @@
 #
 # Audited packages: the fault-tolerance stack (elastic, store,
 # transport), the checkpoint subsystem (ckpt), the collective layer
-# (comm), the DDP wrapper (ddp), the hardware cost model (hw), and the
-# observability plane (metrics, trace) — the packages whose exported
-# surface the architecture docs point into.
+# (comm), the DDP wrapper (ddp), the hardware cost model (hw), the
+# observability plane (metrics, trace), and the correctness tooling
+# (lint, testutil/leakcheck) — the packages whose exported surface the
+# architecture docs point into.
 set -eu
 
 cd "$(dirname "$0")/.."
 
 fail=0
-for dir in internal/elastic internal/store internal/transport internal/ckpt internal/comm internal/ddp internal/hw internal/metrics internal/trace; do
+for dir in internal/elastic internal/store internal/transport internal/ckpt internal/comm internal/ddp internal/hw internal/metrics internal/trace internal/lint internal/testutil/leakcheck; do
     for f in "$dir"/*.go; do
         case "$f" in
         *_test.go | *'*'*) continue ;;

@@ -402,9 +402,12 @@ func dumpTrace(tr *trace.Tracer, path string) error {
 	if err != nil {
 		return fmt.Errorf("creating trace file: %w", err)
 	}
-	defer f.Close()
 	if err := tr.WriteJSON(f); err != nil {
+		_ = f.Close()
 		return fmt.Errorf("writing trace: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("closing trace file: %w", err)
 	}
 	fmt.Printf("[trace] wrote %d recovery span tree(s) to %s\n", len(tr.Roots()), path)
 	return nil

@@ -1,0 +1,61 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/trace"
+)
+
+// newTestTracer returns a tracer with one finished root span so the
+// JSON dump is non-trivial.
+func newTestTracer() *trace.Tracer {
+	tr := trace.NewTracer()
+	s := tr.StartSpan("recovery")
+	s.Phase("rendezvous")
+	s.Finish()
+	return tr
+}
+
+func TestDumpTraceWritesParseableJSON(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.json")
+	if err := dumpTrace(newTestTracer(), path); err != nil {
+		t.Fatalf("dumpTrace: %v", err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading dump: %v", err)
+	}
+	var roots []struct {
+		Name  string    `json:"name"`
+		Start time.Time `json:"start"`
+	}
+	if err := json.Unmarshal(raw, &roots); err != nil {
+		t.Fatalf("dump is not valid JSON: %v\n%s", err, raw)
+	}
+	if len(roots) != 1 || roots[0].Name != "recovery" {
+		t.Fatalf("unexpected span trees: %+v", roots)
+	}
+}
+
+// TestDumpTraceReportsWriteError pins the fix for silently dropped
+// trace-file errors: a failing write (or close) must surface to the
+// caller instead of vanishing behind a deferred Close.
+func TestDumpTraceReportsWriteError(t *testing.T) {
+	if _, err := os.Stat("/dev/full"); err != nil {
+		t.Skip("/dev/full not available")
+	}
+	if err := dumpTrace(newTestTracer(), "/dev/full"); err == nil {
+		t.Fatal("dumpTrace to /dev/full returned nil, want write error")
+	}
+}
+
+func TestDumpTraceReportsCreateError(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "missing-dir", "trace.json")
+	if err := dumpTrace(newTestTracer(), path); err == nil {
+		t.Fatal("dumpTrace into a missing directory returned nil, want error")
+	}
+}

@@ -288,13 +288,13 @@ func writeFileAtomic(dir, name string, chunks ...[]byte) error {
 	}
 	for _, c := range chunks {
 		if _, err := f.Write(c); err != nil {
-			f.Close()
+			_ = f.Close()
 			os.Remove(tmp)
 			return fmt.Errorf("ckpt: writing %s: %w", tmp, err)
 		}
 	}
 	if err := f.Sync(); err != nil {
-		f.Close()
+		_ = f.Close()
 		os.Remove(tmp)
 		return fmt.Errorf("ckpt: fsync %s: %w", tmp, err)
 	}

@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/metrics"
 	"repro/internal/store"
+	"repro/internal/testutil/leakcheck"
 	"repro/internal/transport"
 )
 
@@ -75,7 +76,10 @@ var (
 // (override the paths with BENCH_ALLREDUCE_OUT / BENCH_COMPRESSION_OUT).
 // Plain `go test` runs collect nothing and write nothing.
 func TestMain(m *testing.M) {
-	code := m.Run()
+	// leakcheck.Run wraps m.Run so a passing suite still fails when a
+	// collective left a reducer or socket goroutine behind; the bench
+	// JSON flush below runs either way.
+	code := leakcheck.Run(m, leakcheck.Timeout(10*time.Second))
 	benchMu.Lock()
 	records := benchRecords
 	compress := compressRecords

@@ -180,6 +180,7 @@ func (a *Agent) abortCheckpoint() {
 	}
 	a.cancelSaves()
 	if a.ck.async != nil {
+		//ddplint:ignore storeerr shutdown path; a failed in-flight save is superseded by the restore source chosen at restart
 		_ = a.ck.async.Close()
 	}
 }

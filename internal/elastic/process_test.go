@@ -12,6 +12,7 @@ import (
 	"repro/internal/ddp"
 	"repro/internal/optim"
 	"repro/internal/store"
+	"repro/internal/testutil/leakcheck"
 )
 
 // Cross-process integration test: elastic workers as real OS processes
@@ -25,7 +26,9 @@ func TestMain(m *testing.M) {
 	if os.Getenv("ELASTIC_TEST_WORKER") == "1" {
 		os.Exit(elasticWorkerMain())
 	}
-	os.Exit(m.Run())
+	// Agent teardown is asynchronous (monitor loops drain after Stop
+	// returns), so give stragglers a generous settle window.
+	leakcheck.Main(m, leakcheck.Timeout(10*time.Second))
 }
 
 // crashExitCode marks a deliberate mid-step hard death.

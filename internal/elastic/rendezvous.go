@@ -144,6 +144,7 @@ func (r *Rendezvous) WaitGenerationAbove(g int) (int, error) {
 // observability for operators; membership itself is decided by who
 // re-registers in the next round.
 func (r *Rendezvous) MarkDead(id string, g int) {
+	//ddplint:ignore storeerr observability breadcrumb only; membership does not depend on this key
 	_ = r.st.Set(r.prefix+"/dead/"+id, encodeGen(g))
 }
 
@@ -364,13 +365,14 @@ func (r *Rendezvous) cleanupRound(g int) {
 	if err != nil {
 		return
 	}
+	keys := []string{r.sealKey(g), r.sealedKey(g), r.countKey(g)}
 	for i := 0; i < int(n); i++ {
-		_ = r.st.Delete(r.memberKey(g, i))
-		_ = r.st.Delete(r.memberFlagKey(g, i))
+		keys = append(keys, r.memberKey(g, i), r.memberFlagKey(g, i))
 	}
-	_ = r.st.Delete(r.sealKey(g))
-	_ = r.st.Delete(r.sealedKey(g))
-	_ = r.st.Delete(r.countKey(g))
+	for _, k := range keys {
+		//ddplint:ignore storeerr best-effort GC of a superseded round; a leaked key is reclaimed by a later leader
+		_ = r.st.Delete(k)
+	}
 }
 
 func max64(a, b int64) int64 {

@@ -1,0 +1,96 @@
+// Package lint is the project's static-analysis gate: five analyzers
+// encoding invariants that ordinary vet checks cannot see because they
+// are about THIS codebase's contracts — span lifecycles, store error
+// discipline, collective/lock ordering, metric registration, and
+// 32-bit atomic alignment. The driver (cmd/ddplint) loads every
+// package in the module with the pure go/types stack (no external
+// dependencies: go/parser for syntax, go/types with the source
+// importer for semantics), runs the analyzers, and exits non-zero on
+// any finding, which makes the gate blocking in CI.
+//
+// # Suppressing a finding
+//
+// An intentional exception carries a pragma on the offending line or
+// the line above:
+//
+//	//ddplint:ignore <analyzer> <reason>
+//
+// The reason is mandatory — a pragma without one is itself reported —
+// and suppressed findings are counted in the driver's summary line, so
+// exceptions stay visible instead of silently accumulating. The
+// internal/lint tests additionally fail when the tree has zero
+// suppressed findings, which catches pragmas that outlive the code
+// they excused.
+//
+// # The analyzers
+//
+// spanfinish — every trace span must finish. A *trace.Span obtained
+// from Tracer.StartSpan or Span.StartChild must have Finish called on
+// every return path of the function that created it (directly, via
+// defer, or via a deferred closure), unless ownership escapes: the
+// span is returned, stored in a field or composite, passed to a call,
+// or sent on a channel. A span that is never finished renders as a
+// still-open region in the recovery trace JSON and corrupts
+// duration-based SLO accounting; this is the lostcancel shape, but for
+// the tracing plane. Spans started conditionally (behind a nil-tracer
+// guard) and per-iteration spans in loops are modeled: each loop
+// iteration must finish the span it starts.
+//
+// storeerr — rendezvous-store, transport, and checkpoint errors must
+// be checked. Calls to store.Store methods, transport send/recv/abort,
+// and checkpoint commit/close paths return errors that encode the
+// difference between "the cluster agreed" and "this worker is
+// partitioned"; dropping one turns a detectable failure into silent
+// divergence. The analyzer flags calls whose error is discarded (as an
+// expression statement, a blank assignment, or a go/defer statement)
+// and files opened for writing whose Close error is dropped — for
+// write-path files, Close is where the kernel reports a failed flush,
+// so `defer f.Close()` on a written file loses real errors. Deliberate
+// best-effort sites (heartbeats, GC of superseded rendezvous rounds)
+// carry pragmas stating why loss is tolerable.
+//
+// metricstatic — metrics are registered at package init, not per call.
+// Registry constructor methods (Counter, CounterVec, Gauge, GaugeVec,
+// Histogram, HistogramVec) may appear only in package-level variable
+// initializers or init functions. Registration takes the registry
+// lock, re-validates the schema, and interns label metadata; doing it
+// on a hot path (inside a collective, per step) adds contention
+// exactly where the code is supposed to be measuring it, and a
+// schema-conflicting re-registration panics at runtime. The
+// internal/metrics package itself is exempt (it implements the
+// constructors).
+//
+// lockedcollective — never block on a collective while holding a
+// mutex. Group.AllReduce, Broadcast, AllGather, Barrier and
+// CompressedAllReduce block until every rank arrives. If rank A holds
+// a lock while waiting and rank B needs that lock before it can reach
+// the same collective, the whole job deadlocks — a distributed
+// lock-ordering inversion that no single-process race detector can
+// see. The analyzer tracks sync.Mutex/RWMutex Lock/Unlock (including
+// deferred unlocks) within each function and flags collective calls
+// issued while any lock is held. The internal/comm package is exempt
+// (the implementation synchronizes its own internals).
+//
+// atomic64align — 64-bit atomics must land on 8-byte-aligned fields.
+// On GOARCH=386 (and other 32-bit targets), sync/atomic's 64-bit
+// operations fault at runtime when their operand is not 8-byte
+// aligned, and struct fields after a 4-byte field are exactly where
+// that happens. The analyzer computes each operand field's offset
+// under 386 struct layout (resetting at pointer indirections, whose
+// targets are allocator-aligned) and flags misaligned ones; the fix is
+// field reordering, explicit padding, or the self-aligning
+// atomic.Int64/Uint64 types. CI's GOARCH=386 build smoke keeps the
+// tree compiling for the architecture this analyzer guards.
+//
+// # Testing convention
+//
+// Each analyzer has a seeded-violation fixture package and a clean
+// fixture package under testdata/; seeded lines carry a trailing
+// `//lint:want <analyzer>` marker. The tests assert an exact
+// line-level match in both directions (every marker found, nothing
+// unmarked flagged) and that clean fixtures stay silent under the full
+// suite, so analyzer false positives and false negatives both fail the
+// build. Fixture packages import the real repro packages they lint
+// against — they type-check against the actual Span, Store, and Group
+// APIs, not stand-ins.
+package lint

@@ -1,0 +1,252 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, type-checked package of the module: its parsed
+// files (with comments, so ignore pragmas are visible) plus the full
+// go/types information analyzers need to resolve call targets.
+type Package struct {
+	// Path is the package's import path (module path + relative dir).
+	Path string
+	// Dir is the absolute directory the package was loaded from.
+	Dir string
+	// Fset is the file set all Files positions refer to.
+	Fset *token.FileSet
+	// Files are the package's non-test source files, with comments.
+	Files []*ast.File
+	// Types is the type-checked package.
+	Types *types.Package
+	// Info carries the type-checker's expression/object tables.
+	Info *types.Info
+}
+
+// Loader loads and type-checks the module's packages using only the
+// standard library: module-internal imports resolve through the loader
+// itself, everything else (the standard library) through the stdlib
+// source importer. No x/tools, no export data.
+type Loader struct {
+	// ModRoot is the absolute module root (the directory with go.mod).
+	ModRoot string
+	// ModPath is the module path declared in go.mod.
+	ModPath string
+	// Fset is shared by every package the loader touches.
+	Fset *token.FileSet
+
+	std     types.ImporterFrom
+	pkgs    map[string]*Package
+	loading map[string]bool
+}
+
+// NewLoader reads go.mod under modRoot and returns a loader for that
+// module.
+func NewLoader(modRoot string) (*Loader, error) {
+	abs, err := filepath.Abs(modRoot)
+	if err != nil {
+		return nil, err
+	}
+	data, err := os.ReadFile(filepath.Join(abs, "go.mod"))
+	if err != nil {
+		return nil, fmt.Errorf("lint: reading go.mod: %w", err)
+	}
+	modPath := ""
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			modPath = strings.TrimSpace(rest)
+			break
+		}
+	}
+	if modPath == "" {
+		return nil, fmt.Errorf("lint: no module line in %s/go.mod", abs)
+	}
+	// The source importer type-checks the standard library from
+	// GOROOT/src. Pin cgo off so packages with optional cgo paths (net,
+	// os/user) resolve to their pure-Go variants instead of needing the
+	// cgo tool.
+	build.Default.CgoEnabled = false
+	fset := token.NewFileSet()
+	l := &Loader{
+		ModRoot: abs,
+		ModPath: modPath,
+		Fset:    fset,
+		pkgs:    make(map[string]*Package),
+		loading: make(map[string]bool),
+	}
+	l.std = importer.ForCompiler(fset, "source", nil).(types.ImporterFrom)
+	return l, nil
+}
+
+// LoadAll loads every package in the module (skipping testdata, hidden
+// and underscore directories) and returns them sorted by import path.
+func (l *Loader) LoadAll() ([]*Package, error) {
+	var paths []string
+	err := filepath.WalkDir(l.ModRoot, func(p string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if p != l.ModRoot && (name == "testdata" || name == "vendor" ||
+			strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return filepath.SkipDir
+		}
+		if hasGoFiles(p) {
+			rel, err := filepath.Rel(l.ModRoot, p)
+			if err != nil {
+				return err
+			}
+			if rel == "." {
+				paths = append(paths, l.ModPath)
+			} else {
+				paths = append(paths, l.ModPath+"/"+filepath.ToSlash(rel))
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(paths)
+	pkgs := make([]*Package, 0, len(paths))
+	for _, p := range paths {
+		pkg, err := l.Load(p)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// LoadDir loads the package rooted at dir (absolute or relative to the
+// module root). It is how the tests load fixture packages that live
+// under testdata, which LoadAll deliberately skips.
+func (l *Loader) LoadDir(dir string) (*Package, error) {
+	if !filepath.IsAbs(dir) {
+		dir = filepath.Join(l.ModRoot, dir)
+	}
+	rel, err := filepath.Rel(l.ModRoot, dir)
+	if err != nil || strings.HasPrefix(rel, "..") {
+		return nil, fmt.Errorf("lint: %s is outside module %s", dir, l.ModRoot)
+	}
+	return l.Load(l.ModPath + "/" + filepath.ToSlash(rel))
+}
+
+// Load loads and type-checks the module package with the given import
+// path, memoized across calls.
+func (l *Loader) Load(path string) (*Package, error) {
+	if p, ok := l.pkgs[path]; ok {
+		return p, nil
+	}
+	if l.loading[path] {
+		return nil, fmt.Errorf("lint: import cycle through %s", path)
+	}
+	l.loading[path] = true
+	defer delete(l.loading, path)
+
+	rel := strings.TrimPrefix(strings.TrimPrefix(path, l.ModPath), "/")
+	dir := filepath.Join(l.ModRoot, filepath.FromSlash(rel))
+
+	bp, err := build.ImportDir(dir, 0)
+	if err != nil {
+		return nil, fmt.Errorf("lint: %s: %w", path, err)
+	}
+	files := make([]*ast.File, 0, len(bp.GoFiles))
+	for _, name := range bp.GoFiles {
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("lint: %s: %w", path, err)
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{Importer: l}
+	tpkg, err := conf.Check(path, l.Fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("lint: type-checking %s: %w", path, err)
+	}
+	p := &Package{Path: path, Dir: dir, Fset: l.Fset, Files: files, Types: tpkg, Info: info}
+	l.pkgs[path] = p
+	return p, nil
+}
+
+// Import implements types.Importer.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	return l.ImportFrom(path, l.ModRoot, 0)
+}
+
+// ImportFrom implements types.ImporterFrom: module-internal paths load
+// through the loader, everything else through the stdlib source
+// importer.
+func (l *Loader) ImportFrom(path, dir string, _ types.ImportMode) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if path == l.ModPath || strings.HasPrefix(path, l.ModPath+"/") {
+		p, err := l.Load(path)
+		if err != nil {
+			return nil, err
+		}
+		return p.Types, nil
+	}
+	return l.std.ImportFrom(path, dir, 0)
+}
+
+// hasGoFiles reports whether dir directly contains at least one
+// non-test .go file.
+func hasGoFiles(dir string) bool {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range ents {
+		if e.IsDir() {
+			continue
+		}
+		name := e.Name()
+		if strings.HasSuffix(name, ".go") && !strings.HasSuffix(name, "_test.go") {
+			return true
+		}
+	}
+	return false
+}
+
+// FindModuleRoot walks up from dir to the nearest directory containing
+// go.mod.
+func FindModuleRoot(dir string) (string, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(abs, "go.mod")); err == nil {
+			return abs, nil
+		}
+		parent := filepath.Dir(abs)
+		if parent == abs {
+			return "", fmt.Errorf("lint: no go.mod found above %s", dir)
+		}
+		abs = parent
+	}
+}

@@ -1,0 +1,486 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// SpanFinish reports trace spans that are not Finished on every return
+// path of the function that started them. An unfinished span renders
+// with a zero End, its phases never close, and the phase-tiling
+// invariant the recovery dashboards depend on silently breaks — the
+// lostcancel bug shape, for spans.
+var SpanFinish = &Analyzer{
+	Name: "spanfinish",
+	Doc:  "a trace.Span started in a function must be Finished on all return paths",
+	Run:  runSpanFinish,
+}
+
+func runSpanFinish(pkg *Package) []Finding {
+	if hasPathSuffix(pkg.Path, "internal/trace") {
+		// The trace package constructs spans internally.
+		return nil
+	}
+	var out []Finding
+	for _, file := range pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			// Each function body — the declaration's and every closure's
+			// — is analyzed as its own scope: a span must be finished by
+			// the function that started it (or provably escape).
+			for _, body := range funcBodies(fd.Body) {
+				out = append(out, checkSpanBody(pkg, body)...)
+			}
+		}
+	}
+	return out
+}
+
+// funcBodies returns body plus the bodies of all function literals
+// nested within it.
+func funcBodies(body *ast.BlockStmt) []*ast.BlockStmt {
+	bodies := []*ast.BlockStmt{body}
+	ast.Inspect(body, func(n ast.Node) bool {
+		if fl, ok := n.(*ast.FuncLit); ok && fl.Body != nil {
+			bodies = append(bodies, fl.Body)
+		}
+		return true
+	})
+	return bodies
+}
+
+// inspectShallow walks root without descending into nested function
+// literals (their bodies are separate analysis scopes).
+func inspectShallow(root ast.Node, f func(ast.Node) bool) {
+	ast.Inspect(root, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok && n != root {
+			return false
+		}
+		return f(n)
+	})
+}
+
+// spanStarter reports whether call starts a span that its caller owns:
+// (*trace.Tracer).StartSpan or (*trace.Span).StartChild. Phase children
+// are excluded — the parent's Finish closes them by design.
+func spanStarter(info *types.Info, call *ast.CallExpr) bool {
+	fn := calleeOf(info, call)
+	if fn == nil || !pkgHasSuffix(fn, "internal/trace") {
+		return false
+	}
+	return fn.Name() == "StartSpan" || fn.Name() == "StartChild"
+}
+
+func checkSpanBody(pkg *Package, body *ast.BlockStmt) []Finding {
+	var out []Finding
+	inspectShallow(body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.ExprStmt:
+			// t.StartSpan("x") with the result dropped: never finishable.
+			if call, ok := s.X.(*ast.CallExpr); ok && spanStarter(pkg.Info, call) {
+				out = append(out, pkg.finding("spanfinish", call,
+					"span started and discarded; it can never be Finished"))
+			}
+		case *ast.AssignStmt:
+			if len(s.Rhs) != 1 || len(s.Lhs) != 1 {
+				return true
+			}
+			call, ok := s.Rhs[0].(*ast.CallExpr)
+			if !ok || !spanStarter(pkg.Info, call) {
+				return true
+			}
+			id, ok := s.Lhs[0].(*ast.Ident)
+			if !ok || id.Name == "_" {
+				out = append(out, pkg.finding("spanfinish", call,
+					"span started and discarded; it can never be Finished"))
+				return true
+			}
+			obj := pkg.Info.Defs[id]
+			if obj == nil {
+				obj = pkg.Info.Uses[id]
+			}
+			if obj == nil {
+				return true
+			}
+			if spanEscapes(pkg.Info, body, obj, s) {
+				return true // ownership transferred; not this function's job
+			}
+			out = append(out, checkSpanPaths(pkg, body, s, obj)...)
+		}
+		return true
+	})
+	return out
+}
+
+// spanEscapes reports whether the span variable's ownership leaves the
+// function: returned, stored into a field/global/map/slice, passed to
+// another function, sent on a channel, or captured by a closure that
+// does more with it than Finish it.
+func spanEscapes(info *types.Info, body *ast.BlockStmt, obj types.Object, def *ast.AssignStmt) bool {
+	escapes := false
+	inspectShallow(body, func(n ast.Node) bool {
+		if escapes {
+			return false
+		}
+		switch s := n.(type) {
+		case *ast.ReturnStmt:
+			for _, r := range s.Results {
+				if usesObj(info, r, obj) {
+					escapes = true
+				}
+			}
+		case *ast.AssignStmt:
+			if s == def {
+				return true
+			}
+			for i, r := range s.Rhs {
+				if usesObj(info, r, obj) {
+					// Reassignment to another plain local stays local;
+					// anything else (field, index, global) escapes.
+					if i < len(s.Lhs) {
+						if id, ok := s.Lhs[i].(*ast.Ident); ok && info.ObjectOf(id) != nil && !isField(info, s.Lhs[i]) {
+							continue
+						}
+					}
+					escapes = true
+				}
+			}
+		case *ast.CallExpr:
+			// sp.Method(...) keeps ownership; sp as an argument gives it
+			// away.
+			for _, arg := range s.Args {
+				if usesObj(info, arg, obj) {
+					escapes = true
+				}
+			}
+		case *ast.CompositeLit:
+			for _, el := range s.Elts {
+				if usesObj(info, el, obj) {
+					escapes = true
+				}
+				if kv, ok := el.(*ast.KeyValueExpr); ok && usesObj(info, kv.Value, obj) {
+					escapes = true
+				}
+			}
+		case *ast.SendStmt:
+			if usesObj(info, s.Value, obj) {
+				escapes = true
+			}
+		case *ast.FuncLit:
+			// inspectShallow only yields the root; nested literals are
+			// reached here explicitly. A closure that merely finishes
+			// the span is the deferred-cleanup idiom, handled by the
+			// path analysis; any other capture escapes.
+			if usesObjAnywhere(info, s.Body, obj) && !closureOnlyFinishes(info, s, obj) {
+				escapes = true
+			}
+		}
+		return true
+	})
+	return escapes
+}
+
+// usesObj reports whether expr is (modulo parens) exactly an identifier
+// resolving to obj.
+func usesObj(info *types.Info, expr ast.Expr, obj types.Object) bool {
+	id, ok := ast.Unparen(expr).(*ast.Ident)
+	return ok && info.ObjectOf(id) == obj
+}
+
+// usesObjAnywhere reports whether any identifier under n resolves to obj.
+func usesObjAnywhere(info *types.Info, n ast.Node, obj types.Object) bool {
+	found := false
+	ast.Inspect(n, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && info.ObjectOf(id) == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// isField reports whether expr selects a struct field (so assigning the
+// span into it escapes the function).
+func isField(info *types.Info, expr ast.Expr) bool {
+	sel, ok := ast.Unparen(expr).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	s, ok := info.Selections[sel]
+	return ok && s.Kind() == types.FieldVal
+}
+
+// closureOnlyFinishes reports whether the func literal's only uses of
+// obj are receiver positions of .Finish() calls.
+func closureOnlyFinishes(info *types.Info, fl *ast.FuncLit, obj types.Object) bool {
+	ok := true
+	ast.Inspect(fl.Body, func(n ast.Node) bool {
+		id, isIdent := n.(*ast.Ident)
+		if !isIdent || info.ObjectOf(id) != obj {
+			return true
+		}
+		ok = ok && identIsFinishReceiver(fl.Body, id)
+		return true
+	})
+	return ok
+}
+
+// identIsFinishReceiver reports whether id appears as the receiver of a
+// .Finish() call somewhere under root.
+func identIsFinishReceiver(root ast.Node, id *ast.Ident) bool {
+	found := false
+	ast.Inspect(root, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Finish" {
+			return true
+		}
+		if inner, ok := ast.Unparen(sel.X).(*ast.Ident); ok && inner == id {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// checkSpanPaths walks the statements after the span's definition and
+// reports every exit (return or function end) the span can reach
+// unfinished.
+func checkSpanPaths(pkg *Package, body *ast.BlockStmt, def *ast.AssignStmt, obj types.Object) []Finding {
+	var out []Finding
+	report := func(pos token.Pos, what string) {
+		out = append(out, Finding{
+			Pos:      pkg.Fset.Position(pos),
+			Analyzer: "spanfinish",
+			Message: "span " + obj.Name() + " may reach this " + what +
+				" without Finish; call Finish on every exit path (or defer it)",
+		})
+	}
+	w := &spanWalker{pkg: pkg, obj: obj, def: def, report: report}
+	finished, terminated := w.stmts(body.List, false)
+	if w.started && !finished && !terminated {
+		report(body.Rbrace, "function end")
+	}
+	return out
+}
+
+// vacuous reports whether a branch can be treated as trivially finished
+// because the span did not exist on paths that skip it: the span is
+// defined inside some other branch and had not started before the
+// statement.
+func (w *spanWalker) vacuous(startedBefore bool, branch ast.Node, f bool) bool {
+	if !startedBefore && !containsNode(branch, w.def) {
+		return true
+	}
+	return f
+}
+
+type spanWalker struct {
+	pkg     *Package
+	obj     types.Object
+	def     *ast.AssignStmt
+	started bool
+	report  func(token.Pos, string)
+}
+
+// isFinishCall reports whether call finishes the tracked span.
+func (w *spanWalker) isFinishCall(call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Finish" {
+		return false
+	}
+	id, ok := ast.Unparen(sel.X).(*ast.Ident)
+	return ok && w.pkg.Info.ObjectOf(id) == w.obj
+}
+
+// deferFinishes reports whether the defer statement finishes the span,
+// directly or via a closure whose body finishes it unconditionally.
+func (w *spanWalker) deferFinishes(s *ast.DeferStmt) bool {
+	if w.isFinishCall(s.Call) {
+		return true
+	}
+	if fl, ok := s.Call.Fun.(*ast.FuncLit); ok {
+		sub := &spanWalker{pkg: w.pkg, obj: w.obj, started: true, report: func(token.Pos, string) {}}
+		finished, _ := sub.stmts(fl.Body.List, false)
+		return finished
+	}
+	return false
+}
+
+// stmts walks a statement list. The first result means the span is
+// certainly Finished (or a finishing defer is armed) when control falls
+// off the end; the second means control cannot fall off the end.
+func (w *spanWalker) stmts(list []ast.Stmt, finished bool) (bool, bool) {
+	for _, stmt := range list {
+		switch s := stmt.(type) {
+		case *ast.AssignStmt:
+			if s == w.def {
+				// The span's lifetime starts (or restarts) here.
+				w.started = true
+				finished = false
+			}
+		case *ast.ExprStmt:
+			if call, ok := s.X.(*ast.CallExpr); ok {
+				if w.started && w.isFinishCall(call) {
+					finished = true
+				} else if isPanicOrExit(w.pkg.Info, call) {
+					return finished, true
+				}
+			}
+		case *ast.DeferStmt:
+			if w.started && w.deferFinishes(s) {
+				finished = true
+			}
+		case *ast.ReturnStmt:
+			if w.started && !finished {
+				w.report(s.Pos(), "return")
+			}
+			return finished, true
+		case *ast.BlockStmt:
+			var term bool
+			finished, term = w.stmts(s.List, finished)
+			if term {
+				return finished, true
+			}
+		case *ast.IfStmt:
+			startedBefore := w.started
+			fBody, tBody := w.stmts(s.Body.List, finished)
+			fBody = w.vacuous(startedBefore, s.Body, fBody)
+			fElse, tElse := finished, false
+			if s.Else != nil {
+				fElse, tElse = w.stmts([]ast.Stmt{s.Else}, finished)
+				fElse = w.vacuous(startedBefore, s.Else, fElse)
+			} else if !startedBefore {
+				// No else: paths skipping the body never started the span.
+				fElse = true
+			}
+			switch {
+			case tBody && tElse:
+				return finished, true
+			case tBody:
+				finished = fElse
+			case tElse:
+				finished = fBody
+			default:
+				finished = fBody && fElse
+			}
+		case *ast.ForStmt:
+			finished = w.loop(s, s.Body, finished)
+		case *ast.RangeStmt:
+			finished = w.loop(s, s.Body, finished)
+		case *ast.SwitchStmt:
+			finished = w.caseClauses(s.Body.List, finished, false)
+		case *ast.TypeSwitchStmt:
+			finished = w.caseClauses(s.Body.List, finished, false)
+		case *ast.SelectStmt:
+			// A select always executes exactly one of its cases.
+			finished = w.caseClauses(s.Body.List, finished, true)
+		case *ast.LabeledStmt:
+			var term bool
+			finished, term = w.stmts([]ast.Stmt{s.Stmt}, finished)
+			if term {
+				return finished, true
+			}
+		case *ast.GoStmt:
+			// A goroutine's Finish is not ordered before this
+			// function's return; it does not count.
+		}
+	}
+	return finished, false
+}
+
+// loop analyzes a for/range statement. A span defined inside the loop
+// body lives per iteration: it must be finished by the time the
+// iteration ends (else the next iteration leaks an open span), and the
+// code after the loop starts with a clean slate. A span defined before
+// the loop keeps its pre-loop state — the body may run zero times.
+func (w *spanWalker) loop(stmt ast.Stmt, body *ast.BlockStmt, finished bool) bool {
+	if !w.started && containsNode(stmt, w.def) {
+		f, t := w.stmts(body.List, false)
+		if w.started && !f && !t {
+			w.report(body.Rbrace, "loop iteration end")
+		}
+		// Every iteration was required to settle the span.
+		return true
+	}
+	w.stmts(body.List, finished)
+	return finished
+}
+
+// caseClauses analyzes switch/select cases; the span counts as finished
+// after the statement only when every clause finishes it and — for
+// switches — a default exists (otherwise no clause may run at all).
+func (w *spanWalker) caseClauses(clauses []ast.Stmt, finished, exhaustive bool) bool {
+	if finished || len(clauses) == 0 {
+		return finished
+	}
+	startedBefore := w.started
+	all := true
+	for _, c := range clauses {
+		var body []ast.Stmt
+		switch cc := c.(type) {
+		case *ast.CaseClause:
+			if cc.List == nil {
+				exhaustive = true
+			}
+			body = cc.Body
+		case *ast.CommClause:
+			body = cc.Body
+		default:
+			continue
+		}
+		f, t := w.stmts(body, finished)
+		f = w.vacuous(startedBefore, c, f)
+		if !f || (t && !f) {
+			all = false
+		}
+	}
+	if !startedBefore && !w.started {
+		// Nothing started anywhere in the statement; state unchanged.
+		return finished
+	}
+	return all && exhaustive
+}
+
+// containsNode reports whether target is within root.
+func containsNode(root ast.Node, target ast.Node) bool {
+	found := false
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == target {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// isPanicOrExit reports whether the call never returns: panic, or the
+// os.Exit / log.Fatal family.
+func isPanicOrExit(info *types.Info, call *ast.CallExpr) bool {
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "panic" {
+		if _, isBuiltin := info.Uses[id].(*types.Builtin); isBuiltin {
+			return true
+		}
+	}
+	fn := calleeOf(info, call)
+	if fn == nil || fn.Pkg() == nil {
+		return false
+	}
+	switch fn.Pkg().Path() {
+	case "os":
+		return fn.Name() == "Exit"
+	case "log":
+		switch fn.Name() {
+		case "Fatal", "Fatalf", "Fatalln", "Panic", "Panicf", "Panicln":
+			return true
+		}
+	}
+	return false
+}

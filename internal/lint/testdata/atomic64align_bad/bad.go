@@ -1,0 +1,39 @@
+// Package fixture seeds atomic64align violations: 64-bit atomics on
+// fields that land at 4-byte offsets under GOARCH=386 layout.
+package fixture
+
+import "sync/atomic"
+
+type counters struct {
+	flag uint32
+	ops  uint64 // offset 4 on 386
+}
+
+func bump(c *counters) {
+	atomic.AddUint64(&c.ops, 1) //lint:want atomic64align
+}
+
+type stats struct {
+	ready int32
+	total int64 // offset 4 on 386
+	last  int64 // offset 12 on 386
+}
+
+func record(s *stats, v int64) {
+	atomic.StoreInt64(&s.total, v)      //lint:want atomic64align
+	old := atomic.SwapInt64(&s.last, v) //lint:want atomic64align
+	_ = old
+	_ = atomic.LoadInt64(&s.total)            //lint:want atomic64align
+	atomic.CompareAndSwapInt64(&s.last, 0, v) //lint:want atomic64align
+}
+
+type outer struct {
+	tag   uint32
+	inner struct {
+		n uint64 // offset 4 (0 within inner, inner at 4)
+	}
+}
+
+func nested(o *outer) {
+	atomic.AddUint64(&o.inner.n, 1) //lint:want atomic64align
+}

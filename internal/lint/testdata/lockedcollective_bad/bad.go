@@ -1,0 +1,41 @@
+// Package fixture seeds lockedcollective violations: collectives
+// submitted while a mutex acquired in the same function is held.
+package fixture
+
+import (
+	"sync"
+
+	"repro/internal/comm"
+)
+
+type trainer struct {
+	mu sync.Mutex
+	pg comm.ProcessGroup
+}
+
+func (t *trainer) deferredUnlock(data []float32) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.pg.AllReduce(data, comm.Sum).Wait() //lint:want lockedcollective
+}
+
+func (t *trainer) betweenLockAndUnlock() error {
+	t.mu.Lock()
+	err := t.pg.Barrier().Wait() //lint:want lockedcollective
+	t.mu.Unlock()
+	return err
+}
+
+func readLocked(pg comm.ProcessGroup, mu *sync.RWMutex, data, residual []float32) {
+	mu.RLock()
+	defer mu.RUnlock()
+	comm.CompressedAllReduce(pg, data, comm.Sum, comm.Float16Codec{}, residual) //lint:want lockedcollective
+}
+
+func insideBranch(t *trainer, data []float32, hot bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if hot {
+		t.pg.Broadcast(data, 0) //lint:want lockedcollective
+	}
+}

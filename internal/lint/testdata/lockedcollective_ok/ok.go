@@ -1,0 +1,52 @@
+// Package fixture holds lock/collective interleavings the
+// lockedcollective analyzer must accept: the mutex is released before
+// the collective is submitted, or guards unrelated state.
+package fixture
+
+import (
+	"sync"
+
+	"repro/internal/comm"
+)
+
+type trainer struct {
+	mu    sync.Mutex
+	pg    comm.ProcessGroup
+	steps int
+}
+
+func (t *trainer) unlockBeforeCollective(data []float32) error {
+	t.mu.Lock()
+	t.steps++
+	pg := t.pg
+	t.mu.Unlock()
+	return pg.AllReduce(data, comm.Sum).Wait()
+}
+
+func (t *trainer) collectiveThenLock(data []float32) error {
+	err := t.pg.Barrier().Wait()
+	t.mu.Lock()
+	t.steps++
+	t.mu.Unlock()
+	return err
+}
+
+func (t *trainer) lockOnlyInBranch(data []float32, record bool) error {
+	if record {
+		t.mu.Lock()
+		t.steps++
+		t.mu.Unlock()
+	}
+	return t.pg.AllReduce(data, comm.Avg).Wait()
+}
+
+// closureRunsLater: submitting from a callback is the callback's
+// concern; the literal does not run under this function's lock scope.
+func (t *trainer) closureRunsLater(data []float32) func() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.steps++
+	return func() error {
+		return t.pg.AllReduce(data, comm.Sum).Wait()
+	}
+}

@@ -1,0 +1,28 @@
+// Package fixture seeds metricstatic violations: instruments
+// constructed per call instead of once at package level.
+package fixture
+
+import "repro/internal/metrics"
+
+func observePerCall(d float64) {
+	h := metrics.Default().Histogram( //lint:want metricstatic
+		"fixture_bad_duration_seconds", "leaks a registry entry per call", nil)
+	h.Observe(d)
+}
+
+func counterPerCall(r *metrics.Registry) {
+	r.Counter("fixture_bad_total", "leaks a registry entry per call").Inc() //lint:want metricstatic
+}
+
+func vecPerCall(r *metrics.Registry, rank string) {
+	v := r.GaugeVec("fixture_bad_rank", "leaks a registry entry per call", "rank") //lint:want metricstatic
+	v.With(rank).Set(1)
+}
+
+type server struct {
+	r *metrics.Registry
+}
+
+func (s *server) handle() {
+	s.r.CounterVec("fixture_bad_requests_total", "per-call vec construction", "code") //lint:want metricstatic
+}

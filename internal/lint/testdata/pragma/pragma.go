@@ -1,0 +1,20 @@
+// Package fixture exercises the driver's //ddplint:ignore handling:
+// well-formed pragmas suppress findings (and are counted), malformed
+// ones are themselves reported.
+package fixture
+
+import "repro/internal/store"
+
+func suppressedAbove(st store.Store) {
+	//ddplint:ignore storeerr fixture: best-effort write, loss is acceptable here
+	st.Set("k", nil)
+}
+
+func suppressedSameLine(st store.Store) {
+	st.Delete("k") //ddplint:ignore storeerr fixture: cleanup of an already-dead key
+}
+
+func malformedPragma(st store.Store) {
+	//ddplint:ignore storeerr
+	st.Wait("k")
+}

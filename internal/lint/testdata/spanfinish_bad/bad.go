@@ -1,0 +1,55 @@
+// Package fixture seeds spanfinish violations: spans that can reach an
+// exit unfinished.
+package fixture
+
+import "repro/internal/trace"
+
+func cond() bool { return true }
+
+func leakOnEarlyReturn(t *trace.Tracer) {
+	sp := t.StartSpan("work")
+	if cond() {
+		return //lint:want spanfinish
+	}
+	sp.Finish()
+}
+
+func leakAtFunctionEnd(t *trace.Tracer) {
+	sp := t.StartSpan("work")
+	sp.Phase("setup")
+} //lint:want spanfinish
+
+func discardedSpan(t *trace.Tracer) {
+	t.StartSpan("never-finishable") //lint:want spanfinish
+}
+
+func discardedChild(sp *trace.Span) {
+	sp.StartChild("never-finishable") //lint:want spanfinish
+}
+
+func leakPerIteration(t *trace.Tracer) {
+	for i := 0; i < 3; i++ {
+		sp := t.StartSpan("iter")
+		sp.Phase("step")
+	} //lint:want spanfinish
+}
+
+func leakInOneBranch(t *trace.Tracer, n int) {
+	sp := t.StartSpan("work")
+	switch n {
+	case 0:
+		sp.Finish()
+	default:
+		sp.Phase("other")
+	}
+} //lint:want spanfinish
+
+func childLeaks(t *trace.Tracer) {
+	root := t.StartSpan("root")
+	defer root.Finish()
+	child := root.StartChild("side")
+	if cond() {
+		return //lint:want spanfinish
+	}
+	child.Finish()
+}

@@ -1,0 +1,100 @@
+// Package fixture holds span usage the spanfinish analyzer must accept:
+// every span is finished on all paths, deferred, or hands ownership
+// away.
+package fixture
+
+import "repro/internal/trace"
+
+func cond() bool { return true }
+
+func deferredFinish(t *trace.Tracer) {
+	sp := t.StartSpan("work")
+	defer sp.Finish()
+	if cond() {
+		return
+	}
+	sp.Phase("tail")
+}
+
+func finishOnAllPaths(t *trace.Tracer) {
+	sp := t.StartSpan("work")
+	if cond() {
+		sp.Finish()
+		return
+	}
+	sp.Phase("tail")
+	sp.Finish()
+}
+
+func deferredClosureFinish(t *trace.Tracer) {
+	sp := t.StartSpan("work")
+	defer func() {
+		sp.Finish()
+	}()
+	sp.Phase("tail")
+}
+
+func ownershipReturned(t *trace.Tracer) *trace.Span {
+	sp := t.StartSpan("work")
+	sp.Phase("setup")
+	return sp
+}
+
+type holder struct {
+	span *trace.Span
+}
+
+func ownershipStored(t *trace.Tracer, h *holder) {
+	sp := t.StartSpan("work")
+	h.span = sp
+}
+
+func ownershipPassed(t *trace.Tracer, sink func(*trace.Span)) {
+	sp := t.StartSpan("work")
+	sink(sp)
+}
+
+// conditionalStart mirrors the elastic agent: the span is only started
+// when a tracer is configured, and Finish (a nil-receiver no-op)
+// runs on every exit.
+func conditionalStart(t *trace.Tracer) error {
+	var root *trace.Span
+	if t != nil {
+		root = t.StartSpan("recovery")
+	}
+	root.Phase("teardown")
+	if cond() {
+		root.Finish()
+		return nil
+	}
+	root.Phase("rebuild")
+	root.Finish()
+	return nil
+}
+
+func perIterationFinish(t *trace.Tracer) {
+	for i := 0; i < 3; i++ {
+		sp := t.StartSpan("iter")
+		sp.Phase("step")
+		sp.Finish()
+	}
+}
+
+func selectAllCasesFinish(t *trace.Tracer, ch <-chan int) {
+	sp := t.StartSpan("wait")
+	select {
+	case <-ch:
+		sp.Finish()
+	default:
+		sp.Finish()
+	}
+}
+
+// phasesAreNotTracked: Phase children are closed by the parent's
+// Finish; only StartSpan/StartChild results are owned.
+func phasesAreNotTracked(t *trace.Tracer) {
+	sp := t.StartSpan("work")
+	defer sp.Finish()
+	sp.Phase("one")
+	sp.Phase("two")
+}

@@ -1,0 +1,107 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzMetricsParse round-trips arbitrary strings through the text
+// renderer's escaping: a label value and a help string go in, the
+// exposition output is parsed back line by line, and the unescaped
+// value must equal the original. This is the property Prometheus
+// scraping depends on — a newline or quote smuggled through unescaped
+// splits a sample line and corrupts every series after it.
+func FuzzMetricsParse(f *testing.F) {
+	f.Add("plain", "help text")
+	f.Add(`with"quote`, `back\slash`)
+	f.Add("multi\nline\nvalue", "help\nwith\nnewlines")
+	f.Add(`\n already escaped?`, `trailing backslash\`)
+	f.Add("", "")
+	f.Add("\x00\xff invalid utf8 \xc3", "bytes")
+
+	f.Fuzz(func(t *testing.T, labelValue, help string) {
+		r := NewRegistry()
+		r.GaugeVec("fuzz_gauge", help, "lv").With(labelValue).Set(1)
+		var sb strings.Builder
+		if _, err := r.WriteTo(&sb); err != nil {
+			t.Fatalf("WriteTo: %v", err)
+		}
+		out := sb.String()
+
+		var gotValue, gotHelp string
+		var sawSample, sawHelp bool
+		for _, line := range strings.Split(strings.TrimSuffix(out, "\n"), "\n") {
+			switch {
+			case strings.HasPrefix(line, "# HELP fuzz_gauge "):
+				sawHelp = true
+				gotHelp = unescapeText(strings.TrimPrefix(line, "# HELP fuzz_gauge "))
+			case strings.HasPrefix(line, "# "):
+				// TYPE or other comment lines.
+			case strings.HasPrefix(line, "fuzz_gauge{lv=\""):
+				sawSample = true
+				rest := strings.TrimPrefix(line, "fuzz_gauge{lv=\"")
+				val, ok := cutQuoted(rest)
+				if !ok {
+					t.Fatalf("sample line has no closing quote: %q", line)
+				}
+				gotValue = unescapeText(val)
+			case line == "":
+			default:
+				t.Fatalf("unparseable exposition line %q in:\n%s", line, out)
+			}
+		}
+		if !sawSample {
+			t.Fatalf("no sample line rendered in:\n%s", out)
+		}
+		if gotValue != labelValue {
+			t.Fatalf("label value round trip: %q -> %q", labelValue, gotValue)
+		}
+		if help != "" && !sawHelp {
+			t.Fatalf("no HELP line rendered for non-empty help in:\n%s", out)
+		}
+		if sawHelp && gotHelp != help {
+			t.Fatalf("help round trip: %q -> %q", help, gotHelp)
+		}
+	})
+}
+
+// cutQuoted scans s up to the first unescaped double quote, returning
+// the (still escaped) prefix.
+func cutQuoted(s string) (string, bool) {
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			i++ // skip the escaped byte
+		case '"':
+			return s[:i], true
+		}
+	}
+	return "", false
+}
+
+// unescapeText reverses the renderer's escaping: \\ -> \, \n ->
+// newline, \" -> ". Left to right, so "\\n" decodes to `\n` (backslash
+// + n), not a newline.
+func unescapeText(s string) string {
+	var sb strings.Builder
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\\' && i+1 < len(s) {
+			switch s[i+1] {
+			case '\\':
+				sb.WriteByte('\\')
+				i++
+				continue
+			case 'n':
+				sb.WriteByte('\n')
+				i++
+				continue
+			case '"':
+				sb.WriteByte('"')
+				i++
+				continue
+			}
+		}
+		sb.WriteByte(s[i])
+	}
+	return sb.String()
+}

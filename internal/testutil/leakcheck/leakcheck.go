@@ -1,0 +1,161 @@
+// Package leakcheck fails a test binary when goroutines outlive the
+// tests that started them. It snapshots runtime.Stack at the end of a
+// run, retries while stragglers settle (goroutines legitimately mid-
+// teardown when m.Run returns), and reports anything that persists.
+//
+// Wire it into a package's TestMain:
+//
+//	func TestMain(m *testing.M) {
+//		leakcheck.Main(m)
+//	}
+//
+// or, when TestMain has its own epilogue, call Check directly after
+// m.Run and fail the binary on a non-nil result. The zero-dependency
+// design mirrors goleak's approach but stays inside the stdlib: the
+// transport, comm, and elastic packages spin up real sockets and
+// agent loops, and a forgotten receive loop shows up here long before
+// it shows up as a flaky -race failure.
+package leakcheck
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+// config controls one Check run.
+type config struct {
+	timeout time.Duration
+	ignores []string
+}
+
+// Option customizes Check/Main.
+type Option func(*config)
+
+// Timeout bounds how long Check waits for stray goroutines to settle.
+// The default is 5 seconds — generous for connection teardown, short
+// enough not to mask a genuinely stuck loop for long.
+func Timeout(d time.Duration) Option {
+	return func(c *config) { c.timeout = d }
+}
+
+// IgnoreSubstring allowlists goroutines whose stack trace contains s.
+// Use it for long-lived helpers a package starts deliberately (e.g. a
+// shared listener owned by the whole test binary).
+func IgnoreSubstring(s string) Option {
+	return func(c *config) { c.ignores = append(c.ignores, s) }
+}
+
+// defaultIgnores matches goroutines owned by the runtime and the
+// testing framework itself, which legitimately survive m.Run.
+var defaultIgnores = []string{
+	"testing.Main(",
+	"testing.tRunner(",
+	"testing.(*M).",
+	"testing.runFuzzing(",
+	"testing.runFuzzTests(",
+	"runtime.goexit0(",
+	"runtime.gc(",
+	"runtime.MHeap_Scavenger(",
+	"runtime.ReadTrace(",
+	"runtime.ensureSigM",
+	"os/signal.signal_recv(",
+	"os/signal.loop(",
+	"signal.Notify",
+	"runtime/pprof.",
+	// This package's own snapshot goroutine.
+	"leakcheck.stacks(",
+}
+
+// Main runs the package's tests and exits the binary, turning leaked
+// goroutines into a failure when the tests themselves passed. It never
+// returns.
+func Main(m *testing.M, opts ...Option) {
+	os.Exit(Run(m, opts...))
+}
+
+// Run is Main without the exit: it returns the code the binary should
+// exit with, letting a TestMain with its own epilogue sequence the
+// leak check before other teardown.
+func Run(m *testing.M, opts ...Option) int {
+	code := m.Run()
+	if code == 0 {
+		if err := Check(opts...); err != nil {
+			fmt.Fprintf(os.Stderr, "leakcheck: %v\n", err)
+			return 1
+		}
+	}
+	return code
+}
+
+// Check waits for non-allowlisted goroutines to exit and returns an
+// error describing any that remain at the deadline.
+func Check(opts ...Option) error {
+	cfg := config{timeout: 5 * time.Second}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	ignores := append(append([]string(nil), defaultIgnores...), cfg.ignores...)
+
+	deadline := time.Now().Add(cfg.timeout)
+	wait := 1 * time.Millisecond
+	var leaked []string
+	for {
+		leaked = leakedGoroutines(ignores)
+		if len(leaked) == 0 {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			break
+		}
+		// Exponential backoff keeps the happy path fast without
+		// hammering runtime.Stack (it stops the world).
+		time.Sleep(wait)
+		if wait < 100*time.Millisecond {
+			wait *= 2
+		}
+	}
+	return fmt.Errorf("%d leaked goroutine(s) after %v:\n\n%s",
+		len(leaked), cfg.timeout, strings.Join(leaked, "\n\n"))
+}
+
+// leakedGoroutines returns the stack stanzas of goroutines not covered
+// by the allowlist.
+func leakedGoroutines(ignores []string) []string {
+	var out []string
+	for _, g := range stacks() {
+		if strings.HasPrefix(g, "goroutine ") && strings.Contains(g, "[running]") &&
+			strings.Contains(g, "leakcheck.leakedGoroutines") {
+			continue // the goroutine taking this snapshot
+		}
+		ignored := false
+		for _, s := range ignores {
+			if strings.Contains(g, s) {
+				ignored = true
+				break
+			}
+		}
+		if !ignored {
+			out = append(out, strings.TrimSpace(g))
+		}
+	}
+	return out
+}
+
+// stacks captures all goroutine stacks and splits them into
+// per-goroutine stanzas.
+func stacks() []string {
+	buf := make([]byte, 1<<20)
+	for {
+		n := runtime.Stack(buf, true)
+		if n < len(buf) {
+			buf = buf[:n]
+			break
+		}
+		buf = make([]byte, 2*len(buf))
+	}
+	return strings.Split(string(buf), "\n\n")
+}

@@ -1,0 +1,70 @@
+package leakcheck
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestCheckPassesWhenQuiet(t *testing.T) {
+	if err := Check(Timeout(time.Second)); err != nil {
+		t.Fatalf("Check on a quiet binary: %v", err)
+	}
+}
+
+func TestCheckDetectsBlockedGoroutine(t *testing.T) {
+	release := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		<-release
+	}()
+	t.Cleanup(func() {
+		close(release)
+		<-done
+	})
+
+	err := Check(Timeout(100 * time.Millisecond))
+	if err == nil {
+		t.Fatal("Check missed a goroutine parked on a channel")
+	}
+	if !strings.Contains(err.Error(), "TestCheckDetectsBlockedGoroutine") {
+		t.Errorf("error does not name the leaking test:\n%v", err)
+	}
+}
+
+func TestCheckWaitsForSettling(t *testing.T) {
+	done := make(chan struct{})
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		close(done)
+	}()
+	// The goroutine is alive when Check starts but exits well inside
+	// the timeout; the settle-retry loop must absorb it.
+	if err := Check(Timeout(2 * time.Second)); err != nil {
+		t.Fatalf("Check did not wait out a settling goroutine: %v", err)
+	}
+	<-done
+}
+
+func TestIgnoreSubstringAllowlists(t *testing.T) {
+	release := make(chan struct{})
+	done := make(chan struct{})
+	go leakyHelper(release, done)
+	t.Cleanup(func() {
+		close(release)
+		<-done
+	})
+
+	if err := Check(Timeout(100*time.Millisecond), IgnoreSubstring("leakcheck.leakyHelper")); err != nil {
+		t.Fatalf("allowlisted goroutine still reported: %v", err)
+	}
+	if err := Check(Timeout(100 * time.Millisecond)); err == nil {
+		t.Fatal("non-allowlisted run missed the helper goroutine")
+	}
+}
+
+func leakyHelper(release, done chan struct{}) {
+	defer close(done)
+	<-release
+}

@@ -1,0 +1,16 @@
+package transport
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/testutil/leakcheck"
+)
+
+// TestMain gates the package on goroutine hygiene: every mesh test
+// closes its meshes, so any goroutine still parked in a recv loop or
+// accept loop after the run is a transport bug. Teardown of a full
+// mesh closes O(world²) sockets, hence the generous settle window.
+func TestMain(m *testing.M) {
+	leakcheck.Main(m, leakcheck.Timeout(10*time.Second))
+}

@@ -146,6 +146,7 @@ func NewTCPMeshCancel(rank, size int, st store.Store, prefix string, cancel <-ch
 	m.hosts[rank] = addrHost(ln.Addr().String())
 	fail := func(err error) (Mesh, error) {
 		b.closeAll()
+		//ddplint:ignore storeerr failure path already aborting; the stale address key is harmless
 		_ = st.Delete(key(rank))
 		if b.cancelled() {
 			return nil, fmt.Errorf("transport: mesh build: %w", ErrAborted)
@@ -637,6 +638,7 @@ func (m *tcpMesh) release() error {
 			}
 		}
 		if m.st != nil && m.addrKey != "" {
+			//ddplint:ignore storeerr close is best-effort deregistration; a stale key is overwritten on rejoin
 			_ = m.st.Delete(m.addrKey)
 		}
 	})
