@@ -1,0 +1,29 @@
+package chaos
+
+import "testing"
+
+// FuzzElasticSchedule feeds mutated byte encodings through FromBytes
+// into the full engine: every byte string decodes to a runnable
+// normal-form schedule (see TestFromBytesNormalForm), runs against a
+// real in-process elastic cluster, and must satisfy every invariant.
+// A crasher's minimized input IS a failure schedule — re-encode it
+// with FromBytes(...).Encode() for a human-readable reproducer.
+func FuzzElasticSchedule(f *testing.F) {
+	// Seeds cover the encoding's dimensions: trivial runs, each fault
+	// family, the codec, checkpointing, and multi-event composition.
+	// Positional layout: world, steps, codec, ckpt, nEvents, then
+	// 5 bytes (kind, worker, step, count, slow) per event.
+	f.Add([]byte{})
+	f.Add([]byte{0, 1, 0, 0, 1, 0, 0, 2})                 // kill
+	f.Add([]byte{1, 2, 1, 1, 1, 2, 1, 3})                 // codec + leave
+	f.Add([]byte{0, 2, 0, 1, 1, 4, 0, 3})                 // ckpt + kill-all
+	f.Add([]byte{1, 4, 0, 0, 1, 5, 1, 2, 4, 29})          // straggle
+	f.Add([]byte{0, 2, 1, 2, 2, 9, 0, 1, 0, 39, 4, 0, 4}) // slow-disk then kill-all
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s := FromBytes(data)
+		rep := Run(s)
+		if rep.Failed() {
+			t.Fatalf("%s\nschedule: %s", rep, s.Encode())
+		}
+	})
+}

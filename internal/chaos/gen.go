@@ -1,0 +1,124 @@
+package chaos
+
+import "math/rand"
+
+// kindWeights biases generation toward cheap, composable faults; the
+// expensive lease-detected kinds (hang, partition, disk-fault) stay
+// rare so a seed set fits a CI budget.
+var kindWeights = []struct {
+	kind   EventKind
+	weight int
+}{
+	{EvKill, 22},
+	{EvKillMidStep, 10},
+	{EvLeave, 16},
+	{EvJoin, 16},
+	{EvKillAll, 10},
+	{EvStraggle, 8},
+	{EvHang, 6},
+	{EvPartition, 5},
+	{EvDiskFault, 4},
+	{EvSlowDisk, 3},
+}
+
+func pickKind(rng *rand.Rand) EventKind {
+	total := 0
+	for _, kw := range kindWeights {
+		total += kw.weight
+	}
+	n := rng.Intn(total)
+	for _, kw := range kindWeights {
+		if n < kw.weight {
+			return kw.kind
+		}
+		n -= kw.weight
+	}
+	return EvKill
+}
+
+// Generate draws a schedule from the rng. The same seed always yields
+// the same schedule (Generate consumes a fixed draw pattern per event),
+// so `Generate(rand.New(rand.NewSource(seed)))` is a replayable run
+// identity. The result is normalized: invalid draws are repaired or
+// dropped, never returned.
+func Generate(rng *rand.Rand, seed int64) Schedule {
+	s := Schedule{
+		Seed:  seed,
+		World: minWorldBound + rng.Intn(maxWorldBound-minWorldBound), // 2..3
+		Steps: 6 + rng.Int63n(5),                                     // 6..10
+	}
+	if rng.Intn(2) == 0 {
+		s.Codec = "1bit"
+	}
+	switch rng.Intn(3) {
+	case 1:
+		s.CkptEvery = 2
+	case 2:
+		s.CkptEvery = 3
+	}
+	n := 1 + rng.Intn(3)
+	for i := 0; i < n; i++ {
+		ev := Event{
+			Kind:   pickKind(rng),
+			Worker: rng.Intn(s.World + 1), // may name a joiner's ordinal; Normalize repairs
+			Step:   rng.Int63n(s.Steps),
+		}
+		if ev.Kind == EvStraggle {
+			ev.Count = 4 + rng.Int63n(3)
+			ev.SlowMs = 20 + rng.Intn(30)
+		}
+		if ev.Kind == EvSlowDisk {
+			ev.SlowMs = 10 + rng.Intn(100)
+		}
+		s.Events = append(s.Events, ev)
+	}
+	return Normalize(s)
+}
+
+// FromBytes decodes arbitrary fuzzer bytes into a runnable schedule
+// using a compact positional encoding (consumed bytes, in order:
+// world, steps, codec, checkpoint cadence, event count, then 5 bytes
+// per event: kind, worker, step, count, slow). Missing bytes read as
+// zero; the result is normalized, so every byte string maps to a
+// valid — if often boring — schedule.
+func FromBytes(data []byte) Schedule {
+	at := func(i int) byte {
+		if i < len(data) {
+			return data[i]
+		}
+		return 0
+	}
+	s := Schedule{
+		World: minWorldBound + int(at(0))%(maxWorldBound-minWorldBound),
+		Steps: 4 + int64(at(1))%5, // 4..8: keep fuzz execs fast
+	}
+	if at(2)%2 == 1 {
+		s.Codec = "1bit"
+	}
+	switch at(3) % 3 {
+	case 1:
+		s.CkptEvery = 2
+	case 2:
+		s.CkptEvery = 3
+	}
+	kinds := []EventKind{EvKill, EvKillMidStep, EvLeave, EvJoin, EvKillAll,
+		EvStraggle, EvHang, EvPartition, EvDiskFault, EvSlowDisk}
+	n := int(at(4)) % 4 // 0..3 events
+	for i := 0; i < n; i++ {
+		base := 5 + i*5
+		ev := Event{
+			Kind:   kinds[int(at(base))%len(kinds)],
+			Worker: int(at(base+1)) % (maxWorldBound + 1),
+			Step:   int64(at(base+2)) % s.Steps,
+		}
+		if ev.Kind == EvStraggle {
+			ev.Count = int64(at(base+3))%maxStraggleN + 1
+			ev.SlowMs = int(at(base+4))%maxSlowMs + 1
+		}
+		if ev.Kind == EvSlowDisk {
+			ev.SlowMs = int(at(base+4))%maxDiskMs + 1
+		}
+		s.Events = append(s.Events, ev)
+	}
+	return Normalize(s)
+}

@@ -1,0 +1,120 @@
+package chaos
+
+import "reflect"
+
+// shrinkBudget caps how many candidate runs one Shrink may spend.
+// Schedules are bounded (≤ 12 steps, ≤ 6 events), so a greedy pass
+// converges well inside it.
+const shrinkBudget = 24
+
+// Shrink minimizes a failing schedule: first greedily dropping events,
+// then pulling numbers down (total steps, event steps, straggle spans,
+// injected delays, checkpoint cadence, codec). A candidate is accepted
+// only if it still violates the ORIGINAL first violated invariant, so
+// the reproducer that comes out demonstrates the same defect that went
+// in. Returns the minimal schedule and its report; if s does not fail,
+// returns it unchanged.
+func Shrink(s Schedule, opts Options) (Schedule, *Report) {
+	rep := RunWithOptions(s, opts)
+	if !rep.Failed() {
+		return s, rep
+	}
+	inv := rep.Violations[0].Invariant
+	budget := shrinkBudget
+	failsSame := func(c Schedule) (*Report, bool) {
+		if budget <= 0 {
+			return nil, false
+		}
+		budget--
+		r := RunWithOptions(c, opts)
+		return r, r.Has(inv)
+	}
+	cur, curRep := s, rep
+
+	// Pass 1: drop events one at a time, to a fixpoint.
+	for changed := true; changed && budget > 0; {
+		changed = false
+		for i := 0; i < len(cur.Events) && budget > 0; i++ {
+			c := cur
+			c.Events = append(append([]Event(nil), cur.Events[:i]...), cur.Events[i+1:]...)
+			c = Normalize(c)
+			if reflect.DeepEqual(c, cur) {
+				continue
+			}
+			if r, ok := failsSame(c); ok {
+				cur, curRep = c, r
+				changed = true
+				i--
+			}
+		}
+	}
+
+	// Pass 2: numeric and structural reduction, greedy to a fixpoint.
+	for budget > 0 {
+		improved := false
+		for _, m := range shrinkMutants(cur) {
+			if budget <= 0 {
+				break
+			}
+			if reflect.DeepEqual(m, cur) {
+				continue
+			}
+			if r, ok := failsSame(m); ok {
+				cur, curRep = m, r
+				improved = true
+				break
+			}
+		}
+		if !improved {
+			break
+		}
+	}
+	return cur, curRep
+}
+
+// shrinkMutants proposes one-change reductions of c, aggressive first.
+// Every mutant is normalized, so it is runnable (or collapses back to
+// c and is skipped by the caller).
+func shrinkMutants(c Schedule) []Schedule {
+	var out []Schedule
+	add := func(m Schedule) { out = append(out, Normalize(m)) }
+	clone := func() []Event { return append([]Event(nil), c.Events...) }
+	if c.Steps > minStepsBound {
+		m := c
+		m.Steps = (c.Steps + minStepsBound) / 2
+		add(m)
+		m.Steps = c.Steps - 1
+		add(m)
+	}
+	if c.CkptEvery > 0 {
+		m := c
+		m.CkptEvery = 0
+		add(m)
+	}
+	if c.Codec != "" {
+		m := c
+		m.Codec = ""
+		add(m)
+	}
+	for i, ev := range c.Events {
+		if ev.Step > 0 {
+			m := c
+			m.Events = clone()
+			m.Events[i].Step = ev.Step / 2
+			add(m)
+		}
+		if ev.Count > minStraggleN {
+			m := c
+			m.Events = clone()
+			m.Events[i].Count = (ev.Count + minStraggleN) / 2
+			add(m)
+		}
+		if ev.SlowMs > minSlowMs {
+			m := c
+			m.Events = clone()
+			m.Events[i].SlowMs = (ev.SlowMs + minSlowMs) / 2
+			add(m)
+		}
+	}
+	return out
+}

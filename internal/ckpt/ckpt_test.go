@@ -15,6 +15,7 @@ import (
 	"repro/internal/optim"
 	"repro/internal/store"
 	"repro/internal/tensor"
+	"repro/internal/testutil"
 )
 
 func testModel(seed int64) nn.Module { return models.NewMLP(seed, 8, 16, 4) }
@@ -572,4 +573,79 @@ func BenchmarkSyncVsAsyncSave(b *testing.B) {
 			benchStep(m, opt)
 		}
 	})
+}
+
+// TestCheckpointRestoreDuringConcurrentRetentionSweep races Keep-based
+// pruning against restores: while a saver commits a stream of new
+// checkpoints (each Save triggering the retention sweep), concurrent
+// readers Load and Restore nonstop. Because prune removes a victim's
+// manifest before its shards, a reader must never observe a
+// half-deleted candidate — every Load succeeds, lands on a committed
+// step, and round-trips the exact saved bits. This is the
+// goroutine-interleaved extension of the corruption tables: the
+// "corruption" here is a sweep caught mid-unlink, and -race patrols
+// the interleavings.
+func TestCheckpointRestoreDuringConcurrentRetentionSweep(t *testing.T) {
+	dir := t.TempDir()
+	rng := testutil.SeededRand(t)
+	m, opt := newTestState(t, 5)
+	wantParams := paramsOf(m)
+	wantOpt := opt.FlatState()
+
+	w := newTestWriter(t, dir)
+	w.Keep = 3
+
+	const rounds = 30
+	// Seed the directory so readers always have something committed.
+	saveWorld(t, w, captureTest(t, m, opt, Meta{Step: 1, World: 1}), 1)
+
+	stop := make(chan struct{})
+	var readerErr error
+	var readerOnce sync.Once
+	var wg sync.WaitGroup
+	reader := func(restoreEvery int) {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if restoreEvery > 0 && i%restoreEvery == 0 {
+				m2, opt2 := newTestState(t, 99)
+				meta, err := Restore(dir, m2, opt2)
+				if err != nil {
+					readerOnce.Do(func() { readerErr = err })
+					return
+				}
+				if meta.Step < 1 || meta.Step > rounds+1 {
+					readerOnce.Do(func() { readerErr = errors.New("restored step out of committed range") })
+					return
+				}
+				if !sameFloats(paramsOf(m2), wantParams) || !sameFloats(opt2.FlatState(), wantOpt) {
+					readerOnce.Do(func() { readerErr = errors.New("restore observed torn checkpoint state") })
+					return
+				}
+				continue
+			}
+			if _, _, err := Load(dir); err != nil {
+				readerOnce.Do(func() { readerErr = err })
+				return
+			}
+		}
+	}
+	wg.Add(2)
+	go reader(0) // Load-only hot loop
+	go reader(1) // full Restore every iteration
+
+	for step := int64(2); step <= rounds+1; step++ {
+		// Vary the world so sweeps delete different shard layouts.
+		world := 1 + rng.Intn(3)
+		saveWorld(t, w, captureTest(t, m, opt, Meta{Step: step, World: world}), world)
+	}
+	close(stop)
+	wg.Wait()
+	if readerErr != nil {
+		t.Fatalf("concurrent restore observed a half-deleted checkpoint: %v", readerErr)
+	}
 }

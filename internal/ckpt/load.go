@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"slices"
 	"sort"
 	"strings"
 	"time"
@@ -30,25 +31,65 @@ var ErrNoCheckpoint = errors.New("ckpt: no committed checkpoint")
 // Load returns ErrNoCheckpoint when dir has no manifests (or does not
 // exist), and a loud error describing the newest candidate's defect
 // when manifests exist but none validates.
+//
+// Load is safe against a concurrent retention sweep: if every listed
+// candidate fails because the sweep pruned the (stale) listing while
+// newer checkpoints were committing, Load re-lists and walks again
+// instead of declaring the run unloadable.
 func Load(dir string) (*Snapshot, *Manifest, error) {
-	names, err := manifestNames(dir)
+	var snap *Snapshot
+	var m *Manifest
+	err := newestCommitted(dir, "loadable", func(name string) error {
+		s, mf, err := loadOne(dir, name)
+		if err == nil {
+			snap, m = s, mf
+		}
+		return err
+	})
 	if err != nil {
 		return nil, nil, err
 	}
-	if len(names) == 0 {
-		return nil, nil, ErrNoCheckpoint
-	}
-	var firstErr error
-	for _, name := range names {
-		snap, m, err := loadOne(dir, name)
-		if err == nil {
-			return snap, m, nil
+	return snap, m, nil
+}
+
+// loadAttempts bounds how many directory listings newestCommitted
+// walks before concluding the candidates are corrupt rather than
+// concurrently pruned. A retry only happens while a writer is actively
+// committing (the listing keeps changing), so the bound exists to
+// guarantee termination, not as a tuning knob.
+const loadAttempts = 8
+
+// newestCommitted walks committed manifests newest-first, calling try
+// on each until one succeeds. When every candidate fails AND the
+// directory changed under the walk — a Keep-retention sweep deleting
+// the stale listing's checkpoints as newer commits land — it re-lists
+// and walks again: a reader racing the sweep must land on one of the
+// newer checkpoints, never report the run unloadable. The loud
+// all-candidates-failed error is reserved for a stable listing, where
+// the failures are genuine corruption.
+func newestCommitted(dir, what string, try func(name string) error) error {
+	var walked []string
+	for attempt := 0; ; attempt++ {
+		names, err := manifestNames(dir)
+		if err != nil {
+			return err
 		}
-		if firstErr == nil {
-			firstErr = err
+		if len(names) == 0 {
+			return ErrNoCheckpoint
 		}
+		var firstErr error
+		for _, name := range names {
+			if err := try(name); err == nil {
+				return nil
+			} else if firstErr == nil {
+				firstErr = err
+			}
+		}
+		if attempt+1 >= loadAttempts || slices.Equal(names, walked) {
+			return fmt.Errorf("ckpt: %d committed checkpoint(s) in %s, none %s: %w", len(names), dir, what, firstErr)
+		}
+		walked = names
 	}
-	return nil, nil, fmt.Errorf("ckpt: %d committed checkpoint(s) in %s, none loadable: %w", len(names), dir, firstErr)
 }
 
 // Restore loads the newest committed checkpoint in dir into model and
@@ -76,15 +117,8 @@ func Restore(dir string, model nn.Module, opt optim.Optimizer) (Meta, error) {
 // payload is corrupt at rest can pass the probe and still be rejected
 // — with fallback — by the full validation in Load.
 func LatestMeta(dir string) (Meta, error) {
-	names, err := manifestNames(dir)
-	if err != nil {
-		return Meta{}, err
-	}
-	if len(names) == 0 {
-		return Meta{}, ErrNoCheckpoint
-	}
-	var firstErr error
-	for _, name := range names {
+	var meta Meta
+	err := newestCommitted(dir, "probes valid", func(name string) error {
 		m, err := readManifestFile(filepath.Join(dir, name))
 		if err == nil {
 			if verr := validateManifest(m); verr != nil {
@@ -94,13 +128,11 @@ func LatestMeta(dir string) (Meta, error) {
 			}
 		}
 		if err == nil {
-			return m.Meta, nil
+			meta = m.Meta
 		}
-		if firstErr == nil {
-			firstErr = err
-		}
-	}
-	return Meta{}, fmt.Errorf("ckpt: %d committed checkpoint(s) in %s, none probes valid: %w", len(names), dir, firstErr)
+		return err
+	})
+	return meta, err
 }
 
 // statShards confirms every shard the manifest references exists with

@@ -29,6 +29,21 @@ type Writer struct {
 	// newest plus one fallback, so a checkpoint corrupted at rest never
 	// strands the run with nothing to load).
 	Keep int
+	// Fault, when non-nil, is consulted before every shard and manifest
+	// write — the fault-injection seam chaos tests use to model slow or
+	// failing checkpoint disks. Nil (no interception) in production.
+	Fault FaultHook
+}
+
+// FaultHook intercepts checkpoint disk writes for fault injection. A
+// hook that sleeps models a slow disk; a hook that returns an error
+// fails the write exactly where a full or dying disk would, before any
+// bytes land. The hook runs on the saving goroutine (the training
+// thread for synchronous saves, the AsyncWriter goroutine otherwise).
+type FaultHook interface {
+	// BeforeWrite is called with the target file's base name
+	// immediately before a shard or manifest write begins.
+	BeforeWrite(name string) error
 }
 
 // Save persists rank's shard of the snapshot and, on rank 0, commits
@@ -64,6 +79,11 @@ func (w *Writer) Save(snap *Snapshot, rank, world int, cancel <-chan struct{}) e
 		Rank:       uint32(rank),
 		Offset:     uint64(off),
 		Length:     uint64(length),
+	}
+	if w.Fault != nil {
+		if err := w.Fault.BeforeWrite(shardFileName(meta.Generation, meta.Step, rank, world)); err != nil {
+			return fmt.Errorf("ckpt: shard write fault: %w", err)
+		}
 	}
 	if _, err := writeShardFile(w.Dir, h, blob[off:off+length]); err != nil {
 		return err
@@ -125,6 +145,11 @@ func (w *Writer) commit(meta Meta, world int, blobLen int64) error {
 	enc, err := encodeManifest(m)
 	if err != nil {
 		return err
+	}
+	if w.Fault != nil {
+		if err := w.Fault.BeforeWrite(manifestFileName(meta.Generation, meta.Step)); err != nil {
+			return fmt.Errorf("ckpt: manifest write fault: %w", err)
+		}
 	}
 	if err := writeFileAtomic(w.Dir, manifestFileName(meta.Generation, meta.Step), enc); err != nil {
 		return err

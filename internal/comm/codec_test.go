@@ -2,10 +2,11 @@ package comm
 
 import (
 	"math"
-	"math/rand"
 	"sort"
 	"testing"
 	"testing/quick"
+
+	"repro/internal/testutil"
 )
 
 func TestFloat16RoundExactValues(t *testing.T) {
@@ -320,7 +321,7 @@ func TestErrorFeedbackAccumulates(t *testing.T) {
 // its deterministic tie-breaking) against the full-sort reference, over
 // shapes with duplicates, ties, zeros, and every k.
 func TestSelectTopKMatchesFullSort(t *testing.T) {
-	rng := rand.New(rand.NewSource(9))
+	rng := testutil.SeededRand(t)
 	cases := [][]float32{
 		{1},
 		{0, 0, 0, 0},

@@ -2,8 +2,9 @@ package comm
 
 import (
 	"fmt"
-	"math/rand"
 	"testing"
+
+	"repro/internal/testutil"
 )
 
 // TestParallelReduceMatchesSerial pins the determinism claim of the
@@ -11,7 +12,7 @@ import (
 // same bits no matter how the slice was split.
 func TestParallelReduceMatchesSerial(t *testing.T) {
 	const n = reduceParallelThreshold * 3 / 2 // force the parallel path
-	rng := rand.New(rand.NewSource(11))
+	rng := testutil.SeededRand(t)
 	src := make([]float32, n)
 	base := make([]float32, n)
 	for i := range src {

@@ -66,6 +66,14 @@ type Options struct {
 	// rebuilding). Rebuilding happens once — the paper notes
 	// re-allocation is expensive and should be infrequent.
 	AutoRebuildBuckets bool
+	// TestingResetResidualsOnRebuild reintroduces, behind a test-only
+	// switch, the historical bug the per-parameter residual store fixed:
+	// error-feedback residuals are zeroed instead of carried whenever
+	// the bucket assignment is reinstalled (Section 6.2.1 rebuilds and
+	// elastic SetProcessGroup swaps). The chaos harness plants it to
+	// prove its bitwise invariants catch a recovery-path regression.
+	// Never set this outside tests.
+	TestingResetResidualsOnRebuild bool
 }
 
 // DDP wraps an nn.Module and transparently synchronizes gradients
@@ -194,7 +202,15 @@ func New(module nn.Module, pg comm.ProcessGroup, opts Options) (*DDP, error) {
 // reset that used to happen on every Section 6.2.1 rebuild and every
 // elastic SetProcessGroup, exactly when accumulated error matters most.
 func (d *DDP) installAssignment(assign *Assignment) {
-	d.flushResiduals()
+	if d.opts.TestingResetResidualsOnRebuild && d.wire != nil {
+		for _, r := range d.residuals {
+			for i := range r {
+				r[i] = 0
+			}
+		}
+	} else {
+		d.flushResiduals()
+	}
 	d.assign = assign
 	d.bucket = make([]*bucketState, assign.NumBuckets())
 	for b, members := range assign.Buckets {

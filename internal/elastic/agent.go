@@ -223,7 +223,7 @@ func (a *Agent) interrupt(g int) {
 	// checkpoint stays loadable throughout.
 	a.cancelSaves()
 	go func() {
-		time.Sleep(a.cfg.DrainTimeout)
+		a.cfg.Clock.Sleep(a.cfg.DrainTimeout)
 		a.mu.Lock()
 		if a.killed || a.assign == nil || a.assign.Generation != g {
 			a.mu.Unlock()
@@ -458,8 +458,8 @@ func (a *Agent) Run(totalSteps int64, step StepFunc) error {
 		return err
 	}
 	a.mu.Lock()
-	a.hb = StartHeartbeat(a.cfg.Store, a.cfg.Prefix, a.cfg.ID, a.cfg.HeartbeatInterval)
-	a.mon = StartMonitor(a.cfg.Store, a.cfg.Prefix, a.cfg.LeaseTimeout, a.cfg.PollInterval, a.onLeaseExpired)
+	a.hb = StartHeartbeatClock(a.cfg.Store, a.cfg.Prefix, a.cfg.ID, a.cfg.HeartbeatInterval, a.cfg.Clock)
+	a.mon = StartMonitorClock(a.cfg.Store, a.cfg.Prefix, a.cfg.LeaseTimeout, a.cfg.PollInterval, a.onLeaseExpired, a.cfg.Clock)
 	a.mu.Unlock()
 	defer func() {
 		a.abortCheckpoint() // no-op after a clean finishCheckpoint
@@ -520,7 +520,7 @@ func (a *Agent) Run(totalSteps int64, step StepFunc) error {
 		switch {
 		case err == nil:
 			failures = 0
-			if a.strag != nil {
+			if a.strag != nil && !a.cfg.Straggler.SelfReported {
 				// Only completed steps enter the straggler window — a
 				// failed step's latency measures the failure, not this
 				// worker's pace.

@@ -29,8 +29,9 @@ func (a *Agent) initCheckpoint() error {
 		return errors.New("elastic: CheckpointConfig.Dir is required")
 	}
 	w := &ckpt.Writer{
-		Dir:  cc.Dir,
-		Keep: cc.Keep,
+		Dir:   cc.Dir,
+		Keep:  cc.Keep,
+		Fault: cc.Fault,
 		Committer: &ckpt.StoreCommitter{
 			St:      a.cfg.Store,
 			Prefix:  a.cfg.Prefix + "/ckpt",

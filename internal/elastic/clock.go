@@ -1,0 +1,33 @@
+package elastic
+
+import "time"
+
+// Clock abstracts the time source behind lease tracking, heartbeat
+// pacing, rendezvous deadlines, and the pre-abort drain window, so
+// deterministic tests (internal/chaos, the fake-clock unit tests) can
+// drive timing explicitly instead of sleeping wall-clock time.
+//
+// Tick returns a channel delivering ticks roughly every d plus a stop
+// function releasing the ticker's resources; the pair mirrors
+// time.NewTicker without exposing its concrete type.
+type Clock interface {
+	// Now returns the current time on this clock.
+	Now() time.Time
+	// Sleep blocks for d of this clock's time.
+	Sleep(d time.Duration)
+	// Tick returns a channel ticking every d and a stop function.
+	Tick(d time.Duration) (<-chan time.Time, func())
+}
+
+// systemClock is the wall-clock implementation used outside tests.
+type systemClock struct{}
+
+func (systemClock) Now() time.Time        { return time.Now() }
+func (systemClock) Sleep(d time.Duration) { time.Sleep(d) }
+func (systemClock) Tick(d time.Duration) (<-chan time.Time, func()) {
+	t := time.NewTicker(d)
+	return t.C, t.Stop
+}
+
+// SystemClock is the real-time Clock; Config.Clock defaults to it.
+var SystemClock Clock = systemClock{}

@@ -1,0 +1,113 @@
+package elastic
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/store"
+	"repro/internal/testutil"
+)
+
+// interface conformance of the test clock, checked at compile time.
+var _ Clock = (*testutil.FakeClock)(nil)
+
+// waitFor polls cond on a real-time deadline — the fake clock makes the
+// *timing* deterministic, but the observing goroutines still run
+// asynchronously, so assertions converge rather than rendezvous.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestHeartbeatPacedByFakeClock(t *testing.T) {
+	st := store.NewInMem(time.Second)
+	defer st.Close()
+	clk := testutil.NewFakeClock(time.Unix(0, 0))
+	hb := StartHeartbeatClock(st, "p", "w0", 100*time.Millisecond, clk)
+	defer hb.Stop()
+
+	count := func() int64 {
+		v, err := st.Add(HeartbeatKey("p", "w0"), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return v
+	}
+	// The initial beat is unconditional.
+	waitFor(t, "initial beat", func() bool { return count() >= 1 })
+	// Real time passing without fake-clock advances must produce no
+	// further beats — the property that makes chaos timing schedulable.
+	time.Sleep(30 * time.Millisecond)
+	if got := count(); got != 1 {
+		t.Fatalf("heartbeat advanced to %d without the clock moving", got)
+	}
+	clk.Advance(100 * time.Millisecond)
+	waitFor(t, "second beat", func() bool { return count() >= 2 })
+	clk.Advance(100 * time.Millisecond)
+	waitFor(t, "third beat", func() bool { return count() >= 3 })
+}
+
+func TestMonitorLeaseExpiryOnFakeClock(t *testing.T) {
+	st := store.NewInMem(time.Second)
+	defer st.Close()
+	clk := testutil.NewFakeClock(time.Unix(0, 0))
+	const lease = time.Second
+
+	var mu sync.Mutex
+	var expired []string
+	var expiredAt time.Duration
+	start := clk.Now()
+	mon := StartMonitorClock(st, "p", lease, 100*time.Millisecond, func(id string) {
+		mu.Lock()
+		defer mu.Unlock()
+		expired = append(expired, id)
+		expiredAt = clk.Now().Sub(start)
+	}, clk)
+	defer mon.Stop()
+	mon.SetPeers([]string{"silent"})
+
+	// No fake time has passed: the silent peer still holds its lease.
+	time.Sleep(30 * time.Millisecond)
+	mu.Lock()
+	if len(expired) != 0 {
+		mu.Unlock()
+		t.Fatalf("peer expired before any fake time passed: %v", expired)
+	}
+	mu.Unlock()
+
+	// March fake time forward until the lease lapses. The expiry must
+	// name the silent peer and must not fire before a full lease of
+	// fake time elapsed.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		mu.Lock()
+		n := len(expired)
+		mu.Unlock()
+		if n > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("silent peer never expired under the fake clock")
+		}
+		clk.Advance(100 * time.Millisecond)
+		time.Sleep(time.Millisecond) // let the monitor drain the tick
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if expired[0] != "silent" {
+		t.Fatalf("expired %v, want [silent]", expired)
+	}
+	if len(expired) != 1 {
+		t.Fatalf("peer expired %d times, want exactly once", len(expired))
+	}
+	if expiredAt <= lease {
+		t.Fatalf("lease expired after only %v of fake time (lease %v)", expiredAt, lease)
+	}
+}

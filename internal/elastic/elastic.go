@@ -47,6 +47,7 @@ import (
 	"os"
 	"time"
 
+	"repro/internal/ckpt"
 	"repro/internal/comm"
 	"repro/internal/ddp"
 	"repro/internal/store"
@@ -275,6 +276,11 @@ type Config struct {
 	// Straggler enables median-gossip straggler detection (nil:
 	// disabled). See StragglerConfig.
 	Straggler *StragglerConfig
+	// Clock is the time source behind heartbeats, lease tracking,
+	// rendezvous deadlines, and the pre-abort drain window (default
+	// SystemClock). Deterministic tests inject a fake clock here to
+	// step lease expiry and round timeouts explicitly.
+	Clock Clock
 }
 
 // CheckpointConfig wires the ckpt subsystem into an elastic worker:
@@ -306,6 +312,10 @@ type CheckpointConfig struct {
 	// The agent itself never interprets it: a StepFunc whose data
 	// schedule depends on a run-level seed reads it from there.
 	Seed int64
+	// Fault, when non-nil, intercepts every checkpoint file write —
+	// the fault-injection shim the chaos harness uses to model slow and
+	// failing checkpoint disks (see ckpt.FaultHook). Nil in production.
+	Fault ckpt.FaultHook
 }
 
 // withDefaults fills zero-valued knobs. Only Store is universally
@@ -350,6 +360,9 @@ func (c Config) withDefaults() (Config, error) {
 	}
 	if c.MaxRestarts <= 0 {
 		c.MaxRestarts = 10
+	}
+	if c.Clock == nil {
+		c.Clock = SystemClock
 	}
 	return c, nil
 }

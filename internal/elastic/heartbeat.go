@@ -15,6 +15,7 @@ type Heartbeat struct {
 	st       store.Store
 	key      string
 	interval time.Duration
+	clk      Clock
 	stop     chan struct{}
 	done     chan struct{}
 	once     sync.Once
@@ -24,12 +25,18 @@ type Heartbeat struct {
 func HeartbeatKey(prefix, id string) string { return prefix + "/hb/" + id }
 
 // StartHeartbeat begins beating immediately and then every interval
-// until Stop.
+// until Stop, paced by the system clock.
 func StartHeartbeat(st store.Store, prefix, id string, interval time.Duration) *Heartbeat {
+	return StartHeartbeatClock(st, prefix, id, interval, SystemClock)
+}
+
+// StartHeartbeatClock is StartHeartbeat paced by an explicit Clock.
+func StartHeartbeatClock(st store.Store, prefix, id string, interval time.Duration, clk Clock) *Heartbeat {
 	h := &Heartbeat{
 		st:       st,
 		key:      HeartbeatKey(prefix, id),
 		interval: interval,
+		clk:      clk,
 		stop:     make(chan struct{}),
 		done:     make(chan struct{}),
 	}
@@ -39,14 +46,14 @@ func StartHeartbeat(st store.Store, prefix, id string, interval time.Duration) *
 
 func (h *Heartbeat) loop() {
 	defer close(h.done)
-	ticker := time.NewTicker(h.interval)
-	defer ticker.Stop()
+	tick, stopTick := h.clk.Tick(h.interval)
+	defer stopTick()
 	h.beat()
 	for {
 		select {
 		case <-h.stop:
 			return
-		case <-ticker.C:
+		case <-tick:
 			h.beat()
 		}
 	}
@@ -83,6 +90,7 @@ type Monitor struct {
 	prefix   string
 	lease    time.Duration
 	poll     time.Duration
+	clk      Clock
 	onExpire func(id string)
 
 	mu    sync.Mutex
@@ -93,15 +101,23 @@ type Monitor struct {
 	once sync.Once
 }
 
-// StartMonitor begins polling. The peer set starts empty; install it
-// with SetPeers after each rendezvous. onExpire runs on the monitor
-// goroutine, at most once per peer per SetPeers installation.
+// StartMonitor begins polling on the system clock. The peer set starts
+// empty; install it with SetPeers after each rendezvous. onExpire runs
+// on the monitor goroutine, at most once per peer per SetPeers
+// installation.
 func StartMonitor(st store.Store, prefix string, lease, poll time.Duration, onExpire func(id string)) *Monitor {
+	return StartMonitorClock(st, prefix, lease, poll, onExpire, SystemClock)
+}
+
+// StartMonitorClock is StartMonitor paced by an explicit Clock, which
+// governs both the poll cadence and the lease arithmetic.
+func StartMonitorClock(st store.Store, prefix string, lease, poll time.Duration, onExpire func(id string), clk Clock) *Monitor {
 	m := &Monitor{
 		st:       st,
 		prefix:   prefix,
 		lease:    lease,
 		poll:     poll,
+		clk:      clk,
 		onExpire: onExpire,
 		peers:    make(map[string]*peerState),
 		stop:     make(chan struct{}),
@@ -115,7 +131,7 @@ func StartMonitor(st store.Store, prefix string, lease, poll time.Duration, onEx
 // excluded). Each peer's lease is granted fresh from now, so a newly
 // admitted member has a full lease to produce its first beat.
 func (m *Monitor) SetPeers(ids []string) {
-	now := time.Now()
+	now := m.clk.Now()
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.peers = make(map[string]*peerState, len(ids))
@@ -126,13 +142,13 @@ func (m *Monitor) SetPeers(ids []string) {
 
 func (m *Monitor) loop() {
 	defer close(m.done)
-	ticker := time.NewTicker(m.poll)
-	defer ticker.Stop()
+	tick, stopTick := m.clk.Tick(m.poll)
+	defer stopTick()
 	for {
 		select {
 		case <-m.stop:
 			return
-		case <-ticker.C:
+		case <-tick:
 			for _, id := range m.expiredPeers() {
 				m.onExpire(id)
 			}
@@ -155,7 +171,7 @@ func (m *Monitor) expiredPeers() []string {
 		if err != nil {
 			continue // store unreachable; better to stall than to misfire
 		}
-		now := time.Now()
+		now := m.clk.Now()
 		m.mu.Lock()
 		p, ok := m.peers[id]
 		if !ok || p.suspected {

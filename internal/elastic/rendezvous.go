@@ -38,6 +38,7 @@ type Rendezvous struct {
 	grace  time.Duration
 	poll   time.Duration
 	round  time.Duration
+	clk    Clock
 
 	initOnce sync.Once
 	initErr  error
@@ -58,6 +59,7 @@ func NewRendezvous(cfg Config) (*Rendezvous, error) {
 		grace:  cfg.Grace,
 		poll:   cfg.PollInterval,
 		round:  cfg.RoundTimeout,
+		clk:    cfg.Clock,
 	}, nil
 }
 
@@ -200,7 +202,7 @@ func (r *Rendezvous) joinRound(g int, me Member) (*Assignment, int, error) {
 
 	// Wait for the seal, abandoning the round if the generation moves
 	// on or the round stalls past RoundTimeout.
-	deadline := time.Now().Add(r.round)
+	deadline := r.clk.Now().Add(r.round)
 	for {
 		sealed, err := r.st.Add(r.sealedKey(g), 0)
 		if err != nil {
@@ -216,11 +218,11 @@ func (r *Rendezvous) joinRound(g int, me Member) (*Assignment, int, error) {
 		if cur > g {
 			return nil, cur, nil
 		}
-		if time.Now().After(deadline) {
+		if r.clk.Now().After(deadline) {
 			next, err := r.ProposeGeneration(g)
 			return nil, next, err
 		}
-		time.Sleep(r.poll)
+		r.clk.Sleep(r.poll)
 	}
 
 	sealVal, err := r.st.Get(r.sealKey(g))
@@ -264,7 +266,7 @@ func (r *Rendezvous) joinRound(g int, me Member) (*Assignment, int, error) {
 // the door open up to Grace (bounded by MaxWorld), then seal. Reports
 // abandoned=true when the generation moved on underneath the round.
 func (r *Rendezvous) lead(g int) (abandoned bool, err error) {
-	deadline := time.Now().Add(r.round)
+	deadline := r.clk.Now().Add(r.round)
 	// Phase 1: quorum.
 	for {
 		n, err := r.st.Add(r.countKey(g), 0)
@@ -281,16 +283,16 @@ func (r *Rendezvous) lead(g int) (abandoned bool, err error) {
 		if cur > g {
 			return true, nil
 		}
-		if time.Now().After(deadline) {
+		if r.clk.Now().After(deadline) {
 			_, err := r.ProposeGeneration(g)
 			return true, err
 		}
-		time.Sleep(r.poll)
+		r.clk.Sleep(r.poll)
 	}
 	// Phase 2: the grace window for stragglers.
 	if r.grace > 0 {
-		graceEnd := time.Now().Add(r.grace)
-		for time.Now().Before(graceEnd) {
+		graceEnd := r.clk.Now().Add(r.grace)
+		for r.clk.Now().Before(graceEnd) {
 			n, err := r.st.Add(r.countKey(g), 0)
 			if err != nil {
 				return false, err
@@ -298,7 +300,7 @@ func (r *Rendezvous) lead(g int) (abandoned bool, err error) {
 			if int(n) >= r.max {
 				break
 			}
-			time.Sleep(r.poll)
+			r.clk.Sleep(r.poll)
 		}
 	}
 	n64, err := r.st.Add(r.countKey(g), 0)
@@ -329,11 +331,11 @@ func (r *Rendezvous) lead(g int) (abandoned bool, err error) {
 			if cur > g {
 				return true, nil
 			}
-			if time.Now().After(deadline) {
+			if r.clk.Now().After(deadline) {
 				_, err := r.ProposeGeneration(g)
 				return true, err
 			}
-			time.Sleep(r.poll)
+			r.clk.Sleep(r.poll)
 		}
 	}
 	if err := r.st.Set(r.sealKey(g), []byte(strconv.Itoa(world))); err != nil {

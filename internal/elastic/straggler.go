@@ -35,6 +35,15 @@ type StragglerConfig struct {
 	// OnFlag, if set, is called on every verdict transition (flagged
 	// and un-flagged) from the goroutine that recorded the step.
 	OnFlag func(StragglerFlag)
+	// SelfReported disables the agent's built-in whole-step wall-clock
+	// recording. In synchronous data parallelism every rank's wall time
+	// includes the slowest rank's compute — peers stall inside the
+	// gradient collectives — so whole-step latency converges across
+	// ranks and cannot attribute the slowness. A StepFunc that can
+	// measure its compute-only phase (work before the first collective)
+	// sets this and records through Agent.Straggler().Record itself;
+	// the chaos harness uses it to make straggler flagging assertable.
+	SelfReported bool
 }
 
 // StragglerFlag describes one verdict transition.

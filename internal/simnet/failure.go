@@ -1,8 +1,23 @@
 package simnet
 
 import (
+	"errors"
 	"fmt"
 	"math"
+)
+
+// Named validation errors of RunElastic. Both are wrapped with the
+// offending value, so match with errors.Is.
+var (
+	// ErrNoIterations rejects iters <= 0: a run with no iterations has
+	// no timeline to charge a failure to (it used to surface as a
+	// confusing FailAtIter range error or an empty/NaN timeline).
+	ErrNoIterations = errors.New("simnet: elastic run needs iters > 0")
+	// ErrWorldTooSmall rejects World < 2: losing a rank must leave at
+	// least one survivor (World-1 >= 1) to finish the run.
+	ErrWorldTooSmall = errors.New("simnet: elastic failure needs World >= 2")
+	// ErrFailIterOutOfRange rejects a FailAtIter outside [0, iters).
+	ErrFailIterOutOfRange = errors.New("simnet: FailAtIter outside the run")
 )
 
 // FailurePlan injects one worker failure into a simulated elastic
@@ -68,11 +83,14 @@ type RecoveryBreakdown struct {
 func RunElastic(cfg Config, iters int, plan FailurePlan) ([]float64, RecoveryBreakdown, error) {
 	cfg = cfg.withDefaults()
 	plan = plan.withDefaults()
+	if iters <= 0 {
+		return nil, RecoveryBreakdown{}, fmt.Errorf("%w (got %d)", ErrNoIterations, iters)
+	}
 	if cfg.World < 2 {
-		return nil, RecoveryBreakdown{}, fmt.Errorf("simnet: elastic failure needs World >= 2, got %d", cfg.World)
+		return nil, RecoveryBreakdown{}, fmt.Errorf("%w (got %d)", ErrWorldTooSmall, cfg.World)
 	}
 	if plan.FailAtIter < 0 || plan.FailAtIter >= iters {
-		return nil, RecoveryBreakdown{}, fmt.Errorf("simnet: FailAtIter %d outside [0,%d)", plan.FailAtIter, iters)
+		return nil, RecoveryBreakdown{}, fmt.Errorf("%w (%d outside [0,%d))", ErrFailIterOutOfRange, plan.FailAtIter, iters)
 	}
 
 	before, _, err := SimulateIterationTimeline(cfg)

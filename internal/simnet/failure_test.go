@@ -1,6 +1,7 @@
 package simnet
 
 import (
+	"errors"
 	"math"
 	"testing"
 
@@ -92,5 +93,37 @@ func TestRunElasticLeaseDominatesSmallModels(t *testing.T) {
 	}
 	if _, _, err := RunElastic(elasticCfg(2), 5, FailurePlan{FailAtIter: 9}); err == nil {
 		t.Fatal("out-of-range FailAtIter should be rejected")
+	}
+}
+
+func TestRunElasticRejectsDegenerateInputs(t *testing.T) {
+	// The edge cases used to produce empty or NaN timelines (iters <= 0)
+	// or an unnamed error (World < 2); both must now fail fast with
+	// named sentinels callers can match on.
+	cases := []struct {
+		name  string
+		world int
+		iters int
+		plan  FailurePlan
+		want  error
+	}{
+		{"zero iters", 4, 0, FailurePlan{}, ErrNoIterations},
+		{"negative iters", 4, -3, FailurePlan{FailAtIter: 1}, ErrNoIterations},
+		{"world 1", 1, 10, FailurePlan{FailAtIter: 2}, ErrWorldTooSmall},
+		{"world 0", 0, 10, FailurePlan{FailAtIter: 2}, ErrWorldTooSmall},
+		{"negative fail iter", 4, 10, FailurePlan{FailAtIter: -1}, ErrFailIterOutOfRange},
+		{"fail iter at end", 4, 10, FailurePlan{FailAtIter: 10}, ErrFailIterOutOfRange},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			lat, _, err := RunElastic(elasticCfg(tc.world), tc.iters, tc.plan)
+			if !errors.Is(err, tc.want) {
+				t.Fatalf("RunElastic(world=%d, iters=%d, %+v) error = %v, want %v",
+					tc.world, tc.iters, tc.plan, err, tc.want)
+			}
+			if lat != nil {
+				t.Fatalf("rejected run still produced a timeline of %d entries", len(lat))
+			}
+		})
 	}
 }
