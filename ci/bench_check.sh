@@ -1,0 +1,76 @@
+#!/bin/sh
+# bench_check.sh — gate the benchmark summaries the comm suite writes
+# to the repository root (BENCH_allreduce.json, BENCH_compression.json).
+#
+# Two performance contracts are asserted against the freshly generated
+# records:
+#
+#   1. Double binary trees beat Ring at small payloads. For the TCP
+#      mesh at world 8, the doubletree p50 must be strictly below the
+#      ring p50 at 1024 and 4096 elements. Measured margins are
+#      2.4-2.9x, so a strict inequality is a loose gate even at the CI
+#      runner's -benchtime=1x.
+#
+#   2. The compressed leader ring actually compresses the wire. The
+#      fp16 hierarchical run's cross-host bytes/op must sit within
+#      [1.8, 2.2]x below the uncompressed hierarchical run's. The byte
+#      count is deterministic (measured ratio 2.00003); the band only
+#      absorbs future framing tweaks.
+#
+# Requires jq. Run after `go test -bench . ...` has refreshed the
+# JSON files (CI's "Bench smoke" step).
+
+set -eu
+
+root=$(cd "$(dirname "$0")/.." && pwd)
+allreduce="$root/BENCH_allreduce.json"
+
+fail() {
+	echo "bench_check: $*" >&2
+	exit 1
+}
+
+[ -f "$allreduce" ] || fail "missing $allreduce (run the comm benchmarks first)"
+
+ver=$(jq -r '.schema_version' "$allreduce")
+[ "$ver" = "2" ] || fail "BENCH_allreduce.json schema_version = $ver, want 2"
+
+# p50 of a tcp world-8 row for a given algorithm and element count.
+p50() {
+	jq -r --arg algo "$1" --argjson elems "$2" '
+		[.records[]
+		 | select(.transport == "tcp" and .world == 8
+		          and .algorithm == $algo and .elems == $elems
+		          and (.codec // "") == "")
+		 | .hist_p50_ns][0] // "missing"' "$allreduce"
+}
+
+for elems in 1024 4096; do
+	ring=$(p50 ring "$elems")
+	dtree=$(p50 doubletree "$elems")
+	[ "$ring" != "missing" ] || fail "no tcp world-8 ring row at $elems elems"
+	[ "$dtree" != "missing" ] || fail "no tcp world-8 doubletree row at $elems elems"
+	ok=$(jq -n --argjson r "$ring" --argjson d "$dtree" '$d < $r')
+	[ "$ok" = "true" ] || fail "doubletree p50 ($dtree ns) not below ring p50 ($ring ns) at $elems elems"
+	echo "bench_check: doubletree p50 $dtree ns < ring p50 $ring ns at $elems elems"
+done
+
+# Cross-host bytes/op of the hierarchical (leader-ring) benchmark rows.
+crossbytes() {
+	jq -r --arg codec "$1" '
+		[.records[]
+		 | select(.transport == "tcp" and .world == 8
+		          and .algorithm == "hierarchical" and .elems == 131072
+		          and (.codec // "") == $codec)
+		 | .cross_host_bytes_per_op][0] // "missing"' "$allreduce"
+}
+
+raw=$(crossbytes "")
+fp16=$(crossbytes "fp16")
+[ "$raw" != "missing" ] || fail "no uncompressed hierarchical cross-host row"
+[ "$fp16" != "missing" ] || fail "no fp16 hierarchical cross-host row"
+ok=$(jq -n --argjson r "$raw" --argjson c "$fp16" '($r / $c) >= 1.8 and ($r / $c) <= 2.2')
+[ "$ok" = "true" ] || fail "fp16 cross-host ratio $raw/$fp16 outside [1.8, 2.2]"
+echo "bench_check: fp16 leader ring cross-host ratio $(jq -n --argjson r "$raw" --argjson c "$fp16" '$r / $c') within [1.8, 2.2]"
+
+echo "bench_check: OK"

@@ -31,7 +31,7 @@ func main() {
 	var (
 		world       = flag.Int("world", 4, "number of ranks (goroutines)")
 		transp      = flag.String("transport", "inproc", "transport: inproc or tcp")
-		algosFlag   = flag.String("algos", "ring,tree,naive", "comma-separated algorithms")
+		algosFlag   = flag.String("algos", "ring,tree,doubletree,naive", "comma-separated algorithms")
 		minElems    = flag.Int("min", 1024, "smallest message (float32 elements)")
 		maxElems    = flag.Int("max", 1<<22, "largest message (float32 elements)")
 		reps        = flag.Int("reps", 5, "repetitions per size (median reported)")
@@ -70,6 +70,8 @@ func parseAlgos(s string) ([]comm.Algorithm, error) {
 			out = append(out, comm.Ring)
 		case "tree":
 			out = append(out, comm.Tree)
+		case "doubletree":
+			out = append(out, comm.DoubleTree)
 		case "naive":
 			out = append(out, comm.Naive)
 		default:

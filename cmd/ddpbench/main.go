@@ -11,6 +11,7 @@
 //	ddpbench -exp fig12       # round-robin process groups
 //	ddpbench -exp table1      # taxonomy of distributed training schemes
 //	ddpbench -exp hierarchical # flat-ring vs topology-aware hierarchical AllReduce
+//	ddpbench -exp doubletree  # ring vs double binary trees; 2-level vs N-level hierarchy
 //	ddpbench -exp all         # everything above
 package main
 
@@ -26,7 +27,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id: fig2, fig6, fig7, fig8, fig9, fig10, fig11, fig12, table1, ablation, hierarchical, or all")
+	exp := flag.String("exp", "all", "experiment id: fig2, fig6, fig7, fig8, fig9, fig10, fig11, fig12, table1, ablation, hierarchical, doubletree, or all")
 	iters := flag.Int("iters", 400, "iterations per simulated latency distribution")
 	trainIters := flag.Int("train-iters", 350, "training iterations for the fig11 convergence runs")
 	metricsAddr := flag.String("metrics-addr", "", "serve Prometheus text-format metrics at this address under /metrics while experiments run (empty: disabled)")
@@ -54,8 +55,9 @@ func main() {
 		"table1":       bench.Table1,
 		"ablation":     bench.Ablation,
 		"hierarchical": bench.HierarchicalAblation,
+		"doubletree":   bench.DoubleTreeAblation,
 	}
-	order := []string{"fig2", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "table1", "ablation", "hierarchical"}
+	order := []string{"fig2", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "table1", "ablation", "hierarchical", "doubletree"}
 
 	var selected []string
 	if *exp == "all" {

@@ -24,6 +24,16 @@
 // 6.2.1 bucket rebuild). The replica-consistency checksum still holds:
 // compressed AllReduce leaves bitwise-identical gradients everywhere.
 //
+// -algo doubletree selects the double-binary-tree AllReduce (NCCL-2.4
+// style: two complementary trees each carrying half the payload,
+// log-depth latency). -hosts labels may be structured with "/"
+// (pod0/rack0/host0,...) to build an N-level topology: hierarchical
+// and auto then reduce within each level and ring only the top-level
+// leaders. -topo-levels asserts the labels parsed to the expected
+// depth. Combining -algo hierarchical (or auto) with -compress runs
+// the inter-host leader ring over compressed byte lanes while
+// intra-host phases stay exact — the compressed leader ring.
+//
 // The -elastic mode demonstrates fault-tolerant training instead: it
 // runs `-world` in-process elastic workers, crashes one mid-iteration
 // at -kill-step, lets the survivors detect the failure and
@@ -94,9 +104,10 @@ func main() {
 		batch       = flag.Int("batch", 16, "per-rank batch size")
 		lr          = flag.Float64("lr", 0.05, "learning rate")
 		bucketMB    = flag.Int("bucket-mb", 25, "DDP bucket size in MB (0 = per-parameter buckets)")
-		algo        = flag.String("algo", "ring", "allreduce algorithm: ring, tree, naive, hierarchical, auto")
-		compress    = flag.String("compress", "", "gradient compression codec: fp16, 1bit, or topk (empty: none); compressed frames ride the TCP byte lanes with error feedback")
-		hosts       = flag.String("hosts", "", "comma-separated host label per rank (topology for hierarchical/auto; empty: derive from peer addresses)")
+		algo        = flag.String("algo", "ring", "allreduce algorithm: ring, tree, doubletree, naive, hierarchical, auto")
+		compress    = flag.String("compress", "", "gradient compression codec: fp16, 1bit, or topk (empty: none); compressed frames ride the TCP byte lanes with error feedback; with -algo hierarchical/auto only the leader ring compresses")
+		hosts       = flag.String("hosts", "", "comma-separated host label per rank (topology for hierarchical/auto; labels may nest with '/', e.g. pod0/rack0/h0; empty: derive from peer addresses)")
+		topoLevels  = flag.Int("topo-levels", 0, "assert the -hosts labels parsed into exactly this many topology levels (0: no check)")
 		syncEvery   = flag.Int("sync-every", 1, "synchronize gradients every n iterations (no_sync)")
 		rr          = flag.Int("rr", 1, "number of round-robin process groups (Section 5.4)")
 		elast       = flag.Bool("elastic", false, "run the elastic fault-tolerance demo instead (in-proc; with -launch, across OS processes)")
@@ -142,7 +153,7 @@ func main() {
 		}
 		return
 	}
-	if err := run(*rank, *world, *storeAddr, *launch, *iters, *batch, float32(*lr), *bucketMB, *algo, *compress, *hosts, *syncEvery, *rr); err != nil {
+	if err := run(*rank, *world, *storeAddr, *launch, *iters, *batch, float32(*lr), *bucketMB, *algo, *compress, *hosts, *topoLevels, *syncEvery, *rr); err != nil {
 		fmt.Fprintf(os.Stderr, "ddptrain rank %d: %v\n", *rank, err)
 		os.Exit(1)
 	}
@@ -166,13 +177,15 @@ func codecFactory(name string) (func() comm.Codec, error) {
 	}
 }
 
-func run(rank, world int, storeAddr string, launch bool, iters, batch int, lr float32, bucketMB int, algo, compress, hosts string, syncEvery, rr int) error {
+func run(rank, world int, storeAddr string, launch bool, iters, batch int, lr float32, bucketMB int, algo, compress, hosts string, topoLevels, syncEvery, rr int) error {
 	var algorithm comm.Algorithm
 	switch algo {
 	case "ring":
 		algorithm = comm.Ring
 	case "tree":
 		algorithm = comm.Tree
+	case "doubletree":
+		algorithm = comm.DoubleTree
 	case "naive":
 		algorithm = comm.Naive
 	case "hierarchical":
@@ -189,6 +202,18 @@ func run(rank, world int, storeAddr string, launch bool, iters, batch int, lr fl
 	topology, err := parseHosts(hosts, world)
 	if err != nil {
 		return err
+	}
+	// -topo-levels guards against placement typos: structured labels
+	// with uneven depth silently degrade to one opaque level, which
+	// would quietly run the two-level schedule where the operator
+	// expected pod/rack/host phases.
+	if topoLevels > 0 {
+		if topology == nil {
+			return fmt.Errorf("-topo-levels %d requires -hosts", topoLevels)
+		}
+		if got := topology.Levels(); got != topoLevels {
+			return fmt.Errorf("-hosts labels parsed into %d topology level(s), want %d", got, topoLevels)
+		}
 	}
 	newCodec, err := codecFactory(compress)
 	if err != nil {
@@ -213,6 +238,7 @@ func run(rank, world int, storeAddr string, launch bool, iters, batch int, lr fl
 					"-batch", fmt.Sprint(batch), "-lr", fmt.Sprint(lr),
 					"-bucket-mb", fmt.Sprint(bucketMB), "-algo", algo,
 					"-compress", compress, "-hosts", hosts,
+					"-topo-levels", fmt.Sprint(topoLevels),
 					"-sync-every", fmt.Sprint(syncEvery), "-rr", fmt.Sprint(rr))
 				cmd.Stdout = os.Stdout
 				cmd.Stderr = os.Stderr

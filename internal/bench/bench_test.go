@@ -280,6 +280,35 @@ func TestHierarchicalIterationSweepHelpsMultiHostWorlds(t *testing.T) {
 	}
 }
 
+func TestDoubleTreeSweepMatchesAutoPolicyBands(t *testing.T) {
+	// The modeled sweep must justify comm's Auto policy: double tree
+	// wins the <=4Ki-element band at world >= 8, and the ring keeps
+	// the bandwidth-bound band at shallow worlds.
+	rows := DoubleTreeSweep(hw.DefaultCluster(),
+		[]int{8, 32, 256},
+		[]int{1 << 10, 1 << 12, 1 << 24})
+	for _, r := range rows {
+		if r.Elems <= 4<<10 && r.TreeSeconds >= r.RingSeconds {
+			t.Fatalf("world %d elems %d: double tree (%v) not beating ring (%v) in the small band",
+				r.World, r.Elems, r.TreeSeconds, r.RingSeconds)
+		}
+		if r.World == 8 && r.Elems == 1<<24 && r.RingSeconds >= r.TreeSeconds {
+			t.Fatalf("world 8 elems 16M: ring (%v) should win the bandwidth band over double tree (%v)",
+				r.RingSeconds, r.TreeSeconds)
+		}
+	}
+}
+
+func TestNLevelSweepLatencyWin(t *testing.T) {
+	rows := NLevelSweep(hw.DefaultCluster(), []int{64}, []int{1 << 10, 1 << 12}, []int{2, 8})
+	for _, r := range rows {
+		if r.NLevelSeconds >= r.TwoLevelSeconds {
+			t.Fatalf("world %d elems %d: three-level (%v) not beating two-level (%v) on small payloads",
+				r.World, r.Elems, r.NLevelSeconds, r.TwoLevelSeconds)
+		}
+	}
+}
+
 func TestTable1MatchesPaper(t *testing.T) {
 	rows := Table1Taxonomy()
 	if len(rows) != 15 {
@@ -310,6 +339,7 @@ func TestPrintersProduceOutput(t *testing.T) {
 		"fig12":        Fig12,
 		"table1":       Table1,
 		"hierarchical": HierarchicalAblation,
+		"doubletree":   DoubleTreeAblation,
 	} {
 		var buf bytes.Buffer
 		if err := fn(&buf); err != nil {

@@ -30,9 +30,18 @@ const (
 	// with Kumar et al.'s multi-ring structure); without one it falls
 	// back to Ring.
 	Hierarchical
+	// DoubleTree runs two complementary in-order binary trees (NCCL
+	// 2.4's double binary trees), each carrying half the payload, with
+	// every rank an inner node in at most one tree: log(k) depth like
+	// Tree but without Tree's half-idle leaves, so it keeps full
+	// bandwidth while cutting Ring's 2(k-1) latency terms to
+	// O(log k + chunks). See doubletree.go.
+	DoubleTree
 	// Auto picks per collective from the group's topology and the
-	// message size: small messages take Tree's log(k) latency path,
-	// large messages on a multi-host topology take Hierarchical, and
+	// message size: small messages take the log-depth tree paths
+	// (DoubleTree on worlds deep enough to profit, Tree below), large
+	// messages on a multi-host topology take Hierarchical, medium
+	// messages on deep worlds take DoubleTree's pipelined trees, and
 	// everything else takes the bandwidth-optimal Ring.
 	Auto
 )
@@ -48,6 +57,8 @@ func (a Algorithm) String() string {
 		return "naive"
 	case Hierarchical:
 		return "hierarchical"
+	case DoubleTree:
+		return "doubletree"
 	case Auto:
 		return "auto"
 	default:
@@ -66,6 +77,16 @@ func (a Algorithm) String() string {
 const (
 	autoTreeMaxElems         = 4 << 10
 	autoHierarchicalMinElems = 64 << 10
+	// autoDoubleTreeMinWorld is the world size from which DoubleTree
+	// replaces Tree for small payloads: below it the two trees are so
+	// shallow that a single binomial tree has the same span with half
+	// the frames.
+	autoDoubleTreeMinWorld = 4
+	// autoDoubleTreeDeepWorld is the world size from which DoubleTree
+	// also takes the medium-payload band (above the Tree cutoff, below
+	// the Hierarchical one): Ring's 2(world-1) serialized steps dwarf
+	// the trees' O(log world + chunks) pipelined depth there.
+	autoDoubleTreeDeepWorld = 32
 )
 
 // chooseAlgorithm is Auto's per-collective decision. topo may be nil
@@ -74,11 +95,19 @@ const (
 // than trusted.
 func chooseAlgorithm(topo *Topology, elems, world int) Algorithm {
 	if elems <= autoTreeMaxElems {
+		if world >= autoDoubleTreeMinWorld {
+			return DoubleTree
+		}
 		return Tree
 	}
-	if elems >= autoHierarchicalMinElems &&
-		topo != nil && topo.Size() == world && topo.Hierarchical() {
-		return Hierarchical
+	if elems >= autoHierarchicalMinElems {
+		if topo != nil && topo.Size() == world && topo.Hierarchical() {
+			return Hierarchical
+		}
+		return Ring
+	}
+	if world >= autoDoubleTreeDeepWorld {
+		return DoubleTree
 	}
 	return Ring
 }
@@ -232,56 +261,6 @@ func naiveAllReduce(m transport.Mesh, tag uint64, data []float32, op ReduceOp) e
 		scale := 1 / float32(k)
 		for i := range data {
 			data[i] *= scale
-		}
-	}
-	return nil
-}
-
-// binomialBroadcast propagates root's data to all ranks along a binomial
-// tree rooted at root.
-func binomialBroadcast(m transport.Mesh, tag uint64, data []float32, root int) error {
-	k := m.Size()
-	if k == 1 {
-		return nil
-	}
-	// Work in a rotated rank space where the root is rank 0.
-	vrank := (m.Rank() - root + k) % k
-
-	// Find the highest power of two covering k.
-	top := 1
-	for top < k {
-		top <<= 1
-	}
-	// Receive once from the appropriate ancestor (non-roots only).
-	if vrank != 0 {
-		mask := 1
-		for vrank&mask == 0 {
-			mask <<= 1
-		}
-		src := (vrank - mask + root + k) % k
-		buf, err := m.Recv(src, tag)
-		if err != nil {
-			return err
-		}
-		if len(buf) != len(data) {
-			return fmt.Errorf("comm: broadcast size mismatch: got %d want %d", len(buf), len(data))
-		}
-		copy(data, buf)
-	}
-	// Forward to descendants: masks below our own set bit.
-	lowest := top
-	if vrank != 0 {
-		lowest = 1
-		for vrank&lowest == 0 {
-			lowest <<= 1
-		}
-	}
-	for mask := lowest >> 1; mask >= 1; mask >>= 1 {
-		dst := vrank + mask
-		if dst < k {
-			if err := m.Send((dst+root)%k, tag, data); err != nil {
-				return err
-			}
 		}
 	}
 	return nil

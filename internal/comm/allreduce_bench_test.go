@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"path/filepath"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -15,12 +16,28 @@ import (
 	"repro/internal/transport"
 )
 
-// benchRecord is one BenchmarkAllReduceAlgorithms measurement; the
-// collected set is written to BENCH_allreduce.json (see TestMain) so
-// the collective layer's perf trajectory is tracked across PRs.
+// benchSchemaVersion stamps the JSON envelope so downstream consumers
+// (ci/bench_check.sh, dashboards) can detect incompatible layouts
+// instead of misreading renamed fields.
+const benchSchemaVersion = 2
+
+// benchEnvelope is the stable on-disk shape of both bench JSON files:
+// a version plus the record list.
+type benchEnvelope struct {
+	SchemaVersion int `json:"schema_version"`
+	Records       any `json:"records"`
+}
+
+// benchRecord is one AllReduce benchmark measurement; the collected
+// set is written to BENCH_allreduce.json at the repository root (see
+// TestMain) so the collective layer's perf trajectory is tracked
+// across PRs.
 type benchRecord struct {
-	Transport           string  `json:"transport"`
-	Algorithm           string  `json:"algorithm"`
+	Transport string `json:"transport"`
+	Algorithm string `json:"algorithm"`
+	// Codec names the wire codec when the row ran a compressed
+	// collective (compressed-hierarchical rows); empty otherwise.
+	Codec               string  `json:"codec,omitempty"`
 	World               int     `json:"world"`
 	Elems               int     `json:"elems"`
 	NsPerOp             float64 `json:"ns_per_op"`
@@ -70,9 +87,31 @@ var (
 	compressRecords []compressionRecord
 )
 
-// TestMain exists to flush the benchmark summaries: after a -bench run,
-// BenchmarkAllReduceAlgorithms records land in BENCH_allreduce.json and
-// BenchmarkCompressedAllReduce records in BENCH_compression.json
+// repoRoot walks up from the test's working directory (the package
+// dir) to the directory holding go.mod, so the bench JSON lands at the
+// repository root regardless of which package the bench ran in. Falls
+// back to "." when no module root is found.
+func repoRoot() string {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "."
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "."
+		}
+		dir = parent
+	}
+}
+
+// TestMain exists to flush the benchmark summaries: after a -bench
+// run, AllReduce benchmark records land in BENCH_allreduce.json and
+// BenchmarkCompressedAllReduce records in BENCH_compression.json, both
+// at the repository root and wrapped in a versioned schema envelope
 // (override the paths with BENCH_ALLREDUCE_OUT / BENCH_COMPRESSION_OUT).
 // Plain `go test` runs collect nothing and write nothing.
 func TestMain(m *testing.M) {
@@ -87,9 +126,10 @@ func TestMain(m *testing.M) {
 	flushJSON := func(envKey, fallback string, v any) {
 		out := os.Getenv(envKey)
 		if out == "" {
-			out = fallback
+			out = filepath.Join(repoRoot(), fallback)
 		}
-		if data, err := json.MarshalIndent(v, "", "  "); err == nil {
+		env := benchEnvelope{SchemaVersion: benchSchemaVersion, Records: v}
+		if data, err := json.MarshalIndent(env, "", "  "); err == nil {
 			if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
 				fmt.Fprintf(os.Stderr, "comm: writing %s: %v\n", out, err)
 			}
@@ -104,14 +144,21 @@ func TestMain(m *testing.M) {
 	os.Exit(code)
 }
 
-// benchWorld/benchHosts: 4 ranks over 2 simulated hosts, so the
-// topology-aware rows exercise real hierarchy and the cross-"host"
-// byte counter has boundaries to observe — over TCP every rank is a
-// loopback socket, so "host" is the simulated label, exactly like a
-// single-machine rehearsal of a multi-host job.
+// benchWorldSize: the default sweep runs 4 ranks over 2 simulated
+// hosts, so the topology-aware rows exercise real hierarchy and the
+// cross-"host" byte counter has boundaries to observe — over TCP every
+// rank is a loopback socket, so "host" is the simulated label, exactly
+// like a single-machine rehearsal of a multi-host job.
 const benchWorldSize = 4
 
-func benchHosts() []string { return []string{"h0", "h0", "h1", "h1"} }
+// benchHosts lays `world` ranks out two per simulated host.
+func benchHosts(world int) []string {
+	hosts := make([]string, world)
+	for r := range hosts {
+		hosts[r] = fmt.Sprintf("h%d", r/2)
+	}
+	return hosts
+}
 
 // BenchmarkAllReduceAlgorithms sweeps algorithm x payload size over
 // in-proc and TCP meshes. Alongside ns/op it records the bytes sent
@@ -119,13 +166,33 @@ func benchHosts() []string { return []string{"h0", "h0", "h1", "h1"} }
 // Hierarchical algorithm exists to shrink.
 func BenchmarkAllReduceAlgorithms(b *testing.B) {
 	sizes := []int{1 << 10, 1 << 17, 1 << 20}
-	algos := []Algorithm{Ring, Tree, Naive, Hierarchical, Auto}
+	algos := []Algorithm{Ring, Tree, DoubleTree, Naive, Hierarchical, Auto}
 	for _, tr := range []string{"inproc", "tcp"} {
 		for _, algo := range algos {
 			for _, n := range sizes {
 				name := fmt.Sprintf("%s/%s/%d", tr, algo, n)
 				b.Run(name, func(b *testing.B) {
-					benchAllReduce(b, tr, algo, n)
+					benchAllReduce(b, tr, algo, n, benchWorldSize)
+				})
+			}
+		}
+	}
+}
+
+// BenchmarkAllReduceDeepWorld is the small-payload latency comparison
+// at world 8, where the double tree's 2·ceil(log2(k+1)) hop critical
+// path clearly undercuts the ring's 2(k-1) serial steps (world 4 is
+// the break-even point: 6 hops either way). ci/bench_check.sh gates on
+// these rows: double-tree p50 must beat Ring at <= 4Ki elements on the
+// TCP mesh.
+func BenchmarkAllReduceDeepWorld(b *testing.B) {
+	sizes := []int{1 << 10, 1 << 12}
+	for _, tr := range []string{"inproc", "tcp"} {
+		for _, algo := range []Algorithm{Ring, DoubleTree} {
+			for _, n := range sizes {
+				name := fmt.Sprintf("%s/%s/%d", tr, algo, n)
+				b.Run(name, func(b *testing.B) {
+					benchAllReduce(b, tr, algo, n, 8)
 				})
 			}
 		}
@@ -134,26 +201,26 @@ func BenchmarkAllReduceAlgorithms(b *testing.B) {
 
 var benchTCPSeq atomic.Int64
 
-// benchMeshes builds one fully-connected mesh set of benchWorldSize
-// ranks over the given transport; cleanup releases what the group
-// Closes do not (the TCP rendezvous store).
-func benchMeshes(b *testing.B, tr string) []transport.Mesh {
+// benchMeshes builds one fully-connected mesh set of `world` ranks
+// over the given transport; cleanup releases what the group Closes do
+// not (the TCP rendezvous store).
+func benchMeshes(b *testing.B, tr string, world int) []transport.Mesh {
 	b.Helper()
 	switch tr {
 	case "inproc":
-		return transport.NewInProcMeshes(benchWorldSize)
+		return transport.NewInProcMeshes(world)
 	case "tcp":
 		st := store.NewInMem(30 * time.Second)
 		b.Cleanup(func() { st.Close() })
 		prefix := fmt.Sprintf("bench-%d", benchTCPSeq.Add(1))
-		meshes := make([]transport.Mesh, benchWorldSize)
-		errs := make([]error, benchWorldSize)
+		meshes := make([]transport.Mesh, world)
+		errs := make([]error, world)
 		var wg sync.WaitGroup
-		for r := 0; r < benchWorldSize; r++ {
+		for r := 0; r < world; r++ {
 			wg.Add(1)
 			go func(r int) {
 				defer wg.Done()
-				meshes[r], errs[r] = transport.NewTCPMesh(r, benchWorldSize, st, prefix)
+				meshes[r], errs[r] = transport.NewTCPMesh(r, world, st, prefix)
 			}(r)
 		}
 		wg.Wait()
@@ -169,18 +236,34 @@ func benchMeshes(b *testing.B, tr string) []transport.Mesh {
 	}
 }
 
-func benchAllReduce(b *testing.B, tr string, algo Algorithm, n int) {
-	topo := NewTopology(benchHosts())
-	meshes := benchMeshes(b, tr)
+// recordBench appends (or, while the harness calibrates b.N, replaces)
+// one row, keyed on every dimension the sweeps vary.
+func recordBench(rec benchRecord) {
+	benchMu.Lock()
+	defer benchMu.Unlock()
+	for i := range benchRecords {
+		r := &benchRecords[i]
+		if r.Transport == rec.Transport && r.Algorithm == rec.Algorithm &&
+			r.Codec == rec.Codec && r.World == rec.World && r.Elems == rec.Elems {
+			*r = rec
+			return
+		}
+	}
+	benchRecords = append(benchRecords, rec)
+}
+
+func benchAllReduce(b *testing.B, tr string, algo Algorithm, n, world int) {
+	topo := NewTopology(benchHosts(world))
+	meshes := benchMeshes(b, tr, world)
 	var cross atomic.Int64
-	groups := make([]ProcessGroup, benchWorldSize)
+	groups := make([]ProcessGroup, world)
 	for r := range meshes {
 		groups[r] = NewGroup(
 			&countingMesh{Mesh: meshes[r], topo: topo, cross: &cross},
 			Options{Algorithm: algo, Topology: topo})
 	}
 	defer closeAll(groups)
-	bufs := make([][]float32, benchWorldSize)
+	bufs := make([][]float32, world)
 	for r := range bufs {
 		bufs[r] = make([]float32, n)
 		for i := range bufs[r] {
@@ -192,7 +275,7 @@ func benchAllReduce(b *testing.B, tr string, algo Algorithm, n int) {
 	// actually observe into.
 	resolved := algo
 	if resolved == Auto {
-		resolved = chooseAlgorithm(topo, n, benchWorldSize)
+		resolved = chooseAlgorithm(topo, n, world)
 	}
 	hist := mAllReduceDur.With(resolved.String())
 	b.SetBytes(int64(4 * n))
@@ -200,7 +283,7 @@ func benchAllReduce(b *testing.B, tr string, algo Algorithm, n int) {
 	before := hist.Snapshot()
 	for i := 0; i < b.N; i++ {
 		var wg sync.WaitGroup
-		errs := make([]error, benchWorldSize)
+		errs := make([]error, world)
 		for r := range groups {
 			wg.Add(1)
 			go func(r int) {
@@ -219,30 +302,142 @@ func benchAllReduce(b *testing.B, tr string, algo Algorithm, n int) {
 	lat := histDelta(before, hist.Snapshot())
 	crossPerOp := cross.Load() / int64(b.N)
 	b.ReportMetric(float64(crossPerOp), "crossB/op")
-	rec := benchRecord{
+	recordBench(benchRecord{
 		Transport:           tr,
 		Algorithm:           algo.String(),
-		World:               benchWorldSize,
+		World:               world,
 		Elems:               n,
 		NsPerOp:             float64(b.Elapsed().Nanoseconds()) / float64(b.N),
 		CrossHostBytesPerOp: crossPerOp,
 		HistP50Ns:           lat.Quantile(0.5) * 1e9,
 		HistP99Ns:           lat.Quantile(0.99) * 1e9,
 		HistCount:           lat.Count,
+	})
+}
+
+// benchCrossHostCounter tallies the bytes this rank sends across
+// simulated host boundaries, on BOTH lanes — float frames and the
+// compressed byte-lane frames. The byte lane forwards explicitly:
+// embedding alone would hide the base mesh's ByteMesh from
+// transport.ByteLanes and silently push codecs onto the float
+// fallback.
+type benchCrossHostCounter struct {
+	transport.Mesh
+	topo  *Topology
+	cross *atomic.Int64
+}
+
+func (c *benchCrossHostCounter) Send(to int, tag uint64, data []float32) error {
+	if c.topo.HostOf(c.Rank()) != c.topo.HostOf(to) {
+		c.cross.Add(int64(12 + 4*len(data)))
 	}
-	benchMu.Lock()
-	// The harness re-runs each case while calibrating b.N; keep only
-	// the final (longest) run per configuration.
-	for i := range benchRecords {
-		r := &benchRecords[i]
-		if r.Transport == rec.Transport && r.Algorithm == rec.Algorithm && r.Elems == rec.Elems {
-			*r = rec
-			benchMu.Unlock()
-			return
+	return c.Mesh.Send(to, tag, data)
+}
+
+// SendBytes counts a crossing byte-lane frame and forwards it.
+func (c *benchCrossHostCounter) SendBytes(to int, tag uint64, data []byte) error {
+	bm, ok := transport.ByteLanes(c.Mesh)
+	if !ok {
+		return fmt.Errorf("benchCrossHostCounter: base mesh has no byte lanes")
+	}
+	if c.topo.HostOf(c.Rank()) != c.topo.HostOf(to) {
+		c.cross.Add(int64(12 + len(data)))
+	}
+	return bm.SendBytes(to, tag, data)
+}
+
+// RecvBytes forwards a byte-lane receive.
+func (c *benchCrossHostCounter) RecvBytes(from int, tag uint64) ([]byte, error) {
+	bm, ok := transport.ByteLanes(c.Mesh)
+	if !ok {
+		return nil, fmt.Errorf("benchCrossHostCounter: base mesh has no byte lanes")
+	}
+	return bm.RecvBytes(from, tag)
+}
+
+// HasByteLanes reports the base mesh's capability.
+func (c *benchCrossHostCounter) HasByteLanes() bool {
+	_, ok := transport.ByteLanes(c.Mesh)
+	return ok
+}
+
+// BenchmarkCompressedHierarchical measures the compressed leader ring
+// on a TCP mesh: 8 ranks over 4 simulated hosts, Hierarchical
+// algorithm, with and without the fp16 codec on the inter-host leader
+// ring. The cross-host bytes land in BENCH_allreduce.json rows (codec
+// "" vs "fp16"); ci/bench_check.sh asserts their ratio matches the
+// codec's 2x within 10%.
+func BenchmarkCompressedHierarchical(b *testing.B) {
+	const world, n = 8, 1 << 17
+	for _, c := range []struct {
+		name  string
+		codec WireCodec
+	}{{"none", nil}, {"fp16", Float16Codec{}}} {
+		b.Run(fmt.Sprintf("%s/%d", c.name, n), func(b *testing.B) {
+			benchCompressedHierarchical(b, c.codec, n, world)
+		})
+	}
+}
+
+func benchCompressedHierarchical(b *testing.B, codec WireCodec, n, world int) {
+	topo := NewTopology(benchHosts(world))
+	meshes := benchMeshes(b, "tcp", world)
+	var cross atomic.Int64
+	groups := make([]ProcessGroup, world)
+	for r := range meshes {
+		groups[r] = NewGroup(
+			&benchCrossHostCounter{Mesh: meshes[r], topo: topo, cross: &cross},
+			Options{Algorithm: Hierarchical, Topology: topo})
+	}
+	defer closeAll(groups)
+	bufs := make([][]float32, world)
+	residuals := make([][]float32, world)
+	for r := range bufs {
+		bufs[r] = make([]float32, n)
+		residuals[r] = make([]float32, n)
+		for i := range bufs[r] {
+			bufs[r][i] = float32(r+i) / 7
 		}
 	}
-	benchRecords = append(benchRecords, rec)
-	benchMu.Unlock()
+	b.SetBytes(int64(4 * n))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var wg sync.WaitGroup
+		errs := make([]error, world)
+		for r := range groups {
+			wg.Add(1)
+			go func(r int) {
+				defer wg.Done()
+				if codec == nil {
+					errs[r] = groups[r].AllReduce(bufs[r], Sum).Wait()
+				} else {
+					errs[r] = CompressedAllReduce(groups[r], bufs[r], Sum, codec, residuals[r]).Wait()
+				}
+			}(r)
+		}
+		wg.Wait()
+		for r, err := range errs {
+			if err != nil {
+				b.Fatalf("rank %d: %v", r, err)
+			}
+		}
+	}
+	b.StopTimer()
+	crossPerOp := cross.Load() / int64(b.N)
+	b.ReportMetric(float64(crossPerOp), "crossB/op")
+	codecName := ""
+	if codec != nil {
+		codecName = codec.Name()
+	}
+	recordBench(benchRecord{
+		Transport:           "tcp",
+		Algorithm:           Hierarchical.String(),
+		Codec:               codecName,
+		World:               world,
+		Elems:               n,
+		NsPerOp:             float64(b.Elapsed().Nanoseconds()) / float64(b.N),
+		CrossHostBytesPerOp: crossPerOp,
+	})
 }
 
 // BenchmarkCompressedAllReduce sweeps codec x payload over a TCP mesh,
@@ -275,7 +470,7 @@ func BenchmarkCompressedAllReduce(b *testing.B) {
 }
 
 func benchCompressed(b *testing.B, name string, codec WireCodec, n int, ringBytes map[int]int64) {
-	meshes := benchMeshes(b, "tcp")
+	meshes := benchMeshes(b, "tcp", benchWorldSize)
 	var wire atomic.Int64
 	groups := make([]ProcessGroup, benchWorldSize)
 	for r := range meshes {

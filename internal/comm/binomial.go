@@ -1,0 +1,99 @@
+package comm
+
+import (
+	"fmt"
+
+	"repro/internal/transport"
+)
+
+// binomialRelation returns vrank's neighbours in the binomial tree over
+// k ranks rooted at vrank 0 — the one schedule both binomialReduce and
+// binomialBroadcast walk, in opposite directions. The parent is vrank
+// minus its lowest set bit (-1 for the root); the children are
+// vrank+1, vrank+2, vrank+4, ... for every mask below vrank's lowest
+// set bit (every mask below the tree's span for the root), clamped to
+// k, listed in increasing-mask order.
+//
+// Direction fixes the traversal order: the reduce folds children in
+// increasing-mask order and then sends to the parent, while the
+// broadcast receives from the parent and then fans out to children in
+// decreasing-mask order (largest subtree first, so deep subtrees start
+// earliest). Both orders are deterministic, which is what keeps the
+// collectives bitwise-reproducible.
+func binomialRelation(vrank, k int) (parent int, children []int) {
+	parent = -1
+	low := 1
+	for low < k {
+		low <<= 1
+	}
+	if vrank != 0 {
+		low = vrank & -vrank
+		parent = vrank - low
+	}
+	for mask := 1; mask < low; mask <<= 1 {
+		if c := vrank + mask; c < k {
+			children = append(children, c)
+		}
+	}
+	return parent, children
+}
+
+// binomialReduce folds every rank's data onto rank 0 along the binomial
+// tree (the reduce-up half of treeAllReduce): each rank receives its
+// children's partials in increasing-mask order, folds them in, and
+// forwards the accumulated buffer to its parent. The accumulation order
+// on each receiver is fixed by the tree, so the result on rank 0 is
+// deterministic. Non-root ranks' data is left partially reduced —
+// callers must overwrite it (the Hierarchical algorithm broadcasts the
+// finished buffer back in its last phase).
+func binomialReduce(m transport.Mesh, tag uint64, data []float32, op ReduceOp) error {
+	k := m.Size()
+	if k == 1 {
+		return nil
+	}
+	parent, children := binomialRelation(m.Rank(), k)
+	for _, c := range children {
+		buf, err := m.Recv(c, tag)
+		if err != nil {
+			return err
+		}
+		if len(buf) != len(data) {
+			return fmt.Errorf("comm: reduce size mismatch: got %d want %d", len(buf), len(data))
+		}
+		reduceInto(data, buf, op)
+	}
+	if parent >= 0 {
+		return m.Send(parent, tag, data)
+	}
+	return nil
+}
+
+// binomialBroadcast propagates root's data to all ranks along the same
+// binomial tree, walked top-down: receive once from the parent, then
+// forward to children in decreasing-mask order. Ranks are rotated so
+// the tree is rooted at root.
+func binomialBroadcast(m transport.Mesh, tag uint64, data []float32, root int) error {
+	k := m.Size()
+	if k == 1 {
+		return nil
+	}
+	// Work in a rotated rank space where the root is rank 0.
+	vrank := (m.Rank() - root + k) % k
+	parent, children := binomialRelation(vrank, k)
+	if parent >= 0 {
+		buf, err := m.Recv((parent+root)%k, tag)
+		if err != nil {
+			return err
+		}
+		if len(buf) != len(data) {
+			return fmt.Errorf("comm: broadcast size mismatch: got %d want %d", len(buf), len(data))
+		}
+		copy(data, buf)
+	}
+	for i := len(children) - 1; i >= 0; i-- {
+		if err := m.Send((children[i]+root)%k, tag, data); err != nil {
+			return err
+		}
+	}
+	return nil
+}

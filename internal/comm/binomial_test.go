@@ -1,0 +1,95 @@
+package comm
+
+import (
+	"reflect"
+	"testing"
+)
+
+// legacyReduceSchedule replays the pre-refactor binomialReduce loop
+// (ascending mask scan) and returns the ranks it would receive from,
+// in order, followed by the send target (-1 if root).
+func legacyReduceSchedule(rank, k int) (recvs []int, send int) {
+	send = -1
+	for mask := 1; mask < k; mask <<= 1 {
+		if rank&mask != 0 {
+			send = rank - mask
+			return recvs, send
+		}
+		if peer := rank + mask; peer < k {
+			recvs = append(recvs, peer)
+		}
+	}
+	return recvs, send
+}
+
+// legacyBroadcastSchedule replays the pre-refactor binomialBroadcast
+// loop (rotated vrank space, descending mask fan-out) and returns the
+// source rank (-1 for the root) and the ordered send targets.
+func legacyBroadcastSchedule(rank, k, root int) (src int, sends []int) {
+	src = -1
+	vrank := (rank - root + k) % k
+	top := 1
+	for top < k {
+		top <<= 1
+	}
+	if vrank != 0 {
+		mask := 1
+		for vrank&mask == 0 {
+			mask <<= 1
+		}
+		src = (vrank - mask + root + k) % k
+	}
+	lowest := top
+	if vrank != 0 {
+		lowest = 1
+		for vrank&lowest == 0 {
+			lowest <<= 1
+		}
+	}
+	for mask := lowest >> 1; mask >= 1; mask >>= 1 {
+		if dst := vrank + mask; dst < k {
+			sends = append(sends, (dst+root)%k)
+		}
+	}
+	return src, sends
+}
+
+// TestBinomialRelationMatchesLegacySchedules pins the refactor: the
+// shared binomialRelation helper must produce, for every rank, world
+// size, and root, exactly the message schedule the two hand-rolled
+// loops it replaced produced — same peers, same order. Any deviation
+// would change reduction order (breaking bitwise reproducibility) or
+// frame order on a link (breaking the strict-FIFO transports).
+func TestBinomialRelationMatchesLegacySchedules(t *testing.T) {
+	for k := 1; k <= 70; k++ {
+		for rank := 0; rank < k; rank++ {
+			parent, children := binomialRelation(rank, k)
+			wantRecvs, wantSend := legacyReduceSchedule(rank, k)
+			if parent != wantSend {
+				t.Fatalf("k=%d rank=%d: parent %d, legacy reduce sent to %d", k, rank, parent, wantSend)
+			}
+			if !reflect.DeepEqual(children, wantRecvs) {
+				t.Fatalf("k=%d rank=%d: children %v, legacy reduce received from %v", k, rank, children, wantRecvs)
+			}
+			for _, root := range []int{0, 1, k / 2, k - 1} {
+				vrank := (rank - root + k) % k
+				vparent, vchildren := binomialRelation(vrank, k)
+				src := -1
+				if vparent >= 0 {
+					src = (vparent + root) % k
+				}
+				var sends []int
+				for i := len(vchildren) - 1; i >= 0; i-- {
+					sends = append(sends, (vchildren[i]+root)%k)
+				}
+				wantSrc, wantSends := legacyBroadcastSchedule(rank, k, root)
+				if src != wantSrc {
+					t.Fatalf("k=%d rank=%d root=%d: src %d, legacy %d", k, rank, root, src, wantSrc)
+				}
+				if !reflect.DeepEqual(sends, wantSends) {
+					t.Fatalf("k=%d rank=%d root=%d: sends %v, legacy %v", k, rank, root, sends, wantSends)
+				}
+			}
+		}
+	}
+}

@@ -35,11 +35,13 @@ type GradientCompressor interface {
 // Like AllReduce, every rank must submit the same collectives in the
 // same order, and all ranks finish with bitwise-identical data.
 //
-// The compressed schedule is a flat reduce-scatter/all-gather; the
-// group's configured Algorithm and topology govern its OTHER
-// collectives and the quantize-then-AllReduce fallback, not the
-// byte-lane schedule (a topology-aware compressed path — compressing
-// only the inter-host leader ring — is a noted follow-on).
+// The compressed schedule is topology-aware: a group configured (or
+// Auto-resolved) to Hierarchical with a hierarchical topology runs the
+// COMPRESSED LEADER RING — exact float32 reduce/broadcast within each
+// host (and each level of a structured topology), with only the
+// outermost leader ring riding the codec's byte lanes — compression
+// exactly where bytes are expensive. Every other configuration takes
+// the flat compressed reduce-scatter/all-gather.
 func CompressedAllReduce(pg ProcessGroup, data []float32, op ReduceOp, codec WireCodec, residual []float32) Work {
 	if codec == nil {
 		return pg.AllReduce(data, op)
@@ -113,7 +115,7 @@ func (g *meshGroup) CompressedAllReduce(data []float32, op ReduceOp, codec WireC
 	if algo == Auto {
 		algo = chooseAlgorithm(g.topo, len(data), g.mesh.Size())
 	}
-	return g.submit(func(tag uint64) error {
+	return g.submitN(algoTags(algo), func(tag uint64) error {
 		start := time.Now()
 		shadow := residual
 		if residual != nil {
@@ -207,10 +209,21 @@ func compressedAllReduce(m transport.Mesh, tag uint64, data []float32, op Reduce
 		case Naive:
 			return 0, naiveAllReduce(m, tag, data, op)
 		case Hierarchical:
-			return 0, hierarchicalAllReduce(m, tag, data, op, topo)
+			_, err := hierarchicalAllReduce(m, tag, data, op, topo, nil, nil)
+			return 0, err
+		case DoubleTree:
+			// The caller reserved two tags for DoubleTree (algoTags).
+			return 0, doubleTreeAllReduce(m, tag, tag+1, data, op)
 		default:
 			return 0, ringAllReduce(m, tag, data, op)
 		}
+	}
+
+	// Compressed leader ring: with a hierarchical topology, keep the
+	// intra-host (and intra-level) phases exact and compress only the
+	// outermost leader ring, where every byte crosses the network.
+	if algo == Hierarchical && topo != nil && topo.Size() == k && topo.Hierarchical() {
+		return hierarchicalAllReduce(m, tag, data, op, topo, codec, residual)
 	}
 
 	rank := m.Rank()

@@ -14,29 +14,47 @@
 //
 // # AllReduce algorithms
 //
-// Five algorithms are provided, mirroring the selection space inside
+// Six algorithms are provided, mirroring the selection space inside
 // NCCL/Gloo that the paper discusses (Section 2.3):
 //
 //   - Ring: reduce-scatter + all-gather around a ring. Bandwidth
 //     optimal (2(k-1)/k of the buffer per link), 2(k-1) latency terms.
 //   - Tree: binomial reduce to rank 0 + broadcast back; log(k)
 //     latency, the right shape for small messages.
+//   - DoubleTree: NCCL 2.4's double binary trees — two complementary
+//     in-order binary trees, each reducing and broadcasting half the
+//     payload concurrently, with every rank an inner node in at most
+//     one tree. Log-depth like Tree but at full bandwidth (no
+//     half-idle leaves), with chunk pipelining so large buffers
+//     stream through the trees (hw.DoubleTreeAllReduceSeconds models
+//     the latency win over Ring; doubletree.go has the construction).
 //   - Naive: full exchange with every peer — the strawman baseline.
-//   - Hierarchical: the topology-aware three-phase AllReduce —
-//     intra-host reduce onto per-host leaders, inter-host ring among
-//     leaders only, intra-host broadcast back. A flat ring spanning
-//     machines makes every server's NIC carry the crossing edges of
-//     all concurrent rings, collapsing per-ring bandwidth to
-//     NIC/GPUsPerServer (the paper's Section 6.1 observation, modeled
-//     in hw.AllReduceSeconds); reducing within the host first sends
-//     only one rank's worth of data per host across the network,
-//     recovering most of that loss (hw.HierarchicalAllReduceSeconds
-//     models the recovery; the bench package's hierarchical ablation
-//     quantifies it).
-//   - Auto: picks Tree / Hierarchical / Ring per collective from the
-//     message size and the group's Topology, like NCCL's size-driven
-//     algorithm switch. Selection is a pure function of (size,
-//     topology), both identical on every rank, so all ranks agree.
+//   - Hierarchical: the topology-aware AllReduce. With the classic
+//     two-level Topology it reduces onto per-host leaders, runs the
+//     inter-host ring among leaders only, and broadcasts back. A flat
+//     ring spanning machines makes every server's NIC carry the
+//     crossing edges of all concurrent rings, collapsing per-ring
+//     bandwidth to NIC/GPUsPerServer (the paper's Section 6.1
+//     observation, modeled in hw.AllReduceSeconds); reducing within
+//     the host first sends only one rank's worth of data per host
+//     across the network, recovering most of that loss
+//     (hw.HierarchicalAllReduceSeconds models the recovery; the bench
+//     package's hierarchical ablation quantifies it). An N-level
+//     Topology (nested "/" labels: pod/rack/host) generalizes this to
+//     reduce-up/broadcast-down per level with the ring at the top
+//     among top-level leaders only (hw.NLevelAllReduceSeconds prices
+//     the latency/bandwidth tradeoff). When the group carries a
+//     WireCodec (see below), the top leader ring — the only phase
+//     crossing the expensive boundary — runs compressed over the byte
+//     lanes while intra-level phases stay exact.
+//   - Auto: picks per collective from the message size, world size,
+//     and the group's Topology, like NCCL's size-driven algorithm
+//     switch: small messages take the log-depth trees (DoubleTree
+//     from world 4 up, Tree below), large messages on a multi-host
+//     topology take Hierarchical, medium messages on deep worlds
+//     (>= 32 ranks) take DoubleTree, everything else Ring. Selection
+//     is a pure function of (size, world, topology), all identical on
+//     every rank, so all ranks agree.
 //
 // Every algorithm leaves bitwise-identical results on every rank —
 // each reduced value is computed on exactly one rank and propagated
@@ -73,13 +91,18 @@
 //
 // # Topology
 //
-// Topology maps ranks to host labels. Groups obtain one from (in
+// Topology maps ranks to placement labels. A plain label ("host3") is
+// one level; "/"-separated labels ("pod0/rack1/host3") build an
+// N-level hierarchy — Levels(), NumGroups, and the per-level phase
+// schedule all derive from the label structure, so deeper physical
+// topologies need no new API. Groups obtain a Topology from (in
 // precedence order) Options.Topology, or the transport itself when it
 // knows peer placement (TCP meshes implement transport.HostLister from
 // rendezvous addresses). The elastic package's builders pass each
-// rendezvous round's member hosts through Options.Topology, so
-// regenerated groups stay topology-aware across membership changes.
-// The hierarchical phases run on sub-meshes carved out of the group's
-// single transport.Mesh by rank remapping (transport.NewSubMesh) — no
-// extra connections, no extra rendezvous.
+// rendezvous round's member hosts through Options.Topology — nested
+// labels flow through rendezvous unchanged — so regenerated groups
+// stay topology-aware across membership changes. The hierarchical
+// phases run on sub-meshes carved out of the group's single
+// transport.Mesh by rank remapping (transport.NewSubMesh) — no extra
+// connections, no extra rendezvous.
 package comm

@@ -138,13 +138,21 @@ func (g *meshGroup) Size() int { return g.mesh.Size() }
 // then wait out registered senders before closing the channel, so no
 // send can hit a closed channel.
 func (g *meshGroup) submit(run func(tag uint64) error) Work {
+	return g.submitN(1, run)
+}
+
+// submitN is submit reserving `tags` consecutive tags — run receives
+// the first and owns [tag, tag+tags). DoubleTree needs two (one per
+// concurrent tree); every rank reserves the same count because all
+// ranks resolve the same algorithm for the same collective.
+func (g *meshGroup) submitN(tags int, run func(tag uint64) error) Work {
 	g.mu.Lock()
 	if g.closed {
 		g.mu.Unlock()
 		return CompletedWork(ErrClosed)
 	}
 	tag := g.nextTag
-	g.nextTag++
+	g.nextTag += uint64(tags)
 	w := newPendingWork()
 	g.sending.Add(1)
 	g.mu.Unlock()
@@ -162,7 +170,7 @@ func (g *meshGroup) AllReduce(data []float32, op ReduceOp) Work {
 		// ProcessGroup contract) — picks the same algorithm.
 		algo = chooseAlgorithm(g.topo, len(data), g.mesh.Size())
 	}
-	return g.submit(func(tag uint64) error {
+	return g.submitN(algoTags(algo), func(tag uint64) error {
 		start := time.Now()
 		var err error
 		switch algo {
@@ -173,13 +181,24 @@ func (g *meshGroup) AllReduce(data []float32, op ReduceOp) Work {
 		case Naive:
 			err = naiveAllReduce(g.mesh, tag, data, op)
 		case Hierarchical:
-			err = hierarchicalAllReduce(g.mesh, tag, data, op, g.topo)
+			_, err = hierarchicalAllReduce(g.mesh, tag, data, op, g.topo, nil, nil)
+		case DoubleTree:
+			err = doubleTreeAllReduce(g.mesh, tag, tag+1, data, op)
 		default:
 			err = fmt.Errorf("comm: unknown algorithm %v", g.opts.Algorithm)
 		}
 		observeAllReduce(algo.String(), len(data), start, err)
 		return err
 	})
+}
+
+// algoTags returns how many transport tags one AllReduce under algo
+// consumes: DoubleTree's two concurrent trees need one each.
+func algoTags(algo Algorithm) int {
+	if algo == DoubleTree {
+		return 2
+	}
+	return 1
 }
 
 func (g *meshGroup) Broadcast(data []float32, root int) Work {

@@ -1,6 +1,7 @@
 package comm
 
 import (
+	"fmt"
 	"math"
 	"math/rand"
 	"sync/atomic"
@@ -53,6 +54,16 @@ func hostLayouts(world int) map[string][]string {
 		}
 		layouts["interleaved"] = inter
 	}
+	if world >= 4 {
+		// Structured three-level labels (pod/rack/host): two ranks per
+		// host, two hosts per rack, two racks per pod — the N-level
+		// reduce/broadcast chain with a top ring among pod leaders.
+		three := make([]string, world)
+		for r := 0; r < world; r++ {
+			three[r] = fmt.Sprintf("p%d/r%d/h%d", r/8, r/4, r/2)
+		}
+		layouts["threelevel"] = three
+	}
 	return layouts
 }
 
@@ -95,7 +106,7 @@ func serialReduce(inputs [][]float32, op ReduceOp) []float64 {
 // results on every rank, and agreement with a serial reference
 // reduction within float tolerance.
 func TestAllReduceAlgorithmsTable(t *testing.T) {
-	algos := []Algorithm{Ring, Tree, Naive, Hierarchical, Auto}
+	algos := []Algorithm{Ring, Tree, Naive, Hierarchical, DoubleTree, Auto}
 	worlds := []int{1, 2, 3, 5, 6, 8}
 	sizes := []int{0, 1, 7, 1031}
 	ops := []ReduceOp{Sum, Avg, Prod, Min, Max}
@@ -145,14 +156,15 @@ func TestAllReduceAlgorithmsTable(t *testing.T) {
 	}
 }
 
-// TestHierarchicalMatchesRingBitwiseOnExactData pins the acceptance
-// criterion "hierarchical produces bitwise-identical results to Ring"
-// on inputs whose sums are exact in float32 (small integers): float
-// addition of exactly-representable values is order-independent, so
-// any reduction-order divergence between the algorithms would surface
-// as differing bits here.
-func TestHierarchicalMatchesRingBitwiseOnExactData(t *testing.T) {
-	for _, world := range []int{2, 3, 5, 6, 8} {
+// TestAlgorithmsMatchRingBitwiseOnExactData pins the acceptance
+// criterion "hierarchical (two- and three-level) and double-tree
+// produce bitwise-identical results to Ring" on inputs whose sums are
+// exact in float32 (small integers): float addition of
+// exactly-representable values is order-independent, so any
+// reduction-order divergence between the algorithms would surface as
+// differing bits here.
+func TestAlgorithmsMatchRingBitwiseOnExactData(t *testing.T) {
+	for _, world := range []int{1, 2, 3, 5, 6, 8} {
 		for layoutName, hosts := range hostLayouts(world) {
 			var topo *Topology
 			if hosts != nil {
@@ -179,12 +191,14 @@ func TestHierarchicalMatchesRingBitwiseOnExactData(t *testing.T) {
 			}
 			for _, op := range []ReduceOp{Sum, Avg} {
 				ring := run(Ring, op)
-				hier := run(Hierarchical, op)
-				for r := 0; r < world; r++ {
-					for i := 0; i < n; i++ {
-						if ring[r][i] != hier[r][i] {
-							t.Fatalf("world=%d layout=%s op=%v rank=%d elem %d: ring %v vs hierarchical %v",
-								world, layoutName, op, r, i, ring[r][i], hier[r][i])
+				for _, algo := range []Algorithm{Hierarchical, DoubleTree} {
+					got := run(algo, op)
+					for r := 0; r < world; r++ {
+						for i := 0; i < n; i++ {
+							if ring[r][i] != got[r][i] {
+								t.Fatalf("world=%d layout=%s op=%v rank=%d elem %d: ring %v vs %v %v",
+									world, layoutName, op, r, i, ring[r][i], algo, got[r][i])
+							}
 						}
 					}
 				}
@@ -218,27 +232,51 @@ func TestTopologyLayout(t *testing.T) {
 	}
 }
 
+// TestChooseAlgorithm pins Auto's policy at every decision boundary:
+// the small-payload tree band (and its Tree/DoubleTree world split),
+// the large-payload hierarchical band with every way a topology can
+// fail to qualify, the deep-world medium band, and the Ring default.
 func TestChooseAlgorithm(t *testing.T) {
 	multi := NewTopology([]string{"a", "a", "b", "b"})
 	flat := NewTopology([]string{"a", "b", "c", "d"})
+	single := NewTopology([]string{"a", "a", "a", "a"})
+	three := NewTopology([]string{"p0/r0/h0", "p0/r0/h0", "p0/r1/h1", "p1/r2/h2", "p1/r2/h2", "p1/r3/h3"})
+	deep := autoDoubleTreeDeepWorld
 	cases := []struct {
+		name  string
 		topo  *Topology
 		elems int
 		world int
 		want  Algorithm
 	}{
-		{nil, 16, 4, Tree},                 // small: latency path
-		{multi, autoTreeMaxElems, 4, Tree}, // boundary inclusive
-		{nil, 1 << 20, 4, Ring},            // no placement info
-		{multi, 1 << 20, 4, Hierarchical},  // multi-host, large
-		{multi, autoHierarchicalMinElems, 4, Hierarchical},
-		{multi, autoHierarchicalMinElems - 1, 4, Ring}, // mid-size stays ring
-		{flat, 1 << 20, 4, Ring},                       // flat topology: nothing to shed
-		{multi, 1 << 20, 6, Ring},                      // stale topology (size mismatch) ignored
+		// Small payloads: log-depth trees; DoubleTree from world 4 up.
+		{"small/world1", nil, 16, 1, Tree},
+		{"small/shallow", nil, 16, autoDoubleTreeMinWorld - 1, Tree},
+		{"small/min-doubletree-world", nil, 16, autoDoubleTreeMinWorld, DoubleTree},
+		{"small/boundary-inclusive", multi, autoTreeMaxElems, 4, DoubleTree},
+		{"small/shallow-boundary", nil, autoTreeMaxElems, 2, Tree},
+		{"small/zero-elems", nil, 0, 8, DoubleTree},
+		{"small/topology-ignored", multi, autoTreeMaxElems, 4, DoubleTree},
+		// Large payloads: Hierarchical iff the topology qualifies.
+		{"large/no-topology", nil, 1 << 20, 4, Ring},
+		{"large/multi-host", multi, 1 << 20, 4, Hierarchical},
+		{"large/boundary-inclusive", multi, autoHierarchicalMinElems, 4, Hierarchical},
+		{"large/three-level", three, 1 << 20, 6, Hierarchical},
+		{"large/flat-topology", flat, 1 << 20, 4, Ring},
+		{"large/single-host", single, 1 << 20, 4, Ring},
+		{"large/stale-topology", multi, 1 << 20, 6, Ring},
+		{"large/deep-world-stays-ring", nil, 1 << 20, deep, Ring},
+		// Medium payloads (between the cutoffs): DoubleTree only on
+		// deep worlds, Ring otherwise.
+		{"medium/shallow", multi, autoTreeMaxElems + 1, 4, Ring},
+		{"medium/below-hier-boundary", multi, autoHierarchicalMinElems - 1, 4, Ring},
+		{"medium/deep-world", nil, 32 << 10, deep, DoubleTree},
+		{"medium/almost-deep", nil, 32 << 10, deep - 1, Ring},
+		{"medium/deep-hier-topo", multi, 32 << 10, deep, DoubleTree},
 	}
 	for _, tc := range cases {
 		if got := chooseAlgorithm(tc.topo, tc.elems, tc.world); got != tc.want {
-			t.Fatalf("chooseAlgorithm(%v, %d, %d) = %v, want %v", tc.topo, tc.elems, tc.world, got, tc.want)
+			t.Fatalf("%s: chooseAlgorithm(%v, %d, %d) = %v, want %v", tc.name, tc.topo, tc.elems, tc.world, got, tc.want)
 		}
 	}
 }

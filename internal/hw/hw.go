@@ -209,6 +209,126 @@ func (c Cluster) HierarchicalAllReduceSeconds(b Backend, nBytes int, world int) 
 	return t
 }
 
+// doubleTreeChunkBytes mirrors comm's pipeline granularity (8Ki float32
+// elements per chunk) so the modeled critical path counts the same
+// number of pipelined hops the implementation issues.
+const doubleTreeChunkBytes = 32 << 10
+
+// DoubleTreeAllReduceSeconds returns the modeled wall time of one
+// double-binary-tree AllReduce of nBytes across world ranks (the
+// NCCL-2.4 construction: two complementary trees, each carrying half
+// the payload, pipelined in fixed-size chunks):
+//
+//	depth  = ceil(log2(k+1))
+//	chunks = ceil((nBytes/2) / chunkBytes)
+//	T = 2 (depth + chunks - 1) * stepLatency + 3/2 * nBytes / edgeBandwidth
+//
+// Latency is logarithmic in k instead of the ring's linear 2(k-1)
+// steps, which is the whole point for small buffers on deep worlds.
+// The bandwidth term reflects that an inner node of one tree forwards
+// its half twice (up and down) while being a leaf of the other tree,
+// for ~3/2 of the buffer over the busiest edge — slightly worse than
+// the ring's 2(k-1)/k but within a constant. Edge bandwidth follows the
+// same cross-machine collapse as AllReduceSeconds: NVLink inside one
+// server, NIC/GPUsPerServer once tree edges span machines.
+func (c Cluster) DoubleTreeAllReduceSeconds(b Backend, nBytes int, world int) float64 {
+	if world <= 1 {
+		return 0
+	}
+	depth := math.Ceil(math.Log2(float64(world + 1)))
+	chunks := math.Ceil(float64(nBytes) / 2 / doubleTreeChunkBytes)
+	if chunks < 1 {
+		chunks = 1
+	}
+	hops := 2 * (depth + chunks - 1)
+	volume := 1.5 * float64(nBytes)
+	var t float64
+	switch b {
+	case NCCLLike:
+		edge := c.NVLinkBandwidth
+		if world > c.GPUsPerServer {
+			edge = c.NICBandwidth * c.CrossMachineEfficiency / float64(c.GPUsPerServer)
+		}
+		t = hops*c.NCCLStepLatency + volume/edge
+	case GlooLike:
+		bw := c.GlooBandwidth
+		if world > 2 {
+			bw *= 2 // distinct full-duplex paths per directed tree edge
+		}
+		t = hops*c.GlooStepLatency + volume/bw
+	default:
+		panic("hw: unknown backend")
+	}
+	if c.SharedEntitlement {
+		t *= c.entitlementFactor(world)
+	}
+	return t
+}
+
+// NLevelAllReduceSeconds returns the modeled wall time of an N-level
+// hierarchical AllReduce over the given per-level group sizes, listed
+// outermost-first (e.g. hosts-per-rack at index 0 ... ranks-per-host
+// last, matching comm.Topology's level order). Each level contributes a
+// binomial reduce on the way up and a broadcast on the way down:
+//
+//	T = sum over levels: 2 ceil(log2 g_l) * (stepLatency + nBytes/edge_l)
+//	  + 2(h-1) * stepLatency + 2 (h-1)/h * nBytes / nic   // top leader ring
+//
+// where h = world / prod(g_l) leaders remain for the top ring. The
+// innermost level rides NVLink; every outer level and the top ring pay
+// the NIC, but — as in HierarchicalAllReduceSeconds — with full
+// ownership, since only one leader per group crosses that boundary.
+// An empty groupSizes falls back to the two-level model.
+func (c Cluster) NLevelAllReduceSeconds(b Backend, nBytes int, world int, groupSizes []int) float64 {
+	if world <= 1 {
+		return 0
+	}
+	if len(groupSizes) == 0 {
+		return c.HierarchicalAllReduceSeconds(b, nBytes, world)
+	}
+	remaining := world
+	var t float64
+	for i := len(groupSizes) - 1; i >= 0; i-- {
+		g := groupSizes[i]
+		if g <= 1 {
+			continue
+		}
+		hops := 2 * math.Ceil(math.Log2(float64(g)))
+		var edge float64
+		switch b {
+		case NCCLLike:
+			edge = c.NVLinkBandwidth
+			if i < len(groupSizes)-1 {
+				edge = c.NICBandwidth // leaders own the cross-group links
+			}
+			t += hops * (c.NCCLStepLatency + float64(nBytes)/edge)
+		case GlooLike:
+			t += hops * (c.GlooStepLatency + float64(nBytes)/c.GlooBandwidth)
+		default:
+			panic("hw: unknown backend")
+		}
+		remaining = (remaining + g - 1) / g
+	}
+	if h := float64(remaining); h > 1 {
+		ringSteps := 2 * (h - 1)
+		ringVolume := 2 * (h - 1) / h * float64(nBytes)
+		switch b {
+		case NCCLLike:
+			t += ringSteps*c.NCCLStepLatency + ringVolume/c.NICBandwidth
+		case GlooLike:
+			ringBW := c.GlooBandwidth
+			if h > 2 {
+				ringBW *= 2
+			}
+			t += ringSteps*c.GlooStepLatency + ringVolume/ringBW
+		}
+	}
+	if c.SharedEntitlement {
+		t *= c.entitlementFactor(world)
+	}
+	return t
+}
+
 // entitlementFactor models the shared entitlement of Section 5.3: mild
 // degradation as jobs span more (heterogeneous) hosts, plus the sudden
 // congestion jump the paper observed going from 128 to 256 GPUs.

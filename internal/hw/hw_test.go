@@ -156,6 +156,89 @@ func TestHierarchicalTinyPayloadsStayLatencyBound(t *testing.T) {
 	}
 }
 
+func TestDoubleTreeBeatsRingLatencyOnSmallPayloads(t *testing.T) {
+	// The tentpole claim for the small-bucket band: at <= 4Ki elements
+	// the double tree's 2*ceil(log2(k+1)) hop latency beats the ring's
+	// 2(k-1) steps once the world is deep enough that log2 k << k. Only
+	// the NCCL row rings: the Gloo baseline models halving-doubling,
+	// which is already log-depth, so the double tree's edge there is
+	// bandwidth (pipelining), not latency — see the huge-payload test.
+	c := DefaultCluster()
+	bytes := 4096 * 4
+	for _, world := range []int{8, 32, 256} {
+		ring := c.AllReduceSeconds(NCCLLike, bytes, world)
+		dt := c.DoubleTreeAllReduceSeconds(NCCLLike, bytes, world)
+		if dt >= ring {
+			t.Fatalf("world %d: double tree (%v) should beat ring (%v) at 16KiB", world, dt, ring)
+		}
+	}
+}
+
+func TestDoubleTreeLosesBandwidthToRingOnHugePayloads(t *testing.T) {
+	// The 3/2 volume term exceeds the ring's 2(k-1)/k once latency is
+	// amortized — the reason Auto keeps the large band off DoubleTree.
+	c := DefaultCluster()
+	bytes := 100 << 20
+	ring := c.AllReduceSeconds(NCCLLike, bytes, 8)
+	dt := c.DoubleTreeAllReduceSeconds(NCCLLike, bytes, 8)
+	if dt <= ring {
+		t.Fatalf("100MB world 8: ring (%v) should beat double tree (%v)", ring, dt)
+	}
+}
+
+func TestDoubleTreeWorldOfOneFree(t *testing.T) {
+	if DefaultCluster().DoubleTreeAllReduceSeconds(NCCLLike, 1<<20, 1) != 0 {
+		t.Fatal("single rank needs no communication")
+	}
+}
+
+func TestNLevelFallsBackToTwoLevel(t *testing.T) {
+	c := DefaultCluster()
+	for _, world := range []int{4, 16, 64} {
+		got := c.NLevelAllReduceSeconds(NCCLLike, 4<<20, world, nil)
+		want := c.HierarchicalAllReduceSeconds(NCCLLike, 4<<20, world)
+		if got != want {
+			t.Fatalf("world %d: empty groupSizes should equal two-level: %v vs %v", world, got, want)
+		}
+	}
+}
+
+func TestNLevelDeepHierarchyShedsTopRingLatency(t *testing.T) {
+	// 64 ranks as 4 pods x 2 racks x 8 GPUs: the three-level schedule's
+	// top ring spans only 4 pod leaders instead of the two-level
+	// schedule's 8 host leaders, trading 2(h-1) serial ring steps for
+	// log-depth binomial hops — a latency win on small buffers.
+	c := DefaultCluster()
+	small := 4 << 10
+	two := c.HierarchicalAllReduceSeconds(NCCLLike, small, 64)
+	three := c.NLevelAllReduceSeconds(NCCLLike, small, 64, []int{2, 8})
+	if three >= two {
+		t.Fatalf("three-level (%v) should beat two-level (%v) at 4KB x 64 ranks", three, two)
+	}
+	// On big buffers the extra level's full-buffer binomial hops cost
+	// 2*ceil(log2 g)*nBytes over the NIC, more than the ring's
+	// 2(h-1)/h factor they displace: the model must expose that
+	// bandwidth tradeoff rather than pretend deeper is always better...
+	big := 25 << 20
+	twoBig := c.HierarchicalAllReduceSeconds(NCCLLike, big, 64)
+	threeBig := c.NLevelAllReduceSeconds(NCCLLike, big, 64, []int{2, 8})
+	if threeBig <= twoBig {
+		t.Fatalf("three-level (%v) should pay for its extra level vs two-level (%v) at 25MB", threeBig, twoBig)
+	}
+	// ...while still beating the flat ring, whose per-ring NIC share
+	// collapsed to 1/GPUsPerServer.
+	flat := c.AllReduceSeconds(NCCLLike, big, 64)
+	if threeBig >= flat {
+		t.Fatalf("three-level (%v) should beat the flat ring (%v)", threeBig, flat)
+	}
+}
+
+func TestNLevelWorldOfOneFree(t *testing.T) {
+	if DefaultCluster().NLevelAllReduceSeconds(GlooLike, 1<<20, 1, []int{1}) != 0 {
+		t.Fatal("single rank needs no communication")
+	}
+}
+
 func TestServers(t *testing.T) {
 	c := DefaultCluster()
 	for _, tc := range []struct{ world, want int }{

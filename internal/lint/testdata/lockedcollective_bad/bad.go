@@ -39,3 +39,26 @@ func insideBranch(t *trainer, data []float32, hot bool) {
 		t.pg.Broadcast(data, 0) //lint:want lockedcollective
 	}
 }
+
+// hierarchicalPhases: the N-level schedule is a loop of collectives;
+// holding a mutex across the per-level phase loop is the same
+// recovery deadlock, repeated once per topology level.
+func hierarchicalPhases(t *trainer, topo *comm.Topology, data []float32) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for l := 0; l < topo.Levels(); l++ {
+		if err := t.pg.AllReduce(data, comm.Sum).Wait(); err != nil { //lint:want lockedcollective
+			return err
+		}
+	}
+	return nil
+}
+
+// doubleTreeHalves: the double-tree pairing submits two half-payload
+// collectives; each is a separate blocking submission under the lock.
+func doubleTreeHalves(t *trainer, data []float32) {
+	t.mu.Lock()
+	t.pg.AllReduce(data[:len(data)/2], comm.Sum) //lint:want lockedcollective
+	t.pg.AllReduce(data[len(data)/2:], comm.Sum) //lint:want lockedcollective
+	t.mu.Unlock()
+}

@@ -50,3 +50,29 @@ func (t *trainer) closureRunsLater(data []float32) func() error {
 		return t.pg.AllReduce(data, comm.Sum).Wait()
 	}
 }
+
+// leaderRingSnapshot mirrors the compressed leader ring's residual
+// handling: state is snapshotted under the lock, the collective runs
+// after release.
+func (t *trainer) leaderRingSnapshot(data, residual []float32) error {
+	t.mu.Lock()
+	res := make([]float32, len(residual))
+	copy(res, residual)
+	pg := t.pg
+	t.mu.Unlock()
+	return comm.CompressedAllReduce(pg, data, comm.Sum, comm.Float16Codec{}, res).Wait()
+}
+
+// levelsReadThenReduce: reading topology shape under the lock is fine;
+// the per-level collectives run unlocked.
+func (t *trainer) levelsReadThenReduce(topo *comm.Topology, data []float32) error {
+	t.mu.Lock()
+	levels := topo.Levels()
+	t.mu.Unlock()
+	for l := 0; l < levels; l++ {
+		if err := t.pg.AllReduce(data, comm.Sum).Wait(); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -53,3 +53,24 @@ func childLeaks(t *trace.Tracer) {
 	}
 	child.Finish()
 }
+
+// treeHalfLeaks: the double-tree pairing spans one child per tree;
+// finishing only the first leaks the second.
+func treeHalfLeaks(t *trace.Tracer) {
+	root := t.StartSpan("doubletree")
+	defer root.Finish()
+	t1 := root.StartChild("tree1")
+	t1.Finish()
+	root.StartChild("tree2") //lint:want spanfinish
+}
+
+// leaderRingAbortLeaks: bailing out of the compressed leader ring
+// before the fallback path leaves the phase span open.
+func leaderRingAbortLeaks(t *trace.Tracer, compressed bool) {
+	sp := t.StartSpan("leader-ring")
+	if !compressed {
+		return //lint:want spanfinish
+	}
+	sp.Phase("compress")
+	sp.Finish()
+}

@@ -98,3 +98,29 @@ func phasesAreNotTracked(t *trace.Tracer) {
 	sp.Phase("one")
 	sp.Phase("two")
 }
+
+// phasePerLevel mirrors the N-level hierarchical schedule: one span,
+// a Phase per topology level, one Finish.
+func phasePerLevel(t *trace.Tracer, levels int) {
+	sp := t.StartSpan("hierarchical")
+	defer sp.Finish()
+	for l := 0; l < levels; l++ {
+		sp.Phase("reduce-level")
+	}
+	sp.Phase("leader-ring")
+	for l := levels - 1; l >= 0; l-- {
+		sp.Phase("broadcast-level")
+	}
+}
+
+// treeHalvesBothFinish: the double-tree pairing's per-tree children
+// each finish inside the loop iteration that started them.
+func treeHalvesBothFinish(t *trace.Tracer) {
+	root := t.StartSpan("doubletree")
+	defer root.Finish()
+	for _, name := range []string{"tree1", "tree2"} {
+		child := root.StartChild(name)
+		child.Phase("reduce")
+		child.Finish()
+	}
+}

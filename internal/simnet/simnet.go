@@ -63,6 +63,18 @@ type Config struct {
 	// instead of the flat ring. Identical to the flat model while the
 	// world fits one server.
 	Hierarchical bool
+	// DoubleTree prices AllReduces with the double-binary-tree cost
+	// model (hw.DoubleTreeAllReduceSeconds: two complementary pipelined
+	// trees, log-depth latency) instead of the flat ring. Takes
+	// precedence over Hierarchical — comm's Auto policy never selects
+	// both for the same bucket.
+	DoubleTree bool
+	// TopologyGroupSizes, when non-empty, prices hierarchical
+	// AllReduces with the N-level model (hw.NLevelAllReduceSeconds)
+	// over these per-level group sizes, outermost-first with ranks-
+	// per-host last — matching comm.Topology's structured "/" labels.
+	// Only consulted when Hierarchical is set.
+	TopologyGroupSizes []int
 	// Jitter enables the stochastic effects observed in the paper's
 	// box-whisker plots: per-iteration noise, stragglers growing with
 	// world size, and delay spikes at 100-iteration boundaries.
@@ -91,6 +103,22 @@ func (c Config) withDefaults() Config {
 		c.Cluster = hw.DefaultCluster()
 	}
 	return c
+}
+
+// allReduceCost prices one bucket's AllReduce under the configured
+// algorithm family: double tree, N-level or two-level hierarchy, or
+// the flat ring.
+func (c Config) allReduceCost(bytes int) float64 {
+	switch {
+	case c.DoubleTree:
+		return c.Cluster.DoubleTreeAllReduceSeconds(c.Backend, bytes, c.World)
+	case c.Hierarchical && len(c.TopologyGroupSizes) > 0:
+		return c.Cluster.NLevelAllReduceSeconds(c.Backend, bytes, c.World, c.TopologyGroupSizes)
+	case c.Hierarchical:
+		return c.Cluster.HierarchicalAllReduceSeconds(c.Backend, bytes, c.World)
+	default:
+		return c.Cluster.AllReduceSeconds(c.Backend, bytes, c.World)
+	}
 }
 
 // Breakdown is the per-iteration latency decomposition of Fig 6.
@@ -207,12 +235,7 @@ func simulate(cfg Config, rng *rand.Rand, iter int) (Breakdown, []BucketEvent, e
 	events := make([]BucketEvent, 0, assign.NumBuckets())
 	for b := 0; b < assign.NumBuckets(); b++ {
 		bytes := int(float64(assign.BucketElems[b]*4) / cfg.CompressionRatio)
-		var cost float64
-		if cfg.Hierarchical {
-			cost = cfg.Cluster.HierarchicalAllReduceSeconds(cfg.Backend, bytes, cfg.World)
-		} else {
-			cost = cfg.Cluster.AllReduceSeconds(cfg.Backend, bytes, cfg.World)
-		}
+		cost := cfg.allReduceCost(bytes)
 		commBusy += cost
 		s := b % cfg.CommStreams
 		start := readyAt[b]
