@@ -1,8 +1,10 @@
 #!/bin/sh
 # bench_check.sh — gate the benchmark summaries the comm suite writes
-# to the repository root (BENCH_allreduce.json, BENCH_compression.json).
+# to the repository root (BENCH_allreduce.json, BENCH_compression.json)
+# and the sharding ablation's BENCH_sharding.json (regenerate with
+# `ddpbench -exp sharding`).
 #
-# Two performance contracts are asserted against the freshly generated
+# Performance contracts asserted against the freshly generated
 # records:
 #
 #   1. Double binary trees beat Ring at small payloads. For the TCP
@@ -16,6 +18,13 @@
 #      [1.8, 2.2]x below the uncompressed hierarchical run's. The byte
 #      count is deterministic (measured ratio 2.00003); the band only
 #      absorbs future framing tweaks.
+#
+#   3. ZeRO-3 actually shards memory. At world 4, its persistent
+#      per-rank parameter+optimizer bytes must sit within (1/4 + 5%)
+#      of the replicated DDP row's, its peak parameter residency must
+#      stay strictly below the full model (no rank ever holds every
+#      parameter), and every sharded row must have reproduced the DDP
+#      trajectory bitwise.
 #
 # Requires jq. Run after `go test -bench . ...` has refreshed the
 # JSON files (CI's "Bench smoke" step).
@@ -72,5 +81,40 @@ fp16=$(crossbytes "fp16")
 ok=$(jq -n --argjson r "$raw" --argjson c "$fp16" '($r / $c) >= 1.8 and ($r / $c) <= 2.2')
 [ "$ok" = "true" ] || fail "fp16 cross-host ratio $raw/$fp16 outside [1.8, 2.2]"
 echo "bench_check: fp16 leader ring cross-host ratio $(jq -n --argjson r "$raw" --argjson c "$fp16" '$r / $c') within [1.8, 2.2]"
+
+# --- sharding memory gate (BENCH_sharding.json) ------------------------------
+
+sharding="$root/BENCH_sharding.json"
+[ -f "$sharding" ] || fail "missing $sharding (run: ddpbench -exp sharding)"
+
+sver=$(jq -r '.schema_version' "$sharding")
+[ "$sver" = "2" ] || fail "BENCH_sharding.json schema_version = $sver, want 2"
+
+# Persistent per-rank state (param shard + optimizer shard) of a
+# strategy's world-4 row.
+state() {
+	jq -r --arg strategy "$1" '
+		[.records[]
+		 | select(.strategy == $strategy and .world == 4)
+		 | .shard_param_bytes + .optimizer_bytes][0] // "missing"' "$sharding"
+}
+
+ddp_state=$(state ddp)
+z3_state=$(state zero3)
+[ "$ddp_state" != "missing" ] || fail "no ddp world-4 sharding row"
+[ "$z3_state" != "missing" ] || fail "no zero3 world-4 sharding row"
+ok=$(jq -n --argjson d "$ddp_state" --argjson z "$z3_state" '$z <= (0.25 + 0.05) * $d')
+[ "$ok" = "true" ] || fail "zero3 world-4 param+opt bytes ($z3_state) exceed (1/4+5%) of DDP's ($ddp_state)"
+echo "bench_check: zero3 world-4 param+opt $z3_state B <= (1/4+5%) x DDP $ddp_state B"
+
+peak_ok=$(jq -r '
+	[.records[] | select(.strategy == "zero3" and .world == 4)
+	 | (.peak_param_bytes < .full_param_bytes)][0] // "missing"' "$sharding")
+[ "$peak_ok" = "true" ] || fail "zero3 world-4 peak param bytes not below the full model"
+echo "bench_check: zero3 world-4 peak param residency below the full model"
+
+nonbitwise=$(jq -r '[.records[] | select(.bitwise_vs_ddp | not)] | length' "$sharding")
+[ "$nonbitwise" = "0" ] || fail "$nonbitwise sharding rows diverged from the DDP trajectory"
+echo "bench_check: all sharding rows bitwise-identical to DDP"
 
 echo "bench_check: OK"

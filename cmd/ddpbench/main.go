@@ -56,8 +56,9 @@ func main() {
 		"ablation":     bench.Ablation,
 		"hierarchical": bench.HierarchicalAblation,
 		"doubletree":   bench.DoubleTreeAblation,
+		"sharding":     bench.ShardingAblation,
 	}
-	order := []string{"fig2", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "table1", "ablation", "hierarchical", "doubletree"}
+	order := []string{"fig2", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "table1", "ablation", "hierarchical", "doubletree", "sharding"}
 
 	var selected []string
 	if *exp == "all" {

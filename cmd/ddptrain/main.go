@@ -24,6 +24,16 @@
 // 6.2.1 bucket rebuild). The replica-consistency checksum still holds:
 // compressed AllReduce leaves bitwise-identical gradients everywhere.
 //
+// -strategy zero2|zero3 swaps DDP's replicated state for the sharded
+// engine: gradients ReduceScatter into per-rank owned chunks and the
+// momentum-SGD update is fused into Backward against optimizer shards
+// (ZeRO-2); zero3 additionally keeps parameters as shards, AllGathering
+// each bucket on demand for forward/backward and freeing it after use,
+// so no rank ever holds the full model between steps. Over plain Ring
+// groups the sharded run reproduces the DDP trajectory bitwise, which
+// the final checksum verifies (zero3 ranks Materialize the full
+// parameters first). -sync-every and -rr do not compose with sharding.
+//
 // -algo doubletree selects the double-binary-tree AllReduce (NCCL-2.4
 // style: two complementary trees each carrying half the payload,
 // log-depth latency). -hosts labels may be structured with "/"
@@ -85,6 +95,7 @@ import (
 	"repro/internal/data"
 	"repro/internal/ddp"
 	"repro/internal/elastic"
+	"repro/internal/fsdp"
 	"repro/internal/metrics"
 	"repro/internal/models"
 	"repro/internal/nn"
@@ -104,6 +115,7 @@ func main() {
 		batch       = flag.Int("batch", 16, "per-rank batch size")
 		lr          = flag.Float64("lr", 0.05, "learning rate")
 		bucketMB    = flag.Int("bucket-mb", 25, "DDP bucket size in MB (0 = per-parameter buckets)")
+		strategy    = flag.String("strategy", "ddp", "data-parallel strategy: ddp (replicated), zero2 (sharded gradients+optimizer), or zero3 (sharded parameters too)")
 		algo        = flag.String("algo", "ring", "allreduce algorithm: ring, tree, doubletree, naive, hierarchical, auto")
 		compress    = flag.String("compress", "", "gradient compression codec: fp16, 1bit, or topk (empty: none); compressed frames ride the TCP byte lanes with error feedback; with -algo hierarchical/auto only the leader ring compresses")
 		hosts       = flag.String("hosts", "", "comma-separated host label per rank (topology for hierarchical/auto; labels may nest with '/', e.g. pod0/rack0/h0; empty: derive from peer addresses)")
@@ -153,7 +165,7 @@ func main() {
 		}
 		return
 	}
-	if err := run(*rank, *world, *storeAddr, *launch, *iters, *batch, float32(*lr), *bucketMB, *algo, *compress, *hosts, *topoLevels, *syncEvery, *rr); err != nil {
+	if err := run(*rank, *world, *storeAddr, *launch, *iters, *batch, float32(*lr), *bucketMB, *strategy, *algo, *compress, *hosts, *topoLevels, *syncEvery, *rr); err != nil {
 		fmt.Fprintf(os.Stderr, "ddptrain rank %d: %v\n", *rank, err)
 		os.Exit(1)
 	}
@@ -177,7 +189,22 @@ func codecFactory(name string) (func() comm.Codec, error) {
 	}
 }
 
-func run(rank, world int, storeAddr string, launch bool, iters, batch int, lr float32, bucketMB int, algo, compress, hosts string, topoLevels, syncEvery, rr int) error {
+func run(rank, world int, storeAddr string, launch bool, iters, batch int, lr float32, bucketMB int, strategy, algo, compress, hosts string, topoLevels, syncEvery, rr int) error {
+	if strategy != "ddp" {
+		if _, err := fsdp.ParseStrategy(strategy); err != nil {
+			return fmt.Errorf("-strategy: %w (or ddp)", err)
+		}
+		// The sharded engine fuses reduction and optimizer into Backward:
+		// there is no un-synchronized local step to accumulate into, and
+		// round-robin groups would break the stable shard ownership the
+		// layout depends on.
+		if syncEvery > 1 {
+			return fmt.Errorf("-strategy %s does not support -sync-every (gradients shard on every step)", strategy)
+		}
+		if rr > 1 {
+			return fmt.Errorf("-strategy %s does not support -rr round-robin groups", strategy)
+		}
+	}
 	var algorithm comm.Algorithm
 	switch algo {
 	case "ring":
@@ -236,7 +263,8 @@ func run(rank, world int, storeAddr string, launch bool, iters, batch int, lr fl
 					"-rank", fmt.Sprint(r), "-world", fmt.Sprint(world),
 					"-store", storeAddr, "-iters", fmt.Sprint(iters),
 					"-batch", fmt.Sprint(batch), "-lr", fmt.Sprint(lr),
-					"-bucket-mb", fmt.Sprint(bucketMB), "-algo", algo,
+					"-bucket-mb", fmt.Sprint(bucketMB), "-strategy", strategy,
+					"-algo", algo,
 					"-compress", compress, "-hosts", hosts,
 					"-topo-levels", fmt.Sprint(topoLevels),
 					"-sync-every", fmt.Sprint(syncEvery), "-rr", fmt.Sprint(rr))
@@ -290,6 +318,17 @@ func run(rank, world int, storeAddr string, launch bool, iters, batch int, lr fl
 
 	dataset := data.NewSynthetic(42, 8192, 64, 10)
 	model := models.NewMLP(int64(rank), dataset.Features(), 64, dataset.Classes()) // per-rank seeds; DDP aligns
+	if strategy != "ddp" {
+		if err := runSharded(rank, world, pg, model, dataset, strategy, bucketBytes, newCodec, iters, batch, lr); err != nil {
+			return err
+		}
+		for _, cmd := range children {
+			if err := cmd.Wait(); err != nil {
+				return fmt.Errorf("child: %w", err)
+			}
+		}
+		return nil
+	}
 	d, err := ddp.New(model, pg, ddp.Options{BucketCapBytes: bucketBytes, NewCodec: newCodec})
 	if err != nil {
 		return fmt.Errorf("wrapping model: %w", err)
@@ -382,6 +421,109 @@ func run(rank, world int, storeAddr string, launch bool, iters, batch int, lr fl
 		if err := cmd.Wait(); err != nil {
 			return fmt.Errorf("child: %w", err)
 		}
+	}
+	return nil
+}
+
+// runSharded trains through the fsdp wrapper instead of DDP+SGD: the
+// momentum-SGD update is fused into Backward against sharded optimizer
+// state, and under zero3 parameters live as shards that are gathered
+// per bucket on demand. Afterwards ranks Materialize (a no-op under
+// zero2) so the replica checksum covers the full model, then verify
+// bit-identical parameters exactly like the DDP path.
+func runSharded(rank, world int, pg comm.ProcessGroup, model nn.Module, dataset *data.Synthetic, strategy string, bucketBytes int, newCodec func() comm.Codec, iters, batch int, lr float32) error {
+	st, err := fsdp.ParseStrategy(strategy)
+	if err != nil {
+		return err
+	}
+	f, err := fsdp.New(model, pg, fsdp.Options{
+		Strategy:       st,
+		BucketCapBytes: bucketBytes,
+		LR:             lr,
+		Momentum:       0.9,
+		NewCodec:       newCodec,
+	})
+	if err != nil {
+		return fmt.Errorf("wrapping model (%s): %w", strategy, err)
+	}
+	if rank == 0 {
+		s := f.Stats()
+		fmt.Printf("[rank 0] %s: %d buckets, param shard %d B + optimizer shard %d B per rank (full model %d B)\n",
+			strategy, f.NumBuckets(), s.ShardParamBytes, s.OptimizerBytes, s.FullParamBytes)
+		if newCodec != nil {
+			c := newCodec()
+			fmt.Printf("[rank 0] gradient compression: %s (~%.0fx smaller frames, error feedback on)\n",
+				c.Name(), c.CompressionRatio())
+		}
+	}
+
+	sampler, err := data.NewDistributedSampler(dataset.Len(), rank, world)
+	if err != nil {
+		return err
+	}
+	loader, err := data.NewLoader(dataset, sampler, batch)
+	if err != nil {
+		return err
+	}
+	loader.Reset(0)
+
+	timer := trace.NewTimer()
+	epoch := int64(0)
+	var lastLoss float32
+	for it := 0; it < iters; it++ {
+		x, labels, ok := loader.Next()
+		if !ok {
+			epoch++
+			loader.Reset(epoch)
+			x, labels, _ = loader.Next()
+		}
+		timer.Start("forward")
+		out := f.Forward(autograd.Constant(x))
+		loss := autograd.CrossEntropyLoss(out, labels)
+		lastLoss = loss.Value.Item()
+		timer.Start("backward+comm+opt")
+		if err := f.Backward(loss); err != nil {
+			return fmt.Errorf("iteration %d: %w", it, err)
+		}
+		timer.Stop()
+		if rank == 0 && (it+1)%20 == 0 {
+			fmt.Printf("[rank 0] iter %4d loss %.4f buckets %d\n", it+1, lastLoss, f.NumBuckets())
+		}
+	}
+
+	// Under zero3 only the owned chunks are resident; gather the rest so
+	// the checksum spans the whole model. Report peak residency first —
+	// Materialize holding everything at once is not a training-time peak.
+	stats := f.Stats()
+	if err := f.Materialize(); err != nil {
+		return fmt.Errorf("materializing parameters: %w", err)
+	}
+	var checksum float64
+	for _, p := range f.Parameters() {
+		for _, v := range p.Value.Data() {
+			checksum += float64(v)
+		}
+	}
+	gathered := make([][]float32, world)
+	for i := range gathered {
+		gathered[i] = make([]float32, 1)
+	}
+	if err := pg.AllGather(gathered, []float32{float32(checksum)}).Wait(); err != nil {
+		return fmt.Errorf("checksum allgather: %w", err)
+	}
+	consistent := true
+	for _, g := range gathered {
+		if g[0] != gathered[0][0] {
+			consistent = false
+		}
+	}
+	fmt.Printf("[rank %d] done: loss %.4f, checksum %.6f, replicas consistent: %v\n",
+		rank, lastLoss, checksum, consistent)
+	fmt.Printf("[rank %d] %s memory: peak params %d B (full %d B), peak grad bucket %d B, %d gathers, %d reduces\n",
+		rank, strategy, stats.PeakParamBytes, stats.FullParamBytes, stats.PeakGradBytes, stats.Gathers, stats.Reduces)
+	fmt.Printf("[rank %d] timing: %s\n", rank, timer.Breakdown())
+	if !consistent {
+		return fmt.Errorf("model replicas diverged")
 	}
 	return nil
 }

@@ -67,6 +67,18 @@ func TestEventKinds(t *testing.T) {
 		{"straggle", Schedule{World: 3, Steps: 8, Events: []Event{{Kind: EvStraggle, Worker: 1, Step: 2, Count: 5, SlowMs: 30}}}},
 		{"codec-leave", Schedule{World: 3, Steps: 6, Codec: "1bit", Events: []Event{{Kind: EvLeave, Worker: 1, Step: 3}}}},
 		{"codec-kill-all", Schedule{World: 2, Steps: 7, Codec: "1bit", CkptEvery: 3, Events: []Event{{Kind: EvKillAll, Step: 4}}}},
+		// Sharded (ZeRO) runs: Normalize forces CkptEvery to 1, so every
+		// recovery is a rollback onto the live state. kill-mid-step under
+		// ZeRO-3 dies inside the forward gather phase (the engine arms a
+		// TestingOnGather hook), the hardest window — a rank vanishing
+		// while peers wait on its parameter shards.
+		{"zero2-kill", Schedule{World: 3, Steps: 5, Strategy: "zero2", Events: []Event{{Kind: EvKill, Worker: 0, Step: 2}}}},
+		{"zero2-leave", Schedule{World: 3, Steps: 5, Strategy: "zero2", Events: []Event{{Kind: EvLeave, Worker: 2, Step: 2}}}},
+		{"zero3-gather-kill", Schedule{World: 3, Steps: 5, Strategy: "zero3", Events: []Event{{Kind: EvKillMidStep, Worker: 2, Step: 1}}}},
+		{"zero3-join", Schedule{World: 2, Steps: 6, Strategy: "zero3", Events: []Event{{Kind: EvJoin, Worker: 2, Step: 3}}}},
+		{"zero3-kill-all", Schedule{World: 2, Steps: 6, Strategy: "zero3", Events: []Event{{Kind: EvKillAll, Step: 4}}}},
+		{"zero3-churn", Schedule{World: 3, Steps: 6, Strategy: "zero3", Events: []Event{
+			{Kind: EvKill, Worker: 1, Step: 2}, {Kind: EvJoin, Worker: 3, Step: 4}}}},
 	}
 	for _, tc := range cases {
 		tc := tc
@@ -83,8 +95,10 @@ func TestEventKinds(t *testing.T) {
 // smokeSeeds is the CI seed set: fixed, so a regression is a
 // deterministic failure, not a flake. It deliberately includes seeds
 // whose schedules combine the codec with membership churn — the shape
-// the planted-bug canary (TestPlantedBugCanary) needs to bite on.
-var smokeSeeds = []int64{1, 2, 3, 5, 6, 8, 12, 16}
+// the planted-bug canary (TestPlantedBugCanary) needs to bite on —
+// plus sharded draws (seed 8 is a ZeRO-2 run, 23 and 30 are ZeRO-3
+// runs with churn).
+var smokeSeeds = []int64{1, 2, 3, 5, 6, 8, 12, 16, 23, 30}
 
 // TestChaosSmokeSeedSet runs every generated schedule in the CI seed
 // set and expects clean reports; failures are shrunk and exported.

@@ -7,7 +7,13 @@
 // # Schedules
 //
 // A Schedule is a replayable scenario: initial world size, step count,
-// gradient codec, checkpoint cadence, and a list of Events. Each Event
+// gradient codec, sharding strategy, checkpoint cadence, and a list of
+// Events. A non-empty Strategy ("zero2" or "zero3") trains through
+// internal/fsdp instead of ddp: checkpoint cadence is forced to every
+// step so each rollback restores exactly the live state (a sharded
+// world cannot re-form after churn without a committed checkpoint —
+// a lost rank's shards are unrecoverable), and under ZeRO-3 a
+// kill-mid-step fires inside the forward gather phase. Each Event
 // names a kind (kill, kill-mid-step, hang, partition, leave, join,
 // kill-all, disk-fault, slow-disk, straggle), a target worker ordinal,
 // and the global step it fires at. Schedules serialize to JSON;

@@ -12,6 +12,7 @@ import (
 	"repro/internal/comm"
 	"repro/internal/ddp"
 	"repro/internal/elastic"
+	"repro/internal/fsdp"
 	"repro/internal/nn"
 	"repro/internal/optim"
 	"repro/internal/store"
@@ -236,6 +237,10 @@ type runWorker struct {
 	err    error
 	parked bool
 	d      *ddp.DDP
+	// killOnGather arms the sharded mid-step kill: the fsdp
+	// TestingOnGather hook fires Kill right before the next ZeRO-3
+	// parameter AllGatherV, so peers die blocked inside the gather phase.
+	killOnGather bool
 }
 
 func (w *runWorker) isParked() bool {
@@ -251,6 +256,18 @@ func (w *runWorker) setParked() {
 }
 
 func (w *runWorker) release() { w.gateOnce.Do(func() { close(w.gate) }) }
+
+func (w *runWorker) armGatherKill() {
+	w.mu.Lock()
+	w.killOnGather = true
+	w.mu.Unlock()
+}
+
+func (w *runWorker) gatherKillArmed() bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.killOnGather
+}
 
 func (w *runWorker) lastDDP() *ddp.DDP {
 	w.mu.Lock()
@@ -287,11 +304,18 @@ func (e *engine) spawn(wp workerPlan) error {
 		}
 	}
 	w.model = chModel()
-	w.opt = chOptimizer(w.model)
 	w.pstore = store.NewPartitioned(e.rec)
 	w.fault = &faultHook{}
 	w.tracer = trace.NewTracer()
-	a, err := elastic.NewAgent(e.workerConfig(w), w.model, w.opt)
+	// Sharded runs train through fsdp, which fuses the optimizer into
+	// Backward — the agent gets no SGD (an untyped nil, so interface
+	// checks in the agent see "no optimizer").
+	var opt optim.Optimizer
+	if e.p.s.Strategy == "" {
+		w.opt = chOptimizer(w.model)
+		opt = w.opt
+	}
+	a, err := elastic.NewAgent(e.workerConfig(w), w.model, opt)
 	if err != nil {
 		return fmt.Errorf("chaos: agent %s era %d: %v", w.id, wp.era, err)
 	}
@@ -334,6 +358,24 @@ func (e *engine) workerConfig(w *runWorker) elastic.Config {
 	}
 	if e.p.s.Codec == "1bit" {
 		cfg.DDP.NewCodec = func() comm.Codec { return &comm.OneBitCodec{} }
+	}
+	if e.p.s.Strategy != "" {
+		st, err := fsdp.ParseStrategy(e.p.s.Strategy)
+		if err != nil {
+			// Normal-form schedules only carry zero2/zero3 (walk).
+			panic(err)
+		}
+		cfg.FSDP = &fsdp.Options{
+			Strategy:       st,
+			BucketCapBytes: chBucketCap,
+			LR:             chLR,
+			Momentum:       chMom,
+			TestingOnGather: func(int) {
+				if w.gatherKillArmed() {
+					w.agent.Kill()
+				}
+			},
+		}
 	}
 	if e.p.s.CkptEvery > 0 {
 		cfg.Checkpoint = &elastic.CheckpointConfig{
@@ -390,9 +432,18 @@ func (e *engine) stepFn(w *runWorker) elastic.StepFunc {
 				return errEventInjected
 			case EvKillMidStep:
 				// Submit the forward pass so peers are left blocked in
-				// the backward collectives, then die.
+				// the backward collectives, then die. In a sharded run
+				// the gather hook kills before a ZeRO-3 parameter
+				// AllGatherV instead, so peers die blocked inside the
+				// gather phase itself (ZeRO-2 forwards are
+				// collective-free; the trailing Kill covers them).
 				x, _ := chBatchFor(ctx.Step, e.refRank(ctx), e.refWorld(ctx))
-				ctx.DDP.Forward(autograd.Constant(x))
+				if ctx.FSDP != nil {
+					w.armGatherKill()
+					ctx.FSDP.Forward(autograd.Constant(x))
+				} else {
+					ctx.DDP.Forward(autograd.Constant(x))
+				}
 				w.agent.Kill()
 				return errEventInjected
 			case EvHang:
@@ -456,6 +507,18 @@ func (e *engine) train(ctx elastic.StepContext, w *runWorker) error {
 		if ctx.Step >= sp.start && ctx.Step < sp.start+sp.count {
 			time.Sleep(time.Duration(sp.slowMs) * time.Millisecond)
 		}
+	}
+	if ctx.FSDP != nil {
+		out := ctx.FSDP.Forward(autograd.Constant(x))
+		compute := time.Since(computeStart)
+		loss := autograd.CrossEntropyLoss(out, labels)
+		if err := ctx.FSDP.Backward(loss); err != nil {
+			return err
+		}
+		if det := w.agent.Straggler(); det != nil {
+			det.Record(compute)
+		}
+		return nil
 	}
 	out := ctx.DDP.Forward(autograd.Constant(x))
 	compute := time.Since(computeStart)

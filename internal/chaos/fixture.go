@@ -82,6 +82,20 @@ func chFlattenParams(m nn.Module) []float32 {
 	return out
 }
 
+// flatSink captures a checkpoint's flattened optimizer state. Sharded
+// runs train through fsdp, which fuses the optimizer into Backward —
+// there is no SGD instance to apply a restored checkpoint to, so the
+// bitwise invariant reads the momentum vector through this sink.
+type flatSink struct{ flat []float32 }
+
+func (s *flatSink) Step()                {}
+func (s *flatSink) ZeroGrad()            {}
+func (s *flatSink) FlatState() []float32 { return s.flat }
+func (s *flatSink) SetFlatState(f []float32) error {
+	s.flat = append([]float32(nil), f...)
+	return nil
+}
+
 func sameF32(a, b []float32) (int, bool) {
 	if len(a) != len(b) {
 		return -1, false

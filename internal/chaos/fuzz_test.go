@@ -10,15 +10,18 @@ import "testing"
 // with FromBytes(...).Encode() for a human-readable reproducer.
 func FuzzElasticSchedule(f *testing.F) {
 	// Seeds cover the encoding's dimensions: trivial runs, each fault
-	// family, the codec, checkpointing, and multi-event composition.
-	// Positional layout: world, steps, codec, ckpt, nEvents, then
-	// 5 bytes (kind, worker, step, count, slow) per event.
+	// family, the codec, sharding strategies, checkpointing, and
+	// multi-event composition. Positional layout: world, steps,
+	// codec-or-strategy, ckpt, nEvents, then 5 bytes (kind, worker,
+	// step, count, slow) per event.
 	f.Add([]byte{})
 	f.Add([]byte{0, 1, 0, 0, 1, 0, 0, 2})                 // kill
 	f.Add([]byte{1, 2, 1, 1, 1, 2, 1, 3})                 // codec + leave
 	f.Add([]byte{0, 2, 0, 1, 1, 4, 0, 3})                 // ckpt + kill-all
 	f.Add([]byte{1, 4, 0, 0, 1, 5, 1, 2, 4, 29})          // straggle
 	f.Add([]byte{0, 2, 1, 2, 2, 9, 0, 1, 0, 39, 4, 0, 4}) // slow-disk then kill-all
+	f.Add([]byte{1, 2, 3, 0, 1, 1, 2, 2})                 // zero3 + kill-mid-step (gather kill)
+	f.Add([]byte{0, 3, 2, 0, 2, 0, 1, 2, 0, 0, 3, 2, 4})  // zero2 kill then join
 	f.Fuzz(func(t *testing.T, data []byte) {
 		s := FromBytes(data)
 		rep := Run(s)

@@ -72,12 +72,24 @@ func Generate(rng *rand.Rand, seed int64) Schedule {
 		}
 		s.Events = append(s.Events, ev)
 	}
+	// Sharded runs: drawn LAST so earlier seeds keep their schedules
+	// (the smoke/canary seed sets are fixtures), and only for non-codec
+	// draws — normal form forbids codec+strategy, and repairing here
+	// would silently rewrite half the codec population.
+	if s.Codec == "" && rng.Intn(3) == 0 {
+		if rng.Intn(2) == 0 {
+			s.Strategy = "zero2"
+		} else {
+			s.Strategy = "zero3"
+		}
+	}
 	return Normalize(s)
 }
 
 // FromBytes decodes arbitrary fuzzer bytes into a runnable schedule
 // using a compact positional encoding (consumed bytes, in order:
-// world, steps, codec, checkpoint cadence, event count, then 5 bytes
+// world, steps, codec-or-strategy, checkpoint cadence, event count,
+// then 5 bytes
 // per event: kind, worker, step, count, slow). Missing bytes read as
 // zero; the result is normalized, so every byte string maps to a
 // valid — if often boring — schedule.
@@ -92,8 +104,13 @@ func FromBytes(data []byte) Schedule {
 		World: minWorldBound + int(at(0))%(maxWorldBound-minWorldBound),
 		Steps: 4 + int64(at(1))%5, // 4..8: keep fuzz execs fast
 	}
-	if at(2)%2 == 1 {
+	switch at(2) % 4 {
+	case 1:
 		s.Codec = "1bit"
+	case 2:
+		s.Strategy = "zero2"
+	case 3:
+		s.Strategy = "zero3"
 	}
 	switch at(3) % 3 {
 	case 1:

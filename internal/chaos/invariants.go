@@ -226,6 +226,10 @@ func (e *engine) checkBitwise(ws []*runWorker, restore int64) {
 		}
 		return
 	}
+	if e.p.s.Strategy != "" {
+		e.checkBitwiseSharded(survivors, restore)
+		return
+	}
 	codec := e.p.s.Codec == "1bit"
 	base := survivors[0]
 	baseParams := chFlattenParams(base.model)
@@ -273,6 +277,59 @@ func (e *engine) checkBitwise(ws []*runWorker, restore int64) {
 		if i, ok := sameF32(baseRes, r0.d.ResidualState()); !ok {
 			e.rep.add(invBitwise, fmt.Sprintf("survivor %s residuals diverge from the failure-free reference (index %d)", base.id, i))
 		}
+	}
+}
+
+// checkBitwiseSharded is the sharded-run (ZeRO-2/3) form of the bitwise
+// invariant. Survivors have no SGD instance to read (fsdp fuses the
+// optimizer into Backward) and ZeRO-3 survivors hold only their own
+// parameter shards in memory, so the full end state is asserted through
+// the final committed checkpoint — which sharded schedules guarantee
+// exists at the final step (CkptEvery is forced to 1). The oracle is
+// still the plain-DDP reference replay: a ZeRO run over Ring groups IS
+// the DDP+SGD trajectory, bitwise.
+func (e *engine) checkBitwiseSharded(survivors []*runWorker, restore int64) {
+	ref, err := runReference(e.p, restore)
+	if err != nil {
+		e.rep.add(invHarness, err.Error())
+		return
+	}
+	if len(ref.workers) == 0 {
+		e.rep.add(invHarness, "reference replay produced no workers")
+		return
+	}
+	r0 := ref.workers[0]
+	refParams := chFlattenParams(r0.model)
+	refOpt := r0.opt.FlatState()
+	if e.p.s.Strategy == "zero2" {
+		// ZeRO-2 replicates parameters, so every survivor holds the full
+		// set in memory and must match the reference directly. (ZeRO-3
+		// member tensors are freed shards; skip the in-memory compare.)
+		for _, w := range survivors {
+			if i, ok := sameF32(chFlattenParams(w.model), refParams); !ok {
+				e.rep.add(invBitwise, fmt.Sprintf("survivor %s params diverge from the failure-free reference (index %d)", w.id, i))
+			}
+		}
+	}
+	snap, man, err := ckpt.Load(e.dir)
+	if err != nil {
+		e.rep.add(invBitwise, fmt.Sprintf("sharded run left no loadable final checkpoint: %v", err))
+		return
+	}
+	if man.Meta.Step != e.p.s.Steps {
+		e.rep.add(invBitwise, fmt.Sprintf("final sharded checkpoint at step %d, want %d", man.Meta.Step, e.p.s.Steps))
+	}
+	m := chModel()
+	var sink flatSink
+	if _, err := snap.Apply(m, &sink); err != nil {
+		e.rep.add(invBitwise, fmt.Sprintf("final sharded checkpoint does not apply: %v", err))
+		return
+	}
+	if i, ok := sameF32(chFlattenParams(m), refParams); !ok {
+		e.rep.add(invBitwise, fmt.Sprintf("final checkpoint params diverge from the failure-free reference (index %d)", i))
+	}
+	if i, ok := sameF32(sink.flat, refOpt); !ok {
+		e.rep.add(invBitwise, fmt.Sprintf("final checkpoint optimizer state diverges from the failure-free reference (index %d)", i))
 	}
 }
 

@@ -75,6 +75,19 @@ type Schedule struct {
 	// for wire-level 1-bit compression with error feedback (batches are
 	// then rank-independent so residuals stay comparable across ranks).
 	Codec string `json:"codec,omitempty"`
+	// Strategy selects the data-parallel engine: "" for DDP, "zero2" or
+	// "zero3" for sharded data parallelism (internal/fsdp). A sharded
+	// world recovers every membership change by rolling back to the
+	// newest committed checkpoint (a lost rank's shards are gone), so
+	// sharded schedules force CkptEvery to 1 — membership events land on
+	// step boundaries, each boundary is a committed save point, and the
+	// rollback restores exactly the live state: no step ever re-executes
+	// and the plan's once-per-step world trajectory stays valid. For the
+	// same reason the codec and the disk events are dropped: stale
+	// error-feedback residuals and saves that die or straddle a
+	// membership change would legally roll survivors behind steps they
+	// already completed.
+	Strategy string `json:"strategy,omitempty"`
 	// CkptEvery saves a checkpoint every N completed steps (0: none).
 	CkptEvery int64 `json:"ckpt_every,omitempty"`
 	// Events is the fault list, ordered by Step.
@@ -256,10 +269,19 @@ func walk(s Schedule, lenient bool) (Schedule, *plan, error) {
 			s.Codec = "1bit"
 		}
 		s.CkptEvery = clamp64(s.CkptEvery, 0, s.Steps)
+		if s.Strategy != "" && s.Strategy != "zero2" && s.Strategy != "zero3" {
+			s.Strategy = "zero3"
+		}
+		if s.Strategy != "" {
+			s.Codec = ""
+			s.CkptEvery = 1
+		}
 	} else {
 		if s.World < minWorldBound || s.World > maxWorldBound ||
 			s.Steps < minStepsBound || s.Steps > maxStepsBound ||
 			(s.Codec != "" && s.Codec != "1bit") ||
+			(s.Strategy != "" && s.Strategy != "zero2" && s.Strategy != "zero3") ||
+			(s.Strategy != "" && (s.Codec != "" || s.CkptEvery != 1)) ||
 			s.CkptEvery < 0 || s.CkptEvery > s.Steps {
 			return s, nil, fmt.Errorf("chaos: schedule outside executable bounds: %+v", s)
 		}
@@ -422,9 +444,9 @@ func walk(s Schedule, lenient bool) (Schedule, *plan, error) {
 			} else if ev.Count != 0 || ev.SlowMs != 0 || ev.Step < 0 || ev.Step >= eraEnd(era) {
 				return s, nil, bad("fields out of range for era %d", era)
 			}
-			if s.CkptEvery <= 0 || !active[ev.Worker] || len(active) <= 1 || expensive >= maxExpensive {
+			if s.CkptEvery <= 0 || s.Strategy != "" || !active[ev.Worker] || len(active) <= 1 || expensive >= maxExpensive {
 				if !lenient {
-					return s, nil, bad("needs checkpointing, an active non-final target, and expensive budget")
+					return s, nil, bad("needs checkpointing (non-sharded), an active non-final target, and expensive budget")
 				}
 				ok = false
 				break
@@ -454,9 +476,9 @@ func walk(s Schedule, lenient bool) (Schedule, *plan, error) {
 			} else if ev.Count != 0 || ev.SlowMs < minSlowMs || ev.SlowMs > maxDiskMs || ev.Step < 0 || ev.Step >= eraEnd(era) {
 				return s, nil, bad("fields out of range for era %d", era)
 			}
-			if s.CkptEvery <= 0 || !active[ev.Worker] {
+			if s.CkptEvery <= 0 || s.Strategy != "" || !active[ev.Worker] {
 				if !lenient {
-					return s, nil, bad("needs checkpointing and an active target")
+					return s, nil, bad("needs checkpointing (non-sharded) and an active target")
 				}
 				ok = false
 			}
@@ -560,7 +582,11 @@ func walk(s Schedule, lenient bool) (Schedule, *plan, error) {
 	// obligation, keeping the positive assertion race-free).
 	for i := range p.straggle {
 		sp := &p.straggle[i]
-		sp.viable = sp.count >= 4 && sp.start+sp.count <= eraEnd(sp.era)
+		// Under ZeRO-3 the forward itself gathers parameters, so a
+		// straggler's sleep stalls every peer inside the same collective
+		// and the world's self-reported compute median absorbs the delay
+		// — the fault still injects, but the flag obligation is voided.
+		sp.viable = sp.count >= 4 && sp.start+sp.count <= eraEnd(sp.era) && s.Strategy != "zero3"
 		wt := p.world0
 		if sp.era == 1 {
 			wt = p.world1

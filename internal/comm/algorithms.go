@@ -138,18 +138,46 @@ func chunkBounds(n, k, i int) (int, int) {
 // each chunk's final value is computed on exactly one rank and then
 // propagated verbatim, which is what lets DDP guarantee identical
 // gradients (and therefore identical models) on every replica.
+//
+// The two phases are shared with the sharded collectives
+// (ReduceScatterV/AllGatherV): a ring AllReduce IS a ring
+// reduce-scatter followed by a ring all-gather over the same
+// chunkBounds layout, which is what lets ZeRO-style sharding splice an
+// optimizer update between the phases and still produce bitwise the
+// values a DDP AllReduce would have (see internal/fsdp).
 func ringAllReduce(m transport.Mesh, tag uint64, data []float32, op ReduceOp) error {
 	k := m.Size()
 	if k == 1 {
 		return nil
 	}
+	if err := ringReduceScatterPhase(m, tag, data, op); err != nil {
+		return err
+	}
+	if err := ringAllGatherPhase(m, tag, data); err != nil {
+		return err
+	}
+	if op == Avg {
+		scale := 1 / float32(k)
+		for i := range data {
+			data[i] *= scale
+		}
+	}
+	return nil
+}
+
+// ringReduceScatterPhase is the reduce-scatter half of the ring
+// AllReduce: k-1 steps around the ring folding chunkBounds chunks in
+// cyclic rank order. On return, chunk (rank+1)%k of data holds the
+// full (unscaled — Avg folds as Sum) reduction; every other chunk
+// holds a partial fold. Chunk c's final value is the left-to-right
+// chain starting from rank c's contribution, computed on exactly one
+// rank — the determinism every caller's bitwise guarantee reduces to.
+func ringReduceScatterPhase(m transport.Mesh, tag uint64, data []float32, op ReduceOp) error {
+	k := m.Size()
 	rank := m.Rank()
 	right := (rank + 1) % k
 	left := (rank - 1 + k) % k
 	n := len(data)
-
-	// Phase 1: reduce-scatter. After k-1 steps, chunk (rank+1)%k on this
-	// rank holds the full reduction.
 	for step := 0; step < k-1; step++ {
 		sendIdx := (rank - step + k) % k
 		recvIdx := (rank - step - 1 + k) % k
@@ -169,8 +197,19 @@ func ringAllReduce(m transport.Mesh, tag uint64, data []float32, op ReduceOp) er
 		}
 		reduceInto(data[rs:re], buf, op)
 	}
+	return nil
+}
 
-	// Phase 2: all-gather the finished chunks around the ring.
+// ringAllGatherPhase is the all-gather half of the ring AllReduce: on
+// entry each rank holds its finished chunk (rank+1)%k (the
+// ringReduceScatterPhase postcondition); k-1 verbatim copies around
+// the ring later, every rank holds every finished chunk.
+func ringAllGatherPhase(m transport.Mesh, tag uint64, data []float32) error {
+	k := m.Size()
+	rank := m.Rank()
+	right := (rank + 1) % k
+	left := (rank - 1 + k) % k
+	n := len(data)
 	for step := 0; step < k-1; step++ {
 		sendIdx := (rank + 1 - step + k) % k
 		recvIdx := (rank - step + k) % k
@@ -186,13 +225,6 @@ func ringAllReduce(m transport.Mesh, tag uint64, data []float32, op ReduceOp) er
 			return err
 		}
 		copy(data[rs:re], buf)
-	}
-
-	if op == Avg {
-		scale := 1 / float32(k)
-		for i := range data {
-			data[i] *= scale
-		}
 	}
 	return nil
 }

@@ -228,60 +228,18 @@ func compressedAllReduce(m transport.Mesh, tag uint64, data []float32, op Reduce
 
 	rank := m.Rank()
 	n := len(data)
-	wire := 0
 
-	// Stage 1: encode every chunk and ship each to its owner.
-	encs := make([][]byte, k)
-	for j := 0; j < k; j++ {
-		lo, hi := chunkBounds(n, k, j)
-		var res []float32
-		if residual != nil {
-			res = residual[lo:hi]
-		}
-		encs[j] = codec.Encode(make([]byte, 0, codec.EncodedSize(hi-lo)), data[lo:hi], res)
+	acc, wire, err := compressedReduceScatterChunks(m, bm, tag, data, codec, residual)
+	if err != nil {
+		return 0, err
 	}
-	errcs := make([]<-chan error, 0, k-1)
-	for j := 0; j < k; j++ {
-		if j != rank {
-			wire += len(encs[j])
-			errcs = append(errcs, sendBytesAsync(bm, j, tag, encs[j]))
-		}
-	}
-
 	lo, hi := chunkBounds(n, k, rank)
-	acc := make([]float32, hi-lo)
-	scratch := make([]float32, hi-lo)
-	for r := 0; r < k; r++ {
-		frame := encs[rank]
-		if r != rank {
-			var err error
-			frame, err = bm.RecvBytes(r, tag)
-			if err != nil {
-				return 0, err
-			}
-		}
-		dst := acc
-		if r > 0 {
-			dst = scratch
-		}
-		if err := codec.Decode(frame, dst); err != nil {
-			return 0, fmt.Errorf("comm: decoding chunk contribution from rank %d: %w", r, err)
-		}
-		if r > 0 {
-			reduceInto(acc, scratch, Sum)
-		}
-	}
-	for _, errc := range errcs {
-		if err := <-errc; err != nil {
-			return 0, err
-		}
-	}
 
 	// Stage 2: broadcast the re-encoded reduced chunk; decode everyone's
 	// (own included — all ranks must hold the decode of the same bytes).
 	reduced := codec.Encode(make([]byte, 0, codec.EncodedSize(hi-lo)), acc, nil)
 	wire += (k - 1) * len(reduced)
-	errcs = errcs[:0]
+	errcs := make([]<-chan error, 0, k-1)
 	for j := 0; j < k; j++ {
 		if j != rank {
 			errcs = append(errcs, sendBytesAsync(bm, j, tag, reduced))
@@ -316,6 +274,73 @@ func compressedAllReduce(m transport.Mesh, tag uint64, data []float32, op Reduce
 		}
 	}
 	return wire, nil
+}
+
+// compressedReduceScatterChunks is stage 1 of the compressed schedule —
+// a compressed reduce-scatter over chunkBounds chunks: every rank
+// encodes each chunk of data (with its slice of the error-feedback
+// residual) and ships frame j to rank j; the owner decodes all k
+// contributions (its own included, so every contribution passes through
+// the same quantization) and folds them in rank order.
+//
+// It returns the EXACT float32 fold of the decoded contributions for
+// this rank's own chunk — the caller decides whether to re-quantize it
+// (compressedAllReduce's stage 2) or consume it exactly (the ZeRO-2/3
+// gradient-shard path, where the reduced chunk feeds the local
+// optimizer shard and is never re-broadcast) — plus the encoded payload
+// bytes this rank put on the byte lanes. data itself is not modified.
+func compressedReduceScatterChunks(m transport.Mesh, bm transport.ByteMesh, tag uint64, data []float32, codec WireCodec, residual []float32) ([]float32, int, error) {
+	k := m.Size()
+	rank := m.Rank()
+	n := len(data)
+	wire := 0
+
+	encs := make([][]byte, k)
+	for j := 0; j < k; j++ {
+		lo, hi := chunkBounds(n, k, j)
+		var res []float32
+		if residual != nil {
+			res = residual[lo:hi]
+		}
+		encs[j] = codec.Encode(make([]byte, 0, codec.EncodedSize(hi-lo)), data[lo:hi], res)
+	}
+	errcs := make([]<-chan error, 0, k-1)
+	for j := 0; j < k; j++ {
+		if j != rank {
+			wire += len(encs[j])
+			errcs = append(errcs, sendBytesAsync(bm, j, tag, encs[j]))
+		}
+	}
+
+	lo, hi := chunkBounds(n, k, rank)
+	acc := make([]float32, hi-lo)
+	scratch := make([]float32, hi-lo)
+	for r := 0; r < k; r++ {
+		frame := encs[rank]
+		if r != rank {
+			var err error
+			frame, err = bm.RecvBytes(r, tag)
+			if err != nil {
+				return nil, 0, err
+			}
+		}
+		dst := acc
+		if r > 0 {
+			dst = scratch
+		}
+		if err := codec.Decode(frame, dst); err != nil {
+			return nil, 0, fmt.Errorf("comm: decoding chunk contribution from rank %d: %w", r, err)
+		}
+		if r > 0 {
+			reduceInto(acc, scratch, Sum)
+		}
+	}
+	for _, errc := range errcs {
+		if err := <-errc; err != nil {
+			return nil, 0, err
+		}
+	}
+	return acc, wire, nil
 }
 
 // sendBytesAsync issues SendBytes on its own goroutine so matching

@@ -2,6 +2,7 @@ package comm
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/transport"
 )
@@ -14,14 +15,75 @@ import (
 // ReduceScatter reduces equal chunks of src across ranks and leaves this
 // rank's reduced chunk in dst: src holds Size() chunks of len(dst), and
 // rank r receives the reduction of every rank's r-th chunk.
+//
+// The schedule is topology-aware like AllReduce's: a group configured
+// (or Auto-resolved, at the same size cutoff) to Hierarchical with a
+// multi-level Topology routes through the hierarchical submesh path —
+// reduce up to the per-level leaders, leader ring, broadcast down,
+// then every rank keeps its own chunk — so cross-host traffic is
+// bounded by the leader ring regardless of how ranks are laid out
+// across hosts, where the flat ring's cross-host volume degrades with
+// adversarial placements. Every other configuration takes the flat
+// ring reduce-scatter. Both schedules leave all ranks' chunks drawn
+// from bitwise-identical reductions; the two differ in fold order,
+// like switching AllReduce algorithms does.
 func (g *meshGroup) ReduceScatter(dst, src []float32, op ReduceOp) Work {
 	world := g.Size()
 	if len(src) != world*len(dst) {
 		return CompletedWork(fmt.Errorf("comm: reduce-scatter src %d != world %d * dst %d", len(src), world, len(dst)))
 	}
+	algo := g.opts.Algorithm
+	if algo == Auto {
+		algo = chooseAlgorithm(g.topo, len(src), world)
+	}
+	hier := algo == Hierarchical && g.topo != nil && g.topo.Size() == world && g.topo.Hierarchical()
 	return g.submit(func(tag uint64) error {
-		return reduceScatter(g.mesh, tag, dst, src, op)
+		start := time.Now()
+		var err error
+		if hier {
+			err = hierarchicalReduceScatter(g.mesh, tag, dst, src, op, g.topo)
+		} else {
+			err = reduceScatter(g.mesh, tag, dst, src, op)
+		}
+		observeCollective("reduce_scatter", len(src), start, err)
+		return err
 	})
+}
+
+// hierarchicalReduceScatter is the topology-aware equal-chunk
+// reduce-scatter: it reduces a working copy of src through the same
+// submesh phases as hierarchicalAllReduce (reduce up, leader ring,
+// broadcast down), then each rank keeps chunk rank, applying the Avg
+// scale to just that chunk. Reusing the AllReduce schedule keeps the
+// cross-host volume properties (and the bitwise-identical-on-every-
+// rank guarantee) of the leader-ring path at the cost of broadcasting
+// the full reduced vector back down intra-host — cheap where it
+// happens, and the contract (every rank could reconstruct any chunk)
+// stays simple.
+func hierarchicalReduceScatter(m transport.Mesh, tag uint64, dst, src []float32, op ReduceOp, topo *Topology) error {
+	k := m.Size()
+	if k == 1 {
+		copy(dst, src)
+		return nil
+	}
+	buf := append([]float32(nil), src...)
+	foldOp := op
+	if op == Avg {
+		foldOp = Sum
+	}
+	if _, err := hierarchicalAllReduce(m, tag, buf, foldOp, topo, nil, nil); err != nil {
+		return err
+	}
+	rank := m.Rank()
+	n := len(dst)
+	copy(dst, buf[rank*n:(rank+1)*n])
+	if op == Avg {
+		scale := 1 / float32(k)
+		for i := range dst {
+			dst[i] *= scale
+		}
+	}
+	return nil
 }
 
 // Gather collects src from every rank into dst on root (dst is ignored
@@ -31,7 +93,10 @@ func (g *meshGroup) Gather(dst [][]float32, src []float32, root int) Work {
 		return CompletedWork(fmt.Errorf("comm: gather root %d out of range", root))
 	}
 	return g.submit(func(tag uint64) error {
-		return gather(g.mesh, tag, dst, src, root)
+		start := time.Now()
+		err := gather(g.mesh, tag, dst, src, root)
+		observeCollective("gather", len(src), start, err)
+		return err
 	})
 }
 
@@ -42,7 +107,10 @@ func (g *meshGroup) Scatter(dst []float32, src [][]float32, root int) Work {
 		return CompletedWork(fmt.Errorf("comm: scatter root %d out of range", root))
 	}
 	return g.submit(func(tag uint64) error {
-		return scatter(g.mesh, tag, dst, src, root)
+		start := time.Now()
+		err := scatter(g.mesh, tag, dst, src, root)
+		observeCollective("scatter", len(dst), start, err)
+		return err
 	})
 }
 
@@ -56,7 +124,10 @@ func (g *meshGroup) AllToAll(dst, src []float32) Work {
 		return CompletedWork(fmt.Errorf("comm: all-to-all needs equal chunked buffers, got src %d dst %d world %d", len(src), len(dst), world))
 	}
 	return g.submit(func(tag uint64) error {
-		return allToAll(g.mesh, tag, dst, src)
+		start := time.Now()
+		err := allToAll(g.mesh, tag, dst, src)
+		observeCollective("all_to_all", len(src), start, err)
+		return err
 	})
 }
 

@@ -211,8 +211,12 @@ func (g *meshGroup) Broadcast(data []float32, root int) Work {
 }
 
 func (g *meshGroup) AllGather(dst [][]float32, src []float32) Work {
+	world := g.Size()
 	return g.submit(func(tag uint64) error {
-		return allGather(g.mesh, tag, dst, src)
+		start := time.Now()
+		err := allGather(g.mesh, tag, dst, src)
+		observeCollective("all_gather", world*len(src), start, err)
+		return err
 	})
 }
 

@@ -27,6 +27,14 @@ var (
 	mDroppedNonFinite = metrics.Default().Counter(
 		"comm_dropped_nonfinite_total",
 		"Non-finite gradient elements dropped by compression codecs; mirrors DroppedNonFinite().")
+	mCollectiveDur = metrics.Default().HistogramVec(
+		"comm_collective_duration_seconds",
+		"Wall time of the extended and sharded collectives (reduce_scatter, all_gather, all_to_all, gather, scatter, reduce_scatter_v, all_gather_v, compressed_reduce_scatter_v) from worker dispatch to completion; AllReduce has its own per-algorithm family.",
+		metrics.DurationBuckets, "collective")
+	mCollectiveBytes = metrics.Default().HistogramVec(
+		"comm_collective_payload_bytes",
+		"Payload size of the extended and sharded collectives in float32 bytes: the full vector the collective operates over (src for reduce_scatter/all_to_all, world*src for all_gather, the in-place buffer for the *_v sharded forms).",
+		metrics.SizeBuckets, "collective")
 )
 
 // observeAllReduce records one completed collective under the resolved
@@ -37,4 +45,15 @@ func observeAllReduce(algo string, elems int, start time.Time, err error) {
 	}
 	mAllReduceDur.With(algo).Observe(time.Since(start).Seconds())
 	mAllReduceBytes.With(algo).Observe(float64(4 * elems))
+}
+
+// observeCollective records one completed extended/sharded collective
+// under its kind label. Like observeAllReduce, failures are not
+// observed: an aborted collective measures time-to-abort, not latency.
+func observeCollective(kind string, elems int, start time.Time, err error) {
+	if err != nil {
+		return
+	}
+	mCollectiveDur.With(kind).Observe(time.Since(start).Seconds())
+	mCollectiveBytes.With(kind).Observe(float64(4 * elems))
 }

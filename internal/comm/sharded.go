@@ -1,0 +1,227 @@
+package comm
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/transport"
+)
+
+// The sharded collectives are the in-place, uneven-chunk primitives
+// ZeRO-style data parallelism (internal/fsdp) builds on. They are the
+// two halves of the ring AllReduce exposed separately: ReduceScatterV
+// is the ring's reduce-scatter phase (plus one rotation so rank owns
+// chunk rank), AllGatherV its all-gather phase. Because they run the
+// SAME chunking (ChunkBounds) and the same fold schedule as
+// ringAllReduce, a reduce-scatter + local-update + all-gather sequence
+// produces bitwise the parameter values a DDP AllReduce + full local
+// update would have — the property the DDP-vs-ZeRO agreement suites
+// assert. The equal-chunk ReduceScatter in extended.go cannot offer
+// this: its contiguous padded layout chunks differently.
+
+// ChunkBounds is the shard layout of the sharded collectives: n
+// elements over k ranks split into nearly-equal chunks with the
+// remainder spread over the lowest-indexed chunks; it returns the
+// [start, end) of chunk i. Rank r owns chunk r. This is exactly the
+// chunking the ring AllReduce reduces over, exported so sharded
+// callers (fsdp, tests) can address their shard.
+func ChunkBounds(n, k, i int) (int, int) { return chunkBounds(n, k, i) }
+
+// ShardedGroup is the optional interface for the in-place sharded
+// collectives. Mesh-backed groups implement it; capability-probe with
+// a type assertion like for ExtendedGroup.
+type ShardedGroup interface {
+	ProcessGroup
+	// ReduceScatterV reduces data in place across ranks over the
+	// ChunkBounds layout: after Wait, data[ChunkBounds(len, Size, Rank)]
+	// holds the full reduction (scaled for Avg); the other chunks hold
+	// partial folds and must be treated as garbage. The owned chunk's
+	// value is bitwise what a ring AllReduce would have left there.
+	ReduceScatterV(data []float32, op ReduceOp) Work
+	// AllGatherV distributes owned chunks in place: each rank
+	// contributes data[its ChunkBounds chunk], and after Wait every
+	// rank holds every chunk, copied verbatim.
+	AllGatherV(data []float32) Work
+	// CompressedReduceScatterV is ReduceScatterV through codec's byte
+	// lanes with error feedback: contributions are quantized once (the
+	// sender's residual slice absorbing the error), the fold is exact,
+	// and the owned chunk is NOT re-quantized. residual is nil or a
+	// caller-owned accumulator of len(data), committed only on success.
+	CompressedReduceScatterV(data []float32, op ReduceOp, codec WireCodec, residual []float32) Work
+}
+
+// ReduceScatterV implements the sharded reduce-scatter on the
+// mesh-backed group. It always runs the flat ring schedule regardless
+// of the group's configured Algorithm: the bitwise DDP-vs-ZeRO
+// agreement contract is defined against the ring fold chain, and a
+// topology-dependent schedule here would silently break it.
+func (g *meshGroup) ReduceScatterV(data []float32, op ReduceOp) Work {
+	return g.submit(func(tag uint64) error {
+		start := time.Now()
+		err := ringReduceScatterOwned(g.mesh, tag, data, op)
+		observeCollective("reduce_scatter_v", len(data), start, err)
+		return err
+	})
+}
+
+// AllGatherV implements the sharded all-gather on the mesh-backed
+// group (flat ring; see ReduceScatterV for why).
+func (g *meshGroup) AllGatherV(data []float32) Work {
+	return g.submit(func(tag uint64) error {
+		start := time.Now()
+		err := ringAllGatherOwned(g.mesh, tag, data)
+		observeCollective("all_gather_v", len(data), start, err)
+		return err
+	})
+}
+
+// CompressedReduceScatterV implements the compressed sharded
+// reduce-scatter. Like CompressedAllReduce, residual updates are
+// transactional: the collective runs against a shadow copy committed
+// only on success, so an aborted collective (elastic teardown) cannot
+// half-claim bytes it never transmitted. Falls back to
+// quantize-then-exact-ring when the mesh has no byte lanes or the op
+// is not Sum/Avg.
+func (g *meshGroup) CompressedReduceScatterV(data []float32, op ReduceOp, codec WireCodec, residual []float32) Work {
+	if codec == nil {
+		return g.ReduceScatterV(data, op)
+	}
+	if residual != nil && len(residual) != len(data) {
+		return CompletedWork(fmt.Errorf("comm: residual has %d elements for %d data elements", len(residual), len(data)))
+	}
+	return g.submit(func(tag uint64) error {
+		start := time.Now()
+		shadow := residual
+		if residual != nil {
+			shadow = append([]float32(nil), residual...)
+		}
+		wire, err := compressedReduceScatterOwned(g.mesh, tag, data, op, codec, shadow)
+		if err != nil {
+			return err
+		}
+		if residual != nil {
+			copy(residual, shadow)
+		}
+		observeCollective("compressed_reduce_scatter_v", len(data), start, nil)
+		if wire > 0 {
+			mCompressedWireBytes.With(codec.Name()).Observe(float64(wire))
+		}
+		return nil
+	})
+}
+
+// ringReduceScatterOwned runs the ring reduce-scatter phase and then
+// rotates once more so the finished chunk lands on its owner: rank r
+// ends with the full reduction in data[chunkBounds(n, k, r)], scaled
+// for Avg. The fold chain per chunk is identical to ringAllReduce's —
+// the rotation and the deferred owner-side scale are both
+// value-preserving, so the owned chunk is bitwise the AllReduce result.
+func ringReduceScatterOwned(m transport.Mesh, tag uint64, data []float32, op ReduceOp) error {
+	k := m.Size()
+	if k == 1 {
+		return nil
+	}
+	if err := ringReduceScatterPhase(m, tag, data, op); err != nil {
+		return err
+	}
+	rank := m.Rank()
+	right := (rank + 1) % k
+	left := (rank - 1 + k) % k
+	n := len(data)
+	// The phase leaves chunk (rank+1)%k finished here and chunk rank
+	// finished on the left neighbour: one more hop delivers ownership.
+	fs, fe := chunkBounds(n, k, (rank+1)%k)
+	os, oe := chunkBounds(n, k, rank)
+	errc := sendAsync(m, right, tag, data[fs:fe])
+	buf, err := m.Recv(left, tag)
+	if err != nil {
+		<-errc
+		return err
+	}
+	if err := <-errc; err != nil {
+		return err
+	}
+	if len(buf) != oe-os {
+		return fmt.Errorf("comm: ring chunk size mismatch: got %d want %d", len(buf), oe-os)
+	}
+	copy(data[os:oe], buf)
+	if op == Avg {
+		scale := 1 / float32(k)
+		for i := os; i < oe; i++ {
+			data[i] *= scale
+		}
+	}
+	return nil
+}
+
+// ringAllGatherOwned is the in-place ring all-gather over the owner
+// layout: each rank enters holding chunk rank and leaves holding every
+// chunk, all copies verbatim.
+func ringAllGatherOwned(m transport.Mesh, tag uint64, data []float32) error {
+	k := m.Size()
+	if k == 1 {
+		return nil
+	}
+	rank := m.Rank()
+	right := (rank + 1) % k
+	left := (rank - 1 + k) % k
+	n := len(data)
+	for step := 0; step < k-1; step++ {
+		sendIdx := (rank - step + k) % k
+		recvIdx := (rank - step - 1 + k) % k
+		ss, se := chunkBounds(n, k, sendIdx)
+		rs, re := chunkBounds(n, k, recvIdx)
+		errc := sendAsync(m, right, tag, data[ss:se])
+		buf, err := m.Recv(left, tag)
+		if err != nil {
+			<-errc
+			return err
+		}
+		if err := <-errc; err != nil {
+			return err
+		}
+		if len(buf) != re-rs {
+			return fmt.Errorf("comm: ring chunk size mismatch: got %d want %d", len(buf), re-rs)
+		}
+		copy(data[rs:re], buf)
+	}
+	return nil
+}
+
+// compressedReduceScatterOwned is the wire-level compressed sharded
+// reduce-scatter: stage 1 of the compressed AllReduce schedule
+// (compressedReduceScatterChunks), with the exact fold written into
+// the owner chunk and scaled for Avg — no second quantization, since
+// the reduced gradient shard feeds a local optimizer and never rides
+// the wire again. Returns the encoded payload bytes this rank shipped.
+func compressedReduceScatterOwned(m transport.Mesh, tag uint64, data []float32, op ReduceOp, codec WireCodec, residual []float32) (int, error) {
+	k := m.Size()
+	if k == 1 {
+		// Match compressedAllReduce's world-1 semantics: a single rank
+		// still pays the codec's accuracy cost so its residual
+		// trajectory stays comparable across world sizes.
+		return 0, quantizeThrough(codec, data, residual)
+	}
+	bm, haveBytes := transport.ByteLanes(m)
+	if !haveBytes || (op != Sum && op != Avg) {
+		if err := quantizeThrough(codec, data, residual); err != nil {
+			return 0, err
+		}
+		return 0, ringReduceScatterOwned(m, tag, data, op)
+	}
+	acc, wire, err := compressedReduceScatterChunks(m, bm, tag, data, codec, residual)
+	if err != nil {
+		return 0, err
+	}
+	lo, hi := chunkBounds(len(data), k, m.Rank())
+	copy(data[lo:hi], acc)
+	if op == Avg {
+		scale := 1 / float32(k)
+		for i := lo; i < hi; i++ {
+			data[i] *= scale
+		}
+	}
+	return wire, nil
+}
+
+var _ ShardedGroup = (*meshGroup)(nil)

@@ -1,0 +1,298 @@
+package comm
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func asSharded(t *testing.T, groups []ProcessGroup) []ShardedGroup {
+	t.Helper()
+	out := make([]ShardedGroup, len(groups))
+	for i, g := range groups {
+		sg, ok := g.(ShardedGroup)
+		if !ok {
+			t.Fatalf("group %d does not implement ShardedGroup", i)
+		}
+		out[i] = sg
+	}
+	return out
+}
+
+// shardedInput is a deterministic per-rank vector with an uneven tail
+// (n deliberately not divisible by most world sizes).
+func shardedInput(rank, n int) []float32 {
+	data := make([]float32, n)
+	for i := range data {
+		data[i] = float32(rank+1)*0.5 + float32(i)*0.25
+	}
+	return data
+}
+
+// TestReduceScatterVBitwiseMatchesAllReduce is the contract fsdp's
+// bitwise guarantee rests on: the owned chunk after ReduceScatterV is
+// bitwise what a ring AllReduce leaves there, for every world size and
+// an uneven chunk tail, for Sum and Avg.
+func TestReduceScatterVBitwiseMatchesAllReduce(t *testing.T) {
+	const n = 103
+	for _, world := range []int{1, 2, 3, 4, 5, 6, 7, 8} {
+		for _, op := range []ReduceOp{Sum, Avg} {
+			groups := asSharded(t, NewInProcGroups(world, Options{Algorithm: Ring}))
+			ref := make([][]float32, world)
+			rs := make([][]float32, world)
+			var wg sync.WaitGroup
+			errs := make([]error, world)
+			for r := 0; r < world; r++ {
+				wg.Add(1)
+				go func(rank int) {
+					defer wg.Done()
+					a := shardedInput(rank, n)
+					b := append([]float32(nil), a...)
+					if err := groups[rank].AllReduce(a, op).Wait(); err != nil {
+						errs[rank] = err
+						return
+					}
+					errs[rank] = groups[rank].ReduceScatterV(b, op).Wait()
+					ref[rank], rs[rank] = a, b
+				}(r)
+			}
+			wg.Wait()
+			for rank, err := range errs {
+				if err != nil {
+					t.Fatalf("world %d op %v rank %d: %v", world, op, rank, err)
+				}
+				lo, hi := ChunkBounds(n, world, rank)
+				for i := lo; i < hi; i++ {
+					if rs[rank][i] != ref[rank][i] {
+						t.Fatalf("world %d op %v rank %d elem %d: reduce-scatter %v != allreduce %v",
+							world, op, rank, i, rs[rank][i], ref[rank][i])
+					}
+				}
+			}
+			for _, g := range groups {
+				g.Close()
+			}
+		}
+	}
+}
+
+// TestAllGatherVDistributesOwnedChunks: after AllGatherV every rank
+// holds every owner's chunk verbatim.
+func TestAllGatherVDistributesOwnedChunks(t *testing.T) {
+	const n = 29
+	for _, world := range []int{1, 2, 3, 5, 8} {
+		groups := asSharded(t, NewInProcGroups(world, Options{}))
+		outs := make([][]float32, world)
+		var wg sync.WaitGroup
+		errs := make([]error, world)
+		for r := 0; r < world; r++ {
+			wg.Add(1)
+			go func(rank int) {
+				defer wg.Done()
+				data := make([]float32, n)
+				lo, hi := ChunkBounds(n, world, rank)
+				for i := lo; i < hi; i++ {
+					data[i] = float32(1000*rank + i)
+				}
+				errs[rank] = groups[rank].AllGatherV(data).Wait()
+				outs[rank] = data
+			}(r)
+		}
+		wg.Wait()
+		for rank, err := range errs {
+			if err != nil {
+				t.Fatalf("world %d rank %d: %v", world, rank, err)
+			}
+			for owner := 0; owner < world; owner++ {
+				lo, hi := ChunkBounds(n, world, owner)
+				for i := lo; i < hi; i++ {
+					if want := float32(1000*owner + i); outs[rank][i] != want {
+						t.Fatalf("world %d rank %d elem %d = %v, want %v", world, rank, i, outs[rank][i], want)
+					}
+				}
+			}
+		}
+		for _, g := range groups {
+			g.Close()
+		}
+	}
+}
+
+// TestReduceScatterVThenAllGatherVEqualsAllReduce composes the two
+// halves back into a full AllReduce, bitwise, on every rank.
+func TestReduceScatterVThenAllGatherVEqualsAllReduce(t *testing.T) {
+	const n = 67
+	const world = 6
+	groups := asSharded(t, NewInProcGroups(world, Options{Algorithm: Ring}))
+	defer func() {
+		for _, g := range groups {
+			g.Close()
+		}
+	}()
+	var wg sync.WaitGroup
+	fails := make([]error, world)
+	for r := 0; r < world; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			a := shardedInput(rank, n)
+			b := append([]float32(nil), a...)
+			if err := groups[rank].AllReduce(a, Avg).Wait(); err != nil {
+				fails[rank] = err
+				return
+			}
+			if err := groups[rank].ReduceScatterV(b, Avg).Wait(); err != nil {
+				fails[rank] = err
+				return
+			}
+			if err := groups[rank].AllGatherV(b).Wait(); err != nil {
+				fails[rank] = err
+				return
+			}
+			for i := range a {
+				if a[i] != b[i] {
+					fails[rank] = fmt.Errorf("elem %d: composed %v != allreduce %v", i, b[i], a[i])
+					return
+				}
+			}
+		}(r)
+	}
+	wg.Wait()
+	for rank, err := range fails {
+		if err != nil {
+			t.Fatalf("rank %d: %v", rank, err)
+		}
+	}
+}
+
+// TestCompressedReduceScatterVRankOrderFold checks the compressed
+// sharded reduce-scatter against a locally computed oracle: each
+// contribution quantized through the codec once, folded in rank order,
+// exactly — and the sender-side residuals hold the quantization error
+// of this rank's own contribution.
+func TestCompressedReduceScatterVRankOrderFold(t *testing.T) {
+	const n = 37
+	const world = 3
+	codec := Float16Codec{}
+	groups := asSharded(t, NewInProcGroups(world, Options{}))
+	defer func() {
+		for _, g := range groups {
+			g.Close()
+		}
+	}()
+	inputs := make([][]float32, world)
+	for r := range inputs {
+		inputs[r] = shardedInput(r, n)
+	}
+	// Oracle: decode(encode(chunk)) per contribution, folded in rank
+	// order, scaled by 1/world (Avg).
+	want := make([]float32, n)
+	for r := 0; r < world; r++ {
+		rt := make([]float32, n)
+		copy(rt, inputs[r])
+		if err := quantizeThrough(codec, rt, nil); err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			if r == 0 {
+				want[i] = rt[i]
+			} else {
+				want[i] += rt[i]
+			}
+		}
+	}
+	for i := range want {
+		want[i] /= world
+	}
+
+	outs := make([][]float32, world)
+	res := make([][]float32, world)
+	var wg sync.WaitGroup
+	errs := make([]error, world)
+	for r := 0; r < world; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			data := append([]float32(nil), inputs[rank]...)
+			residual := make([]float32, n)
+			errs[rank] = groups[rank].CompressedReduceScatterV(data, Avg, codec, residual).Wait()
+			outs[rank], res[rank] = data, residual
+		}(r)
+	}
+	wg.Wait()
+	for rank, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d: %v", rank, err)
+		}
+		lo, hi := ChunkBounds(n, world, rank)
+		for i := lo; i < hi; i++ {
+			if outs[rank][i] != want[i] {
+				t.Fatalf("rank %d elem %d = %v, want %v", rank, i, outs[rank][i], want[i])
+			}
+		}
+		// Error feedback: residual = original - decode(encode(original)).
+		rt := append([]float32(nil), inputs[rank]...)
+		if err := quantizeThrough(codec, rt, nil); err != nil {
+			t.Fatal(err)
+		}
+		for i := range rt {
+			if want := inputs[rank][i] - rt[i]; res[rank][i] != want {
+				t.Fatalf("rank %d residual %d = %v, want %v", rank, i, res[rank][i], want)
+			}
+		}
+	}
+}
+
+// TestHierarchicalReduceScatterMatchesFlat: with integer-valued inputs
+// (exact float sums in any fold order) the hierarchical submesh path
+// must produce exactly the flat ring's chunks, on a 2-hosts-of-4
+// topology at world 8.
+func TestHierarchicalReduceScatterMatchesFlat(t *testing.T) {
+	const world = 8
+	const chunk = 5
+	topo := NewTopology([]string{"h0", "h0", "h0", "h0", "h1", "h1", "h1", "h1"})
+	flat := asExtended(t, NewInProcGroups(world, Options{Algorithm: Ring}))
+	hier := asExtended(t, NewInProcGroups(world, Options{Algorithm: Hierarchical, Topology: topo}))
+	defer func() {
+		for i := range flat {
+			flat[i].Close()
+			hier[i].Close()
+		}
+	}()
+	for _, op := range []ReduceOp{Sum, Avg} {
+		outF := make([][]float32, world)
+		outH := make([][]float32, world)
+		var wg sync.WaitGroup
+		errs := make([]error, world)
+		for r := 0; r < world; r++ {
+			wg.Add(1)
+			go func(rank int) {
+				defer wg.Done()
+				src := make([]float32, world*chunk)
+				for i := range src {
+					src[i] = float32((rank*31 + i*7) % 64)
+				}
+				df := make([]float32, chunk)
+				dh := make([]float32, chunk)
+				if err := flat[rank].ReduceScatter(df, src, op).Wait(); err != nil {
+					errs[rank] = err
+					return
+				}
+				errs[rank] = hier[rank].ReduceScatter(dh, src, op).Wait()
+				outF[rank], outH[rank] = df, dh
+			}(r)
+		}
+		wg.Wait()
+		for rank, err := range errs {
+			if err != nil {
+				t.Fatalf("op %v rank %d: %v", op, rank, err)
+			}
+			for i := range outF[rank] {
+				if outF[rank][i] != outH[rank][i] {
+					t.Fatalf("op %v rank %d elem %d: hierarchical %v != flat %v",
+						op, rank, i, outH[rank][i], outF[rank][i])
+				}
+			}
+		}
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"repro/internal/autograd"
 	"repro/internal/comm"
 	"repro/internal/nn"
+	"repro/internal/reduce"
 	"repro/internal/tensor"
 )
 
@@ -40,13 +41,13 @@ type Options struct {
 	// product implements comm.WireCodec (all built-in codecs do), DDP
 	// keeps ONE instance and routes buckets through
 	// comm.CompressedAllReduce — real bytes on the wire — with
-	// error-feedback residuals owned by DDP and keyed by parameter
-	// identity, so they survive the Section 6.2.1 bucket rebuild and
-	// SetProcessGroup instead of silently resetting. A plain Codec is
-	// cloned per bucket and only degrades values in place; if such a
-	// codec keeps internal error-feedback state, that state is lost on
-	// every rebuild — implement comm.WireCodec to get the carried
-	// residuals.
+	// error-feedback residuals owned by the reduction engine and keyed
+	// by parameter identity, so they survive the Section 6.2.1 bucket
+	// rebuild and SetProcessGroup instead of silently resetting. A
+	// plain Codec is cloned per bucket and only degrades values in
+	// place; if such a codec keeps internal error-feedback state, that
+	// state is lost on every rebuild — implement comm.WireCodec to get
+	// the carried residuals.
 	NewCodec func() comm.Codec
 	// SkipInitialBroadcast suppresses the constructor's rank-0
 	// broadcast of parameters and buffers. Only safe when replica
@@ -78,7 +79,14 @@ type Options struct {
 
 // DDP wraps an nn.Module and transparently synchronizes gradients
 // across the process group during the backward pass, exactly as
-// torch.nn.parallel.DistributedDataParallel wraps a local model.
+// torch.nn.parallel.DistributedDataParallel wraps a local model. It is
+// a thin client of the reduce.Engine: DDP owns the autograd hook
+// wiring, unused-parameter tracking, and buffer broadcasts, while the
+// engine owns buckets, launch ordering, and error-feedback residuals;
+// the collective DDP plugs in is a full AllReduce — every rank keeps
+// every averaged gradient, the replicated data parallelism of the
+// paper, as opposed to internal/fsdp's sharded variants on the same
+// engine.
 type DDP struct {
 	module nn.Module
 	pg     comm.ProcessGroup
@@ -86,24 +94,13 @@ type DDP struct {
 
 	params []*nn.Parameter
 	sizes  []int // element counts, model order
-	assign *Assignment
-	bucket []*bucketState
+	engine *reduce.Engine
 	codecs []comm.Codec   // per-bucket quantizers (plain, non-wire codecs)
-	wire   comm.WireCodec // wire-level codec; residual state lives in DDP
-
-	// residuals holds each parameter's error-feedback accumulator in
-	// model order — keyed by parameter identity, NOT bucket index, so
-	// bucket rebuilds and process-group swaps re-map rather than drop
-	// the accumulated quantization error. Working copies live in the
-	// buckets' resFlat buffers between rebuilds; flushResiduals folds
-	// them back here.
-	residuals [][]float32
+	wire   comm.WireCodec // wire-level codec; residual state lives in the engine
 
 	// Per-iteration reducer state.
 	noSync           bool
 	syncThisBackward bool
-	nextToLaunch     int
-	observedReady    []int // param indices in ready order (for RebuildBuckets)
 
 	// Unused-parameter tracking (accumulates across no_sync iterations).
 	usedLocally  []bool
@@ -120,21 +117,6 @@ type DDP struct {
 	// traced order; rebuilt records that the one-shot rebuild happened.
 	rebuildPending bool
 	rebuilt        bool
-}
-
-// bucketState is the runtime companion of one Assignment bucket
-// (reducer.cpp's Bucket).
-type bucketState struct {
-	members  []int // param indices
-	flat     []float32
-	resFlat  []float32 // error-feedback residuals, same layout as flat
-	pending  int
-	ready    bool
-	launched bool
-	// launchedAt stamps the AllReduce launch for the backward-to-reduce
-	// latency histogram.
-	launchedAt time.Time
-	work       comm.Work
 }
 
 // New wraps module for distributed data parallel training over pg.
@@ -157,12 +139,19 @@ func New(module nn.Module, pg comm.ProcessGroup, opts Options) (*DDP, error) {
 	if opts.NewCodec != nil {
 		if wc, ok := opts.NewCodec().(comm.WireCodec); ok {
 			d.wire = wc
-			d.residuals = make([][]float32, len(d.params))
-			for i, size := range d.sizes {
-				d.residuals[i] = make([]float32, size)
-			}
 		}
 	}
+	engine, err := reduce.NewEngine(reduce.Config{
+		Sizes:                          d.sizes,
+		Launch:                         d.launchBucket,
+		TrackResiduals:                 d.wire != nil,
+		TestingResetResidualsOnInstall: opts.TestingResetResidualsOnRebuild,
+		ObserveReduce:                  func(dur time.Duration) { mBucketReduceDur.Observe(dur.Seconds()) },
+	})
+	if err != nil {
+		return nil, err
+	}
+	d.engine = engine
 
 	// Align replicas: broadcast parameters and buffers from rank 0.
 	if !opts.SkipInitialBroadcast {
@@ -195,58 +184,34 @@ func New(module nn.Module, pg comm.ProcessGroup, opts Options) (*DDP, error) {
 	return d, nil
 }
 
-// installAssignment (re)builds bucket runtime state for an assignment.
-// Error-feedback residuals are carried, not dropped: the outgoing
-// layout's working copies are folded into the per-parameter store
-// first, then scattered into the new layout — the fix for the residual
-// reset that used to happen on every Section 6.2.1 rebuild and every
-// elastic SetProcessGroup, exactly when accumulated error matters most.
+// launchBucket is the reduce.Launcher DDP plugs into its engine: a
+// full AllReduce per bucket, through the wire codec's byte lanes when
+// one is configured (this bucket's error-feedback residuals are
+// updated during execution — they are only read back at the next
+// rebuild or state sync, both of which happen after Wait), or
+// quantize-then-AllReduce for plain codecs.
+func (d *DDP) launchBucket(bucket int, flat, resFlat []float32) comm.Work {
+	switch {
+	case d.wire != nil:
+		return comm.CompressedAllReduce(d.pg, flat, comm.Avg, d.wire, resFlat)
+	case d.codecs != nil:
+		d.codecs[bucket].Quantize(flat)
+		return d.pg.AllReduce(flat, comm.Avg)
+	default:
+		return d.pg.AllReduce(flat, comm.Avg)
+	}
+}
+
+// installAssignment hands the engine a new assignment (the engine
+// carries error-feedback residuals across the swap) and rebuilds the
+// per-bucket plain-codec instances for the new bucket count.
 func (d *DDP) installAssignment(assign *Assignment) {
-	if d.opts.TestingResetResidualsOnRebuild && d.wire != nil {
-		for _, r := range d.residuals {
-			for i := range r {
-				r[i] = 0
-			}
-		}
-	} else {
-		d.flushResiduals()
-	}
-	d.assign = assign
-	d.bucket = make([]*bucketState, assign.NumBuckets())
-	for b, members := range assign.Buckets {
-		bs := &bucketState{
-			members: members,
-			flat:    make([]float32, assign.BucketElems[b]),
-		}
-		if d.wire != nil {
-			bs.resFlat = make([]float32, assign.BucketElems[b])
-			for _, idx := range members {
-				off := assign.OffsetOf[idx]
-				copy(bs.resFlat[off:off+d.sizes[idx]], d.residuals[idx])
-			}
-		}
-		d.bucket[b] = bs
-	}
+	d.engine.Install(assign)
 	d.codecs = nil
 	if d.opts.NewCodec != nil && d.wire == nil {
 		d.codecs = make([]comm.Codec, assign.NumBuckets())
 		for b := range d.codecs {
 			d.codecs[b] = d.opts.NewCodec()
-		}
-	}
-}
-
-// flushResiduals folds the current bucket layout's residual buffers
-// back into the per-parameter store. No-op without a wire codec or
-// before the first assignment is installed.
-func (d *DDP) flushResiduals() {
-	if d.wire == nil || d.assign == nil {
-		return
-	}
-	for b, bs := range d.bucket {
-		for _, idx := range d.assign.Buckets[b] {
-			off := d.assign.OffsetOf[idx]
-			copy(d.residuals[idx], bs.resFlat[off:off+d.sizes[idx]])
 		}
 	}
 }
@@ -274,10 +239,9 @@ func (d *DDP) SetProcessGroup(pg comm.ProcessGroup) error {
 	}
 	d.pg = pg
 	d.installAssignment(assign)
+	d.engine.Reset()
 	d.noSync = false
 	d.syncThisBackward = false
-	d.nextToLaunch = 0
-	d.observedReady = d.observedReady[:0]
 	d.bitmapWork = nil
 	for i := range d.usedLocally {
 		d.usedLocally[i] = false
@@ -301,10 +265,10 @@ func (d *DDP) SetTraining(t bool) { d.module.SetTraining(t) }
 
 // NumBuckets reports how many gradient buckets the current assignment
 // uses.
-func (d *DDP) NumBuckets() int { return d.assign.NumBuckets() }
+func (d *DDP) NumBuckets() int { return d.engine.NumBuckets() }
 
 // Assignment returns the current parameter-to-bucket mapping.
-func (d *DDP) Assignment() *Assignment { return d.assign }
+func (d *DDP) Assignment() *Assignment { return d.engine.Assignment() }
 
 // NoSync runs fn with gradient synchronization disabled, the context
 // manager of Section 3.2.4: backward passes inside fn accumulate
@@ -330,7 +294,8 @@ func (d *DDP) Forward(x *autograd.Variable) *autograd.Variable {
 			d.rebuilt = true
 		}
 		d.broadcastBuffersIfPending()
-		d.resetReducer()
+		d.engine.Reset()
+		d.bitmapWork = nil
 	}
 	out := d.module.Forward(x)
 	if d.opts.FindUnusedParameters {
@@ -360,9 +325,9 @@ func (d *DDP) Forward(x *autograd.Variable) *autograd.Variable {
 			for i, p := range d.params {
 				if !used[p.Variable] {
 					if p.Grad != nil {
-						d.copyGradToBucket(i)
+						d.engine.CopyIn(i, p.Grad.Data())
 					}
-					d.markReady(i)
+					d.engine.MarkReady(i)
 				}
 			}
 		}
@@ -406,24 +371,6 @@ func (d *DDP) broadcastBuffersIfPending() {
 	d.bufferSyncPending = false
 }
 
-// resetReducer replenishes per-bucket pending counts and clears bucket
-// buffers for a new synchronized iteration (Section 4.2: "In the next
-// forward pass, DDP replenishes the pending gradient count").
-func (d *DDP) resetReducer() {
-	for _, b := range d.bucket {
-		for i := range b.flat {
-			b.flat[i] = 0
-		}
-		b.pending = len(b.members)
-		b.ready = false
-		b.launched = false
-		b.work = nil
-	}
-	d.nextToLaunch = 0
-	d.observedReady = d.observedReady[:0]
-	d.bitmapWork = nil
-}
-
 // autogradHook is Algorithm 1's autograd_hook: fired by the engine after
 // a parameter's gradient is fully accumulated. In no_sync iterations it
 // does nothing (hooks disabled); otherwise it copies the gradient into
@@ -432,59 +379,8 @@ func (d *DDP) autogradHook(idx int) {
 	if !d.syncThisBackward {
 		return
 	}
-	d.copyGradToBucket(idx)
-	d.markReady(idx)
-}
-
-// copyGradToBucket writes the parameter's (possibly no_sync-accumulated)
-// gradient into its bucket view.
-func (d *DDP) copyGradToBucket(idx int) {
-	p := d.params[idx]
-	b := d.bucket[d.assign.BucketOf[idx]]
-	off := d.assign.OffsetOf[idx]
-	copy(b.flat[off:off+d.sizes[idx]], p.Grad.Data())
-}
-
-// markReady decrements the bucket's pending count and launches
-// AllReduce on ready buckets in bucket-index order — never bucket i+1
-// before bucket i, so the AllReduce sequence is identical on every rank
-// regardless of local gradient arrival order (the Fig 3(a) fix).
-func (d *DDP) markReady(idx int) {
-	d.observedReady = append(d.observedReady, idx)
-	b := d.bucket[d.assign.BucketOf[idx]]
-	if b.pending <= 0 {
-		panic(fmt.Sprintf("ddp: parameter %d marked ready twice in one iteration", idx))
-	}
-	b.pending--
-	if b.pending == 0 {
-		b.ready = true
-		d.launchReadyBuckets()
-	}
-}
-
-// launchReadyBuckets starts asynchronous AllReduces for the maximal
-// in-order prefix of ready buckets.
-func (d *DDP) launchReadyBuckets() {
-	for d.nextToLaunch < len(d.bucket) && d.bucket[d.nextToLaunch].ready {
-		b := d.bucket[d.nextToLaunch]
-		b.launchedAt = time.Now()
-		switch {
-		case d.wire != nil:
-			// Wire-level path: the codec's bytes ride the transport's
-			// byte lanes (or degrade to quantize-then-Ring), with this
-			// bucket's error-feedback residuals updated during
-			// execution — they are only read back at the next rebuild
-			// or state sync, both of which happen after Wait.
-			b.work = comm.CompressedAllReduce(d.pg, b.flat, comm.Avg, d.wire, b.resFlat)
-		case d.codecs != nil:
-			d.codecs[d.nextToLaunch].Quantize(b.flat)
-			b.work = d.pg.AllReduce(b.flat, comm.Avg)
-		default:
-			b.work = d.pg.AllReduce(b.flat, comm.Avg)
-		}
-		b.launched = true
-		d.nextToLaunch++
-	}
+	d.engine.CopyIn(idx, d.params[idx].Grad.Data())
+	d.engine.MarkReady(idx)
 }
 
 // finalizeBackward is the finishing step Algorithm 1 leaves implicit:
@@ -493,10 +389,11 @@ func (d *DDP) finalizeBackward() error {
 	// Detect the Fig 3(b) hang instead of reproducing it: if some bucket
 	// never became ready, parameters were skipped by this iteration's
 	// graph while FindUnusedParameters was off.
-	if d.nextToLaunch < len(d.bucket) {
+	assign := d.engine.Assignment()
+	if d.engine.Launched() < d.engine.NumBuckets() {
 		var missing []string
-		for _, b := range d.bucket[d.nextToLaunch:] {
-			for _, idx := range b.members {
+		for _, members := range assign.Buckets[d.engine.Launched():] {
+			for _, idx := range members {
 				if d.params[idx].Grad == nil {
 					missing = append(missing, d.params[idx].Name)
 				}
@@ -504,7 +401,7 @@ func (d *DDP) finalizeBackward() error {
 		}
 		return fmt.Errorf(
 			"ddp: backward pass finished with %d bucket(s) incomplete; parameters %s received no gradient — if the forward pass uses only a sub-graph, construct DDP with FindUnusedParameters (paper Fig 3(b))",
-			len(d.bucket)-d.nextToLaunch, strings.Join(missing, ", "))
+			d.engine.NumBuckets()-d.engine.Launched(), strings.Join(missing, ", "))
 	}
 
 	// Resolve globally unused parameters from the bitmap AllReduce.
@@ -518,12 +415,8 @@ func (d *DDP) finalizeBackward() error {
 		}
 	}
 
-	for bi, b := range d.bucket {
-		if err := b.work.Wait(); err != nil {
-			return fmt.Errorf("ddp: AllReduce on bucket %d: %w", bi, err)
-		}
-		mBucketReduceDur.Observe(time.Since(b.launchedAt).Seconds())
-		for _, idx := range b.members {
+	if err := d.engine.WaitAll(func(bucket int, flat []float32) error {
+		for _, idx := range assign.Buckets[bucket] {
 			if trackUnused && !d.globallyUsed[idx] {
 				// Globally unused: leave .Grad intact (nil here), so an
 				// optimizer that skips absent gradients does not decay
@@ -531,13 +424,16 @@ func (d *DDP) finalizeBackward() error {
 				continue
 			}
 			p := d.params[idx]
-			off := d.assign.OffsetOf[idx]
-			avg := b.flat[off : off+d.sizes[idx]]
+			off := assign.OffsetOf[idx]
+			avg := flat[off : off+d.sizes[idx]]
 			if p.Grad == nil {
 				p.Grad = tensor.New(p.Value.Shape()...)
 			}
 			copy(p.Grad.Data(), avg)
 		}
+		return nil
+	}); err != nil {
+		return fmt.Errorf("ddp: %w", err)
 	}
 
 	// Next synchronized forward must re-broadcast buffers; local unused
@@ -546,7 +442,7 @@ func (d *DDP) finalizeBackward() error {
 	for i := range d.usedLocally {
 		d.usedLocally[i] = false
 	}
-	if d.opts.AutoRebuildBuckets && !d.rebuilt && len(d.observedReady) == len(d.params) {
+	if d.opts.AutoRebuildBuckets && !d.rebuilt && len(d.engine.ObservedReady()) == len(d.params) {
 		d.rebuildPending = true
 	}
 	return nil
@@ -559,7 +455,7 @@ func (d *DDP) finalizeBackward() error {
 func (d *DDP) rebuildFromTracedOrder() {
 	buf := make([]float32, len(d.params))
 	if d.pg.Rank() == 0 {
-		for i, idx := range d.observedReady {
+		for i, idx := range d.engine.ObservedReady() {
 			buf[i] = float32(idx)
 		}
 	}
@@ -588,7 +484,7 @@ func (d *DDP) Rebuilt() bool { return d.rebuilt }
 // gradients became ready during the most recent synchronized backward
 // pass (the trace Section 6.2.1 proposes recording).
 func (d *DDP) ObservedReadyOrder() []int {
-	return append([]int(nil), d.observedReady...)
+	return d.engine.ObservedReady()
 }
 
 // ResidualState returns the error-feedback residuals flattened in
@@ -601,19 +497,7 @@ func (d *DDP) ObservedReadyOrder() []int {
 // wire codec is configured. Do not call between Forward and Backward —
 // buckets may be mid-flight.
 func (d *DDP) ResidualState() []float32 {
-	if d.wire == nil {
-		return nil
-	}
-	d.flushResiduals()
-	total := 0
-	for _, s := range d.sizes {
-		total += s
-	}
-	out := make([]float32, 0, total)
-	for _, r := range d.residuals {
-		out = append(out, r...)
-	}
-	return out
+	return d.engine.ResidualState()
 }
 
 // SetResidualState installs residuals produced by ResidualState on
@@ -627,24 +511,7 @@ func (d *DDP) SetResidualState(flat []float32) error {
 		}
 		return errors.New("ddp: residual state offered but no wire codec is configured")
 	}
-	want := 0
-	for _, s := range d.sizes {
-		want += s
-	}
-	if len(flat) != want {
-		return fmt.Errorf("ddp: residual state has %d elements, expected %d", len(flat), want)
-	}
-	off := 0
-	for i := range d.residuals {
-		off += copy(d.residuals[i], flat[off:off+d.sizes[i]])
-	}
-	for b, bs := range d.bucket {
-		for _, idx := range d.assign.Buckets[b] {
-			o := d.assign.OffsetOf[idx]
-			copy(bs.resFlat[o:o+d.sizes[idx]], d.residuals[idx])
-		}
-	}
-	return nil
+	return d.engine.SetResidualState(flat)
 }
 
 // RebuildBuckets implements the gradient-order-prediction improvement of
@@ -654,11 +521,12 @@ func (d *DDP) SetResidualState(flat []float32) error {
 // it at the same point (e.g. after the same iteration); it must not be
 // called between Forward and Backward.
 func (d *DDP) RebuildBuckets() error {
-	if len(d.observedReady) != len(d.params) {
+	trace := d.engine.ObservedReady()
+	if len(trace) != len(d.params) {
 		return fmt.Errorf("ddp: no complete ready-order trace (have %d of %d parameters); run a synchronized iteration first",
-			len(d.observedReady), len(d.params))
+			len(trace), len(d.params))
 	}
-	assign, err := AssignBuckets(d.sizes, d.opts.BucketCapBytes, 4, d.observedReady)
+	assign, err := AssignBuckets(d.sizes, d.opts.BucketCapBytes, 4, trace)
 	if err != nil {
 		return err
 	}

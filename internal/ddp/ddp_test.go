@@ -309,27 +309,27 @@ func TestLaunchOrderIsBucketOrderRegardlessOfReadyOrder(t *testing.T) {
 		t.Fatal(err)
 	}
 	d.syncThisBackward = true
-	d.resetReducer()
+	d.engine.Reset()
 	for _, p := range d.params {
 		p.Grad = tensor.New(p.Value.Shape()...)
 	}
 	// Buckets (reverse order): bucket0={3}, bucket1={2}, bucket2={1},
 	// bucket3={0}. Mark param 0 (bucket 3) ready first: nothing may
 	// launch until earlier buckets are ready.
-	d.copyGradToBucket(0)
-	d.markReady(0)
+	d.engine.CopyIn(0, d.params[0].Grad.Data())
+	d.engine.MarkReady(0)
 	if len(rec.allReduces) != 0 {
 		t.Fatal("bucket 3 must not launch before buckets 0-2")
 	}
-	d.copyGradToBucket(3)
-	d.markReady(3) // bucket 0 ready -> launches bucket 0 only
+	d.engine.CopyIn(3, d.params[3].Grad.Data())
+	d.engine.MarkReady(3) // bucket 0 ready -> launches bucket 0 only
 	if len(rec.allReduces) != 1 {
 		t.Fatalf("after bucket0 ready, %d launches", len(rec.allReduces))
 	}
-	d.copyGradToBucket(2)
-	d.markReady(2) // bucket 1 -> launch
-	d.copyGradToBucket(1)
-	d.markReady(1) // bucket 2 -> launch, then pending bucket 3 launches too
+	d.engine.CopyIn(2, d.params[2].Grad.Data())
+	d.engine.MarkReady(2) // bucket 1 -> launch
+	d.engine.CopyIn(1, d.params[1].Grad.Data())
+	d.engine.MarkReady(1) // bucket 2 -> launch, then pending bucket 3 launches too
 	if len(rec.allReduces) != 4 {
 		t.Fatalf("total launches = %d, want 4", len(rec.allReduces))
 	}

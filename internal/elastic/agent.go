@@ -8,6 +8,7 @@ import (
 	"repro/internal/ckpt"
 	"repro/internal/comm"
 	"repro/internal/ddp"
+	"repro/internal/fsdp"
 	"repro/internal/nn"
 	"repro/internal/optim"
 	"repro/internal/trace"
@@ -17,7 +18,12 @@ import (
 // World come from the current assignment — a StepFunc must shard its
 // data by them, because both change across reconfigurations.
 type StepContext struct {
-	DDP        *ddp.DDP
+	// DDP is the replicated-training wrapper; nil when Config.FSDP
+	// selects sharded training, in which case FSDP is set instead.
+	DDP *ddp.DDP
+	// FSDP is the sharded-training wrapper (Config.FSDP mode). Its
+	// Backward fuses the optimizer step, so Optimizer is nil here.
+	FSDP       *fsdp.FSDP
 	Optimizer  optim.Optimizer
 	Rank       int
 	World      int
@@ -53,6 +59,7 @@ type Agent struct {
 	assign   *Assignment
 	pg       comm.ProcessGroup
 	d        *ddp.DDP
+	f        *fsdp.FSDP // Config.FSDP mode; d stays nil
 	step     int64
 	reconfig bool
 	killed   bool
@@ -357,64 +364,88 @@ func (a *Agent) reconfigure() error {
 		a.mon.SetPeers(peerIDs(assign, a.cfg.ID))
 
 		root.Phase("state-sync")
-		source, sourceStep := assign.Source()
-		if err := SyncState(pg, source, a.model, a.opt); err != nil {
-			root.Finish()
-			if a.isKilled() {
-				return ErrKilled
-			}
-			if _, perr := a.rdzv.ProposeGeneration(assign.Generation); perr != nil {
-				return perr
-			}
-			continue
-		}
-		a.mu.Lock()
-		a.step = sourceStep
-		a.mu.Unlock()
-		// Drop any gradients accumulated by an aborted iteration; the
-		// retried step must start from a clean slate.
-		nn.ZeroGrad(a.model)
-
-		root.Phase("ddp-swap")
-		a.mu.Lock()
-		d := a.d
-		a.mu.Unlock()
-		if d == nil {
-			// SyncState already aligned the replicas from the elected
-			// source; the constructor's rank-0 broadcast must not run,
-			// both for correctness (rank 0 may be a stale joiner) and
-			// because peers that only swapped process groups submit no
-			// collectives to pair with it.
-			opts := a.cfg.DDP
-			opts.SkipInitialBroadcast = true
-			d, err = ddp.New(a.model, pg, opts)
-			if err != nil {
+		var fsdpFresh bool
+		if a.cfg.FSDP != nil {
+			// Sharded mode: reload the newest committed checkpoint and
+			// re-shard it for the new world (see fsdpSync). The ddp-swap
+			// and residual-sync phases do not apply — the wrapper swap
+			// happens inside fsdpSync and compressed-shard residuals are
+			// rolled back with the rest of the state.
+			fresh, serr, terminal := a.fsdpSync(assign, pg)
+			fsdpFresh = fresh
+			if serr != nil {
 				root.Finish()
-				return fmt.Errorf("elastic: wrapping model: %w", err)
+				if a.isKilled() {
+					return ErrKilled
+				}
+				if terminal {
+					return serr
+				}
+				if _, perr := a.rdzv.ProposeGeneration(assign.Generation); perr != nil {
+					return perr
+				}
+				continue
 			}
-		} else if err := d.SetProcessGroup(pg); err != nil {
-			root.Finish()
-			return fmt.Errorf("elastic: swapping process group: %w", err)
-		}
-		a.mu.Lock()
-		a.d = d
-		a.mu.Unlock()
-		// Error-feedback residuals are training state like optimizer
-		// moments, but they live in the DDP wrapper — so unlike
-		// SyncState this broadcast must run AFTER every rank holds a
-		// wrapper (fresh joiners just built theirs, with zero
-		// residuals). A failure here is recoverable the same way a
-		// SyncState failure is: force the next round.
-		root.Phase("residual-sync")
-		if err := SyncResiduals(pg, source, d); err != nil {
-			root.Finish()
-			if a.isKilled() {
-				return ErrKilled
+		} else {
+			source, sourceStep := assign.Source()
+			if err := SyncState(pg, source, a.model, a.opt); err != nil {
+				root.Finish()
+				if a.isKilled() {
+					return ErrKilled
+				}
+				if _, perr := a.rdzv.ProposeGeneration(assign.Generation); perr != nil {
+					return perr
+				}
+				continue
 			}
-			if _, perr := a.rdzv.ProposeGeneration(assign.Generation); perr != nil {
-				return perr
+			a.mu.Lock()
+			a.step = sourceStep
+			a.mu.Unlock()
+			// Drop any gradients accumulated by an aborted iteration; the
+			// retried step must start from a clean slate.
+			nn.ZeroGrad(a.model)
+
+			root.Phase("ddp-swap")
+			a.mu.Lock()
+			d := a.d
+			a.mu.Unlock()
+			if d == nil {
+				// SyncState already aligned the replicas from the elected
+				// source; the constructor's rank-0 broadcast must not run,
+				// both for correctness (rank 0 may be a stale joiner) and
+				// because peers that only swapped process groups submit no
+				// collectives to pair with it.
+				opts := a.cfg.DDP
+				opts.SkipInitialBroadcast = true
+				d, err = ddp.New(a.model, pg, opts)
+				if err != nil {
+					root.Finish()
+					return fmt.Errorf("elastic: wrapping model: %w", err)
+				}
+			} else if err := d.SetProcessGroup(pg); err != nil {
+				root.Finish()
+				return fmt.Errorf("elastic: swapping process group: %w", err)
 			}
-			continue
+			a.mu.Lock()
+			a.d = d
+			a.mu.Unlock()
+			// Error-feedback residuals are training state like optimizer
+			// moments, but they live in the DDP wrapper — so unlike
+			// SyncState this broadcast must run AFTER every rank holds a
+			// wrapper (fresh joiners just built theirs, with zero
+			// residuals). A failure here is recoverable the same way a
+			// SyncState failure is: force the next round.
+			root.Phase("residual-sync")
+			if err := SyncResiduals(pg, source, d); err != nil {
+				root.Finish()
+				if a.isKilled() {
+					return ErrKilled
+				}
+				if _, perr := a.rdzv.ProposeGeneration(assign.Generation); perr != nil {
+					return perr
+				}
+				continue
+			}
 		}
 		// The new world is fully formed; its saves get a fresh abandon
 		// signal (closed again by the next interrupt or Kill).
@@ -426,6 +457,17 @@ func (a *Agent) reconfigure() error {
 		mRecoveryDur.Observe(time.Since(start).Seconds())
 		if a.strag != nil {
 			a.strag.SetPeers(peerIDs(assign, a.cfg.ID))
+		}
+		if fsdpFresh {
+			// A freshly formed sharded world has no rollback point yet:
+			// commit its step-0 state now (0 is a save point of every
+			// Every), so a membership change during early formation — the
+			// world growing before the first step — re-shards from this
+			// checkpoint instead of failing. Survivors cannot re-form a
+			// sharded world once the wrapper frees non-owned shards.
+			if err := a.maybeSaveCheckpoint(); err != nil {
+				return err
+			}
 		}
 		return nil
 	}
@@ -504,6 +546,7 @@ func (a *Agent) Run(totalSteps int64, step StepFunc) error {
 		a.mu.Lock()
 		ctx := StepContext{
 			DDP:        a.d,
+			FSDP:       a.f,
 			Optimizer:  a.opt,
 			Rank:       a.assign.Rank,
 			World:      a.assign.World,

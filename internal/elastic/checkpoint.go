@@ -115,7 +115,19 @@ func (a *Agent) maybeSaveCheckpoint() error {
 		// rank out of a commit round that can never complete.
 		return nil
 	}
-	snap, err := ckpt.Capture(a.model, a.opt, ckpt.Meta{
+	opt := a.opt
+	if a.cfg.FSDP != nil {
+		sink, ok := a.fsdpCaptureState()
+		if !ok {
+			// The state gather broke mid-save: a membership change is
+			// tearing the world down. Abandon the save like one canceled
+			// at its commit barrier; the previous committed checkpoint
+			// remains and drives the rollback recovery.
+			return nil
+		}
+		opt = sink
+	}
+	snap, err := ckpt.Capture(a.model, opt, ckpt.Meta{
 		Step:       step,
 		Generation: assign.Generation,
 		World:      assign.World,

@@ -50,6 +50,7 @@ import (
 	"repro/internal/ckpt"
 	"repro/internal/comm"
 	"repro/internal/ddp"
+	"repro/internal/fsdp"
 	"repro/internal/store"
 	"repro/internal/trace"
 )
@@ -265,6 +266,17 @@ type Config struct {
 	Builder GroupBuilder
 	// DDP configures the wrapped DistributedDataParallel instance.
 	DDP ddp.Options
+	// FSDP, when non-nil, trains with sharded data parallelism
+	// (internal/fsdp) instead of DDP: the agent wraps the model in
+	// fsdp.FSDP, StepContext carries FSDP instead of DDP, and — because
+	// fsdp fuses the optimizer into Backward — the opt passed to
+	// NewAgent should be nil. Recovery semantics change too: sharded
+	// state cannot be rebuilt from a survivor's replica, so every
+	// reconfiguration rolls back to the newest committed checkpoint and
+	// re-shards it for the new world. Configure Checkpoint (all workers
+	// sharing one directory) for any run that must survive membership
+	// changes; without it only the initial world formation works.
+	FSDP *fsdp.Options
 	// Checkpoint enables durable sharded checkpointing (nil: disabled).
 	// With it, the run survives even the failure mode elastic recovery
 	// alone cannot: every worker dying at once.

@@ -1,0 +1,146 @@
+package elastic
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/ckpt"
+	"repro/internal/comm"
+	"repro/internal/fsdp"
+	"repro/internal/nn"
+)
+
+// FSDP exposes the sharded wrapper (nil before the first rendezvous,
+// or always in DDP mode).
+func (a *Agent) FSDP() *fsdp.FSDP {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.f
+}
+
+// optSink captures a checkpoint's flattened optimizer state without
+// installing it anywhere. The fsdp restore path needs this indirection
+// because installation must wait until the wrapper has re-sharded for
+// the new world: ckpt.Snapshot.Apply would otherwise slice the full
+// vector by the OLD world's chunk bounds.
+type optSink struct{ flat []float32 }
+
+func (s *optSink) Step()     {}
+func (s *optSink) ZeroGrad() {}
+
+func (s *optSink) FlatState() []float32 { return s.flat }
+
+func (s *optSink) SetFlatState(flat []float32) error {
+	s.flat = append([]float32(nil), flat...)
+	return nil
+}
+
+// fsdpSync is the fsdp analogue of reconfigure's state-sync and
+// ddp-swap phases. DDP recovery broadcasts a survivor's replicated
+// state, but a sharded world has nothing to broadcast: a dead rank's
+// ZeRO-3 parameter and optimizer shards died with it. Every
+// reconfiguration is therefore a rollback — all ranks reload the
+// newest committed checkpoint from the shared directory (full
+// parameters and optimizer state, world-size independent by
+// construction), re-derive their shards for the new world
+// (fsdp.Reshard), and resume from the checkpointed step. With no
+// committed checkpoint yet, the world forms fresh: fsdp.New's rank-0
+// broadcast aligns the replicas at step 0, and the caller commits an
+// initial step-0 checkpoint (fresh=true) so that even a membership
+// change during early formation — the world growing before the first
+// step — has a rollback point. A world change without any committed
+// checkpoint is terminal: once the wrapper frees non-owned shards the
+// pristine state exists nowhere, so there is nothing to re-form from.
+//
+// The returned terminal flag distinguishes unrecoverable failures
+// (corrupt checkpoints, deterministic local errors) from collective
+// failures another reconfiguration round can fix.
+func (a *Agent) fsdpSync(assign *Assignment, pg comm.ProcessGroup) (fresh bool, err error, terminal bool) {
+	var (
+		restored bool
+		meta     ckpt.Meta
+		sink     optSink
+	)
+	if a.ck != nil {
+		snap, _, lerr := ckpt.Load(a.ck.cfg.Dir)
+		switch {
+		case lerr == nil:
+			if meta, err = snap.Apply(a.model, &sink); err != nil {
+				return false, fmt.Errorf("elastic: restoring checkpoint for re-shard: %w", err), true
+			}
+			restored = true
+		case errors.Is(lerr, ckpt.ErrNoCheckpoint):
+			// Fresh start: fall through to rank-0 alignment.
+		default:
+			return false, fmt.Errorf("elastic: loading checkpoint for re-shard: %w", lerr), true
+		}
+	}
+
+	a.mu.Lock()
+	f := a.f
+	a.mu.Unlock()
+	if f == nil {
+		opts := *a.cfg.FSDP
+		// When a checkpoint seeded every rank identically the broadcast
+		// is redundant; when it did not, rank 0 aligns the fresh world.
+		opts.SkipInitialBroadcast = restored
+		// Collectives inside New (broadcast, ZeRO-3 sharding) can fail
+		// because a peer died mid-round — retriable, not terminal.
+		if f, err = fsdp.New(a.model, pg, opts); err != nil {
+			return false, fmt.Errorf("elastic: wrapping model: %w", err), false
+		}
+	} else {
+		if !restored {
+			return false, errors.New("elastic: fsdp cannot re-shard a changed world without a committed checkpoint (a lost rank's shards are unrecoverable; configure Config.Checkpoint)"), true
+		}
+		// Reshard re-derives shards from the just-restored full
+		// parameters; it is purely local.
+		if err = f.Reshard(pg); err != nil {
+			return false, fmt.Errorf("elastic: re-sharding: %w", err), true
+		}
+	}
+	if restored && sink.flat != nil {
+		if err = f.SetFlatState(sink.flat); err != nil {
+			return false, fmt.Errorf("elastic: installing re-sharded optimizer state: %w", err), true
+		}
+	}
+
+	a.mu.Lock()
+	a.f = f
+	if restored {
+		a.step = meta.Step
+		if a.restored == nil {
+			a.restored = &meta
+		}
+	}
+	a.mu.Unlock()
+	// Drop any gradients accumulated by an aborted iteration; the
+	// retried step must start from a clean slate.
+	nn.ZeroGrad(a.model)
+	return !restored, nil, false
+}
+
+// fsdpCaptureState gathers the full optimizer state for a checkpoint
+// under fsdp: Materialize brings the full parameters into the model
+// tensors and FlatStateErr reassembles the momentum vector — both
+// collectives, which every rank reaches together because save points
+// are a pure function of the shared step count. A collective failure
+// means the world broke mid-save; the save is abandoned (nil flattener)
+// and the membership change that broke it drives recovery, exactly
+// like a save canceled at its commit barrier.
+func (a *Agent) fsdpCaptureState() (*optSink, bool) {
+	a.mu.Lock()
+	f := a.f
+	a.mu.Unlock()
+	if f == nil {
+		return nil, false
+	}
+	if err := f.Materialize(); err != nil {
+		return nil, false
+	}
+	flat, err := f.FlatStateErr()
+	if err != nil {
+		return nil, false
+	}
+	return &optSink{flat: flat}, true
+}

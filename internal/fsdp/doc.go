@@ -1,0 +1,33 @@
+// Package fsdp implements fully sharded data parallelism — the
+// ZeRO-style sharded training the paper's Section 7 positions against
+// replicated DDP — on the same reduce.Engine that powers internal/ddp.
+//
+// Two strategies share one code path:
+//
+//   - ZeRO-2: parameters stay replicated; gradients are ReduceScattered
+//     so each rank owns the averaged gradient — and the momentum state —
+//     for only its chunk of every bucket, updates its parameter chunk,
+//     and AllGathers the updated parameters.
+//   - ZeRO-3: additionally shards the parameters themselves. Each rank
+//     persistently stores only its owned chunk per bucket; full
+//     parameters exist transiently, gathered bucket-by-bucket on demand
+//     just before each layer's forward and (via an autograd
+//     backward-hook identity op) just before each layer's backward, and
+//     freed as soon as the last consumer has run.
+//
+// The bitwise contract: fsdp uses the SAME bucket assignment as DDP
+// (reverse registration order, cap-based packing) and comm's sharded
+// collectives, whose owned chunk is by construction bitwise the ring
+// AllReduce result. The fused optimizer applies the same operation
+// sequence as optim.SGD (optim.ShardedMomentumStep). A ZeRO-2 or
+// ZeRO-3 run over a Ring process group therefore produces parameters
+// bitwise identical to DDP + SGD on the same data — the agreement the
+// package tests assert across world sizes, including uneven shard
+// tails. Other AllReduce algorithms give self-consistent but different
+// trajectories; the agreement suites pin Ring.
+//
+// Unsupported relative to DDP: no_sync gradient accumulation and
+// unused-parameter tracking (every parameter must receive a gradient
+// each iteration), both of which interact with the fused
+// reduce-and-step in ways ZeRO's schedule cannot hide.
+package fsdp

@@ -1,0 +1,741 @@
+package fsdp
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"repro/internal/autograd"
+	"repro/internal/comm"
+	"repro/internal/nn"
+	"repro/internal/optim"
+	"repro/internal/reduce"
+)
+
+// Strategy selects how much replica state is sharded.
+type Strategy int
+
+const (
+	// ZeRO2 shards gradients and optimizer state; parameters stay
+	// replicated.
+	ZeRO2 Strategy = iota
+	// ZeRO3 additionally shards parameters, gathering them on demand
+	// per bucket during forward and backward.
+	ZeRO3
+)
+
+// String names the strategy as the CLI flags spell it.
+func (s Strategy) String() string {
+	switch s {
+	case ZeRO2:
+		return "zero2"
+	case ZeRO3:
+		return "zero3"
+	default:
+		return fmt.Sprintf("Strategy(%d)", int(s))
+	}
+}
+
+// ParseStrategy maps the CLI spelling back to a Strategy.
+func ParseStrategy(s string) (Strategy, error) {
+	switch strings.ToLower(s) {
+	case "zero2":
+		return ZeRO2, nil
+	case "zero3":
+		return ZeRO3, nil
+	default:
+		return 0, fmt.Errorf("fsdp: unknown strategy %q (want zero2 or zero3)", s)
+	}
+}
+
+// Options configures an FSDP wrapper.
+type Options struct {
+	// Strategy picks ZeRO2 (default) or ZeRO3.
+	Strategy Strategy
+	// BucketCapBytes bounds each gradient bucket exactly like
+	// ddp.Options.BucketCapBytes — the SAME packing, which is what
+	// keeps element ownership aligned with a DDP reference run. Zero
+	// selects ddp's 25MB default; negative means one bucket per
+	// parameter.
+	BucketCapBytes int
+	// LR and Momentum parameterize the fused sharded momentum-SGD
+	// step (optim.ShardedMomentumStep — the same operation sequence as
+	// optim.SGD).
+	LR       float32
+	Momentum float32
+	// NewCodec optionally compresses gradient shards on the wire.
+	// When the product implements comm.WireCodec, buckets ride
+	// comm.CompressedReduceScatterV with engine-owned error-feedback
+	// residuals keyed by parameter identity. Compressed runs are NOT
+	// bitwise-comparable to compressed DDP: DDP's AllReduce
+	// re-quantizes the reduced bucket for its broadcast stage, while
+	// the sharded reduce feeds the exact fold straight to the local
+	// optimizer. Plain (non-wire) codecs are rejected — quantizing the
+	// full bucket before a sharded reduce would charge every rank for
+	// bytes it never sends.
+	NewCodec func() comm.Codec
+	// SkipInitialBroadcast suppresses the constructor's rank-0
+	// parameter/buffer broadcast, for callers that aligned replicas
+	// externally (the elastic agent's checkpoint-restore path).
+	SkipInitialBroadcast bool
+	// TestingOnGather, when non-nil, runs immediately before every
+	// ZeRO-3 parameter AllGatherV with the bucket index. The chaos
+	// harness uses it to kill ranks mid-gather; never set it outside
+	// tests.
+	TestingOnGather func(bucket int)
+}
+
+// Stats is the memory/traffic accounting the sharding ablation and the
+// CI memory gate read. All byte counts are float32 payload bytes.
+type Stats struct {
+	// FullParamBytes is the unsharded model size.
+	FullParamBytes int
+	// ShardParamBytes is the persistently resident parameter bytes per
+	// rank: the owned chunks under ZeRO3, the full model under ZeRO2.
+	ShardParamBytes int
+	// PeakParamBytes is the maximum transiently resident parameter
+	// bytes observed (shards plus materialized buckets).
+	PeakParamBytes int
+	// OptimizerBytes is the momentum shard size — the state ZeRO
+	// divides by world.
+	OptimizerBytes int
+	// ResidualBytes is the error-feedback store size (zero without a
+	// wire codec).
+	ResidualBytes int
+	// PeakGradBytes is the maximum gradient bucket bytes observed; the
+	// engine's transient buffers release after every step.
+	PeakGradBytes int
+	// Gathers and Reduces count parameter AllGatherV and gradient
+	// ReduceScatterV launches.
+	Gathers int
+	Reduces int
+}
+
+// FSDP wraps an nn.Module for sharded data parallel training with a
+// fused sharded optimizer: Backward both reduces gradients and applies
+// the momentum-SGD update, so there is no separate optimizer Step.
+// Gradient bucketing, launch ordering, and residuals come from the
+// same reduce.Engine DDP uses; only the launched collective differs.
+type FSDP struct {
+	module nn.Module
+	units  []nn.Module
+	pg     comm.ProcessGroup
+	sg     comm.ShardedGroup
+	opts   Options
+
+	params []*nn.Parameter
+	sizes  []int
+	engine *reduce.Engine
+	assign *reduce.Assignment
+	wire   comm.WireCodec
+
+	// Per-bucket shard layout: rank owns bucket chunk
+	// comm.ChunkBounds(BucketElems[b], world, rank).
+	ownedLo, ownedHi []int
+	velocity         [][]float32 // owned momentum chunks
+	ownedParams      [][]float32 // ZeRO-3 persistent parameter shards
+	materialized     []bool
+	remaining        []int   // ZeRO-3: member grads outstanding before free
+	unitBuckets      [][]int // buckets each unit's parameters touch
+	lastUnitOf       []int   // last forward unit touching each bucket
+
+	bufferSyncPending bool
+	residentParam     int // current resident param bytes (ZeRO-3)
+	// deferred records a gather failure hit inside the forward/backward
+	// graph walk, where the nn.Module interfaces leave no error channel;
+	// Backward surfaces it. Once set, further gathers are skipped and
+	// the affected layers compute on zeroed parameters — garbage that is
+	// discarded when Backward returns the error (the elastic agent then
+	// tears the world down and rolls back).
+	deferred error
+	stats    Stats
+}
+
+// New wraps module for sharded training over pg, which must support
+// the sharded collectives (mesh-backed groups do). Replicas are
+// aligned by a rank-0 broadcast exactly like ddp.New, then — under
+// ZeRO3 — every rank drops the parameter elements it does not own.
+func New(module nn.Module, pg comm.ProcessGroup, opts Options) (*FSDP, error) {
+	sg, ok := pg.(comm.ShardedGroup)
+	if !ok {
+		return nil, errors.New("fsdp: process group does not support the sharded collectives")
+	}
+	if opts.BucketCapBytes == 0 {
+		opts.BucketCapBytes = 25 << 20
+	}
+	f := &FSDP{module: module, pg: pg, sg: sg, opts: opts, params: module.Parameters()}
+	if len(f.params) == 0 {
+		return nil, errors.New("fsdp: module has no parameters")
+	}
+	f.sizes = make([]int, len(f.params))
+	total := 0
+	for i, p := range f.params {
+		f.sizes[i] = p.Value.Size()
+		total += f.sizes[i]
+	}
+	if opts.NewCodec != nil {
+		wc, ok := opts.NewCodec().(comm.WireCodec)
+		if !ok {
+			return nil, errors.New("fsdp: codec must implement comm.WireCodec for sharded reduction")
+		}
+		f.wire = wc
+	}
+
+	engine, err := reduce.NewEngine(reduce.Config{
+		Sizes:          f.sizes,
+		Launch:         f.launchBucket,
+		TrackResiduals: f.wire != nil,
+		Transient:      true,
+	})
+	if err != nil {
+		return nil, err
+	}
+	f.engine = engine
+
+	if !opts.SkipInitialBroadcast {
+		var works []comm.Work
+		for _, p := range f.params {
+			works = append(works, pg.Broadcast(p.Value.Data(), 0))
+		}
+		for _, b := range module.Buffers() {
+			works = append(works, pg.Broadcast(b.Data.Data(), 0))
+		}
+		if err := comm.WaitAll(works...); err != nil {
+			return nil, fmt.Errorf("fsdp: broadcasting initial state: %w", err)
+		}
+	}
+
+	assign, err := reduce.AssignBuckets(f.sizes, opts.BucketCapBytes, 4, reduce.ReverseOrder(len(f.params)))
+	if err != nil {
+		return nil, err
+	}
+	f.installShards(assign)
+	f.mapUnits()
+
+	for i, p := range f.params {
+		idx := i
+		p.RegisterPostAccumulateHook(func(*autograd.Variable) { f.autogradHook(idx) })
+	}
+	f.stats.FullParamBytes = 4 * total
+	f.stats.OptimizerBytes = f.optimizerBytes()
+	f.stats.ResidualBytes = 0
+	if f.wire != nil {
+		f.stats.ResidualBytes = 4 * total
+	}
+	f.stats.ShardParamBytes = f.shardParamBytes()
+	f.residentParam = f.stats.FullParamBytes // fully resident until sharded
+	if opts.Strategy == ZeRO3 {
+		// Shard the just-aligned parameters: keep the owned chunks,
+		// drop the rest.
+		for b := range f.assign.Buckets {
+			flat := make([]float32, f.assign.BucketElems[b])
+			f.packParams(b, flat)
+			copy(f.ownedParams[b], flat[f.ownedLo[b]:f.ownedHi[b]])
+			f.freeBucket(b)
+		}
+	}
+	f.stats.PeakParamBytes = f.currentParamBytes()
+	return f, nil
+}
+
+// installShards adopts a bucket assignment and (re)builds the shard
+// layout derived from it: owned chunk bounds, momentum shards, and —
+// under ZeRO3 — the persistent parameter shards.
+func (f *FSDP) installShards(assign *reduce.Assignment) {
+	f.assign = assign
+	f.engine.Install(assign)
+	world := f.pg.Size()
+	rank := f.pg.Rank()
+	nb := assign.NumBuckets()
+	f.ownedLo = make([]int, nb)
+	f.ownedHi = make([]int, nb)
+	f.velocity = make([][]float32, nb)
+	f.materialized = make([]bool, nb)
+	f.remaining = make([]int, nb)
+	if f.opts.Strategy == ZeRO3 {
+		f.ownedParams = make([][]float32, nb)
+	}
+	for b := range assign.Buckets {
+		lo, hi := comm.ChunkBounds(assign.BucketElems[b], world, rank)
+		f.ownedLo[b], f.ownedHi[b] = lo, hi
+		f.velocity[b] = make([]float32, hi-lo)
+		f.materialized[b] = true // params start resident
+		if f.opts.Strategy == ZeRO3 {
+			f.ownedParams[b] = make([]float32, hi-lo)
+		}
+	}
+}
+
+// mapUnits decomposes the module into forward units — the gather/free
+// granularity of ZeRO-3. A Sequential's children are its units; any
+// other module is a single unit. For each unit the touched buckets are
+// precomputed, as is each bucket's last forward consumer.
+func (f *FSDP) mapUnits() {
+	if seq, ok := f.module.(*nn.Sequential); ok {
+		f.units = seq.Children()
+	} else {
+		f.units = []nn.Module{f.module}
+	}
+	// Parameters() of a Sequential concatenates child parameters in
+	// order, so a running offset recovers each unit's index range.
+	f.unitBuckets = make([][]int, len(f.units))
+	f.lastUnitOf = make([]int, f.assign.NumBuckets())
+	next := 0
+	for u, unit := range f.units {
+		seen := map[int]bool{}
+		for range unit.Parameters() {
+			b := f.assign.BucketOf[next]
+			if !seen[b] {
+				seen[b] = true
+				f.unitBuckets[u] = append(f.unitBuckets[u], b)
+			}
+			f.lastUnitOf[b] = u
+			next++
+		}
+	}
+}
+
+// launchBucket is the reduce.Launcher fsdp plugs into the shared
+// engine: a sharded reduce-scatter per bucket instead of DDP's full
+// AllReduce. The flat ring schedule makes the owned chunk bitwise the
+// AllReduce result.
+func (f *FSDP) launchBucket(bucket int, flat, resFlat []float32) comm.Work {
+	f.stats.Reduces++
+	if g := f.engine.BucketBytes(); g > f.stats.PeakGradBytes {
+		f.stats.PeakGradBytes = g
+	}
+	if f.wire != nil {
+		return f.sg.CompressedReduceScatterV(flat, comm.Avg, f.wire, resFlat)
+	}
+	return f.sg.ReduceScatterV(flat, comm.Avg)
+}
+
+// Module returns the wrapped local model.
+func (f *FSDP) Module() nn.Module { return f.module }
+
+// ProcessGroup returns the communication backend in use.
+func (f *FSDP) ProcessGroup() comm.ProcessGroup { return f.pg }
+
+// Parameters exposes the wrapped model's parameters. Under ZeRO3 the
+// tensors hold zeros for non-owned elements except while materialized;
+// use Materialize before reading full values.
+func (f *FSDP) Parameters() []*nn.Parameter { return f.params }
+
+// NumBuckets reports the gradient bucket count.
+func (f *FSDP) NumBuckets() int { return f.assign.NumBuckets() }
+
+// Assignment returns the parameter-to-bucket mapping (identical to the
+// one ddp.New would build for the same model and cap).
+func (f *FSDP) Assignment() *reduce.Assignment { return f.assign }
+
+// Strategy reports the configured sharding strategy.
+func (f *FSDP) Strategy() Strategy { return f.opts.Strategy }
+
+// Stats returns the current memory/traffic accounting.
+func (f *FSDP) Stats() Stats { return f.stats }
+
+// ShardBytes returns the per-rank persistent parameter + optimizer
+// state bytes — the quantity the CI memory gate bounds against DDP.
+func (f *FSDP) ShardBytes() int { return f.stats.ShardParamBytes + f.stats.OptimizerBytes }
+
+// optimizerBytes sums the momentum shard lengths.
+func (f *FSDP) optimizerBytes() int {
+	total := 0
+	for _, v := range f.velocity {
+		total += 4 * len(v)
+	}
+	return total
+}
+
+// shardParamBytes is the persistently resident parameter bytes.
+func (f *FSDP) shardParamBytes() int {
+	if f.opts.Strategy != ZeRO3 {
+		return f.stats.FullParamBytes
+	}
+	total := 0
+	for b := range f.ownedLo {
+		total += 4 * (f.ownedHi[b] - f.ownedLo[b])
+	}
+	return total
+}
+
+// currentParamBytes is the resident parameter bytes right now: shards
+// plus fully materialized buckets (ZeRO2 is always fully resident).
+func (f *FSDP) currentParamBytes() int {
+	if f.opts.Strategy != ZeRO3 {
+		return f.stats.FullParamBytes
+	}
+	return f.residentParam
+}
+
+// notePeak folds the current residency into the peak.
+func (f *FSDP) notePeak() {
+	if cur := f.currentParamBytes(); cur > f.stats.PeakParamBytes {
+		f.stats.PeakParamBytes = cur
+	}
+}
+
+// packParams flattens the bucket's member parameter values into dst
+// using the bucket's offset layout.
+func (f *FSDP) packParams(b int, dst []float32) {
+	for _, idx := range f.assign.Buckets[b] {
+		off := f.assign.OffsetOf[idx]
+		copy(dst[off:off+f.sizes[idx]], f.params[idx].Value.Data())
+	}
+}
+
+// unpackParams scatters a bucket flat back into member tensors.
+func (f *FSDP) unpackParams(b int, src []float32) {
+	for _, idx := range f.assign.Buckets[b] {
+		off := f.assign.OffsetOf[idx]
+		copy(f.params[idx].Value.Data(), src[off:off+f.sizes[idx]])
+	}
+}
+
+// freeBucket drops a ZeRO-3 bucket's full parameters: member tensors
+// are zeroed, which both releases the only full copy of non-owned
+// values (the owned chunk lives on in ownedParams) and makes any read
+// of an un-gathered parameter loudly wrong instead of silently stale.
+func (f *FSDP) freeBucket(b int) {
+	if !f.materialized[b] {
+		return
+	}
+	for _, idx := range f.assign.Buckets[b] {
+		data := f.params[idx].Value.Data()
+		for i := range data {
+			data[i] = 0
+		}
+	}
+	f.materialized[b] = false
+	f.residentParam -= 4*f.assign.BucketElems[b] - 4*(f.ownedHi[b]-f.ownedLo[b])
+}
+
+// materializeBucket gathers a ZeRO-3 bucket's full parameters back
+// into the member tensors: the owned chunk seeds an in-place
+// AllGatherV and every rank receives every owner's chunk verbatim.
+func (f *FSDP) materializeBucket(b int) error {
+	if f.materialized[b] {
+		return nil
+	}
+	flat := make([]float32, f.assign.BucketElems[b])
+	copy(flat[f.ownedLo[b]:f.ownedHi[b]], f.ownedParams[b])
+	if f.opts.TestingOnGather != nil {
+		f.opts.TestingOnGather(b)
+	}
+	f.stats.Gathers++
+	if err := f.sg.AllGatherV(flat).Wait(); err != nil {
+		return fmt.Errorf("fsdp: gathering bucket %d parameters: %w", b, err)
+	}
+	f.unpackParams(b, flat)
+	f.materialized[b] = true
+	f.residentParam += 4*f.assign.BucketElems[b] - 4*(f.ownedHi[b]-f.ownedLo[b])
+	f.notePeak()
+	return nil
+}
+
+// Forward runs the model's forward pass. ZeRO2 runs it directly (full
+// parameters are resident); ZeRO3 walks the units, gathering each
+// unit's buckets just before its forward, inserting the backward-hook
+// re-gather on its output, and freeing each bucket after its last
+// forward consumer — the veScale-style gather-on-demand schedule.
+func (f *FSDP) Forward(x *autograd.Variable) *autograd.Variable {
+	f.broadcastBuffersIfPending()
+	f.engine.Reset()
+	f.deferred = nil
+	if g := f.engine.BucketBytes(); g > f.stats.PeakGradBytes {
+		f.stats.PeakGradBytes = g
+	}
+	if f.opts.Strategy != ZeRO3 {
+		return f.module.Forward(x)
+	}
+	for b := range f.remaining {
+		f.remaining[b] = len(f.assign.Buckets[b])
+	}
+	for u, unit := range f.units {
+		for _, b := range f.unitBuckets[u] {
+			if err := f.gatherDeferred(b); err != nil {
+				break
+			}
+		}
+		x = unit.Forward(x)
+		if buckets := f.unitBuckets[u]; len(buckets) > 0 {
+			captured := append([]int(nil), buckets...)
+			x = autograd.BackwardHook(x, func() {
+				for _, b := range captured {
+					if err := f.gatherDeferred(b); err != nil {
+						return
+					}
+				}
+			})
+		}
+		for _, b := range f.unitBuckets[u] {
+			if f.lastUnitOf[b] == u {
+				f.freeBucket(b)
+			}
+		}
+	}
+	return x
+}
+
+// broadcastBuffersIfPending mirrors DDP's buffer handling: rank 0's
+// buffer values are pushed to all ranks before the forward pass
+// following a synchronized backward.
+func (f *FSDP) broadcastBuffersIfPending() {
+	if !f.bufferSyncPending {
+		return
+	}
+	buffers := f.module.Buffers()
+	if len(buffers) == 0 {
+		f.bufferSyncPending = false
+		return
+	}
+	works := make([]comm.Work, len(buffers))
+	for i, b := range buffers {
+		works[i] = f.pg.Broadcast(b.Data.Data(), 0)
+	}
+	if err := comm.WaitAll(works...); err != nil {
+		panic(fmt.Sprintf("fsdp: buffer broadcast failed: %v", err))
+	}
+	f.bufferSyncPending = false
+}
+
+// gatherDeferred materializes a bucket, downgrading a collective
+// failure to the deferred error Backward reports: a gather can only
+// fail when the process group broke (a peer died, the group was
+// aborted), and the graph walk it interrupts runs inside interfaces
+// with no error return. Once a failure is recorded all later gathers
+// are skipped — their buckets compute on zeroed parameters, keeping
+// tensor shapes (and the caller's loss construction) intact while the
+// iteration's results are doomed to be discarded.
+func (f *FSDP) gatherDeferred(b int) error {
+	if f.deferred != nil {
+		return f.deferred
+	}
+	if err := f.materializeBucket(b); err != nil {
+		f.deferred = err
+	}
+	return f.deferred
+}
+
+// takeDeferred returns and clears the recorded graph-walk failure.
+func (f *FSDP) takeDeferred() error {
+	err := f.deferred
+	f.deferred = nil
+	return err
+}
+
+// autogradHook fires after a parameter's gradient is fully
+// accumulated: copy it into the bucket, mark it ready (the engine
+// launches the sharded reduce over the in-order prefix), and — under
+// ZeRO3 — free the bucket's parameters once the last member gradient
+// is in, since no remaining backward op can read them.
+func (f *FSDP) autogradHook(idx int) {
+	f.engine.CopyIn(idx, f.params[idx].Grad.Data())
+	f.engine.MarkReady(idx)
+	if f.opts.Strategy == ZeRO3 {
+		b := f.assign.BucketOf[idx]
+		f.remaining[b]--
+		if f.remaining[b] == 0 {
+			f.freeBucket(b)
+		}
+	}
+}
+
+// Backward runs autograd from loss, then finishes the fused
+// reduce-and-step: waits for the sharded reductions bucket by bucket,
+// applies the momentum update to each owned chunk
+// (optim.ShardedMomentumStep — SGD's exact operation sequence), and
+// publishes updated parameters (ZeRO2 AllGathers them now; ZeRO3
+// leaves them sharded for the next forward's gathers). Gradients are
+// consumed by the step and cleared.
+func (f *FSDP) Backward(loss *autograd.Variable) error {
+	if err := f.takeDeferred(); err != nil {
+		return fmt.Errorf("fsdp: forward gather: %w", err)
+	}
+	autograd.Backward(loss, nil)
+	if err := f.takeDeferred(); err != nil {
+		return fmt.Errorf("fsdp: backward re-gather: %w", err)
+	}
+	if f.engine.Launched() < f.engine.NumBuckets() {
+		var missing []string
+		for _, members := range f.assign.Buckets[f.engine.Launched():] {
+			for _, idx := range members {
+				if f.params[idx].Grad == nil {
+					missing = append(missing, f.params[idx].Name)
+				}
+			}
+		}
+		return fmt.Errorf(
+			"fsdp: backward pass finished with %d bucket(s) incomplete; parameters %s received no gradient — fsdp requires every parameter to participate in every iteration",
+			f.engine.NumBuckets()-f.engine.Launched(), strings.Join(missing, ", "))
+	}
+	if g := f.engine.BucketBytes(); g > f.stats.PeakGradBytes {
+		f.stats.PeakGradBytes = g
+	}
+	err := f.engine.WaitAll(func(bucket int, flat []float32) error {
+		grad := flat[f.ownedLo[bucket]:f.ownedHi[bucket]]
+		switch f.opts.Strategy {
+		case ZeRO3:
+			optim.ShardedMomentumStep(f.ownedParams[bucket], grad, f.velocity[bucket], f.opts.LR, f.opts.Momentum)
+		default: // ZeRO2
+			pflat := make([]float32, f.assign.BucketElems[bucket])
+			f.packParams(bucket, pflat)
+			optim.ShardedMomentumStep(pflat[f.ownedLo[bucket]:f.ownedHi[bucket]], grad, f.velocity[bucket], f.opts.LR, f.opts.Momentum)
+			if err := f.sg.AllGatherV(pflat).Wait(); err != nil {
+				return fmt.Errorf("fsdp: gathering updated parameters for bucket %d: %w", bucket, err)
+			}
+			f.stats.Gathers++
+			f.unpackParams(bucket, pflat)
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	for _, p := range f.params {
+		p.ZeroGrad()
+	}
+	f.bufferSyncPending = len(f.module.Buffers()) > 0
+	return nil
+}
+
+// Materialize gathers the full parameter set into the model's tensors
+// (a per-bucket AllGatherV under ZeRO3; a no-op otherwise). All ranks
+// must call it at the same point. Use it before reading parameters for
+// evaluation or checkpointing; the next Forward re-frees on schedule.
+func (f *FSDP) Materialize() error {
+	if f.opts.Strategy != ZeRO3 {
+		return nil
+	}
+	for b := range f.assign.Buckets {
+		if err := f.materializeBucket(b); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// FlatState returns the full momentum state in parameter order — a
+// collective: every rank contributes its owned chunks via AllGatherV,
+// so all ranks must call FlatState together. It implements
+// optim.StateFlattener's read half for checkpointing; the layout
+// matches what optim.SGD would hold for the same model. A gather
+// failure panics; callers that must survive a peer dying mid-gather
+// (the elastic agent's save path) use FlatStateErr.
+func (f *FSDP) FlatState() []float32 {
+	flat, err := f.FlatStateErr()
+	if err != nil {
+		panic(fmt.Sprintf("fsdp: gathering optimizer state: %v", err))
+	}
+	return flat
+}
+
+// FlatStateErr is FlatState with the gather failure surfaced as an
+// error instead of a panic.
+func (f *FSDP) FlatStateErr() ([]float32, error) {
+	total := 0
+	for _, s := range f.sizes {
+		total += s
+	}
+	out := make([]float32, total)
+	for b := range f.assign.Buckets {
+		vflat := make([]float32, f.assign.BucketElems[b])
+		copy(vflat[f.ownedLo[b]:f.ownedHi[b]], f.velocity[b])
+		if err := f.sg.AllGatherV(vflat).Wait(); err != nil {
+			return nil, fmt.Errorf("fsdp: gathering optimizer state: %w", err)
+		}
+		// Scatter bucket layout back to model order.
+		for _, idx := range f.assign.Buckets[b] {
+			off := f.assign.OffsetOf[idx]
+			mo := f.modelOffset(idx)
+			copy(out[mo:mo+f.sizes[idx]], vflat[off:off+f.sizes[idx]])
+		}
+	}
+	return out, nil
+}
+
+// SetFlatState installs a full momentum vector (FlatState's layout),
+// slicing out this rank's owned chunks. Purely local.
+func (f *FSDP) SetFlatState(flat []float32) error {
+	total := 0
+	for _, s := range f.sizes {
+		total += s
+	}
+	if len(flat) != total {
+		return fmt.Errorf("fsdp: optimizer state has %d elements, expected %d", len(flat), total)
+	}
+	for b := range f.assign.Buckets {
+		vflat := make([]float32, f.assign.BucketElems[b])
+		for _, idx := range f.assign.Buckets[b] {
+			off := f.assign.OffsetOf[idx]
+			mo := f.modelOffset(idx)
+			copy(vflat[off:off+f.sizes[idx]], flat[mo:mo+f.sizes[idx]])
+		}
+		copy(f.velocity[b], vflat[f.ownedLo[b]:f.ownedHi[b]])
+	}
+	return nil
+}
+
+// modelOffset is the element offset of parameter idx in the
+// concatenated model-order flat vector.
+func (f *FSDP) modelOffset(idx int) int {
+	off := 0
+	for i := 0; i < idx; i++ {
+		off += f.sizes[i]
+	}
+	return off
+}
+
+// ResidualState returns the error-feedback residuals in parameter
+// order (empty without a wire codec); see ddp.DDP.ResidualState. The
+// residuals are this rank's own quantization errors — per-rank state,
+// not replicated state.
+func (f *FSDP) ResidualState() []float32 { return f.engine.ResidualState() }
+
+// SetResidualState installs residuals produced by ResidualState.
+func (f *FSDP) SetResidualState(flat []float32) error {
+	if f.wire == nil {
+		if len(flat) == 0 {
+			return nil
+		}
+		return errors.New("fsdp: residual state offered but no wire codec is configured")
+	}
+	return f.engine.SetResidualState(flat)
+}
+
+// Reshard rebuilds the shard layout over a new process group — the
+// elastic world-reconfiguration hook. The caller must have restored
+// FULL parameters into the model tensors and (via SetFlatState after
+// this call) full optimizer state on every rank first: a world change
+// moves chunk boundaries, so shards are re-derived from full state,
+// which is exactly what the checkpoint re-sharding read path provides.
+func (f *FSDP) Reshard(pg comm.ProcessGroup) error {
+	sg, ok := pg.(comm.ShardedGroup)
+	if !ok {
+		return errors.New("fsdp: process group does not support the sharded collectives")
+	}
+	assign, err := reduce.AssignBuckets(f.sizes, f.opts.BucketCapBytes, 4, reduce.ReverseOrder(len(f.params)))
+	if err != nil {
+		return err
+	}
+	f.pg = pg
+	f.sg = sg
+	f.installShards(assign)
+	f.stats.OptimizerBytes = f.optimizerBytes()
+	f.stats.ShardParamBytes = f.shardParamBytes()
+	f.residentParam = f.stats.FullParamBytes // caller restored full params
+	if f.opts.Strategy == ZeRO3 {
+		for b := range f.assign.Buckets {
+			flat := make([]float32, f.assign.BucketElems[b])
+			f.packParams(b, flat)
+			copy(f.ownedParams[b], flat[f.ownedLo[b]:f.ownedHi[b]])
+			f.freeBucket(b)
+		}
+	}
+	f.mapUnits()
+	f.bufferSyncPending = false
+	f.notePeak()
+	return nil
+}
+
+var _ optim.StateFlattener = (*FSDP)(nil)

@@ -152,6 +152,65 @@ func (c Cluster) AllReduceSeconds(b Backend, nBytes int, world int) float64 {
 	}
 }
 
+// ReduceScatterSeconds returns the modeled wall time of one
+// ReduceScatter of nBytes across world ranks — the first half of the
+// ring AllReduce:
+//
+//	T = (k-1) * stepLatency + (k-1)/k * nBytes / edgeBandwidth
+//
+// This is the collective ZeRO-2/3 replaces gradient AllReduce with:
+// each rank keeps only the reduced 1/k it owns, so sharded data
+// parallel pays half the ring's steps and half its volume per
+// direction of the state exchange.
+func (c Cluster) ReduceScatterSeconds(b Backend, nBytes int, world int) float64 {
+	return c.halfRingSeconds(b, nBytes, world)
+}
+
+// AllGatherSeconds returns the modeled wall time of one AllGather of
+// nBytes (the full, concatenated buffer size) across world ranks — the
+// second half of the ring AllReduce. ZeRO-2 runs one per step to
+// rebuild replicated parameters from sharded optimizer updates; ZeRO-3
+// runs one per bucket per pass to materialize parameters on demand.
+func (c Cluster) AllGatherSeconds(b Backend, nBytes int, world int) float64 {
+	return c.halfRingSeconds(b, nBytes, world)
+}
+
+// halfRingSeconds is the shared cost of the two half-collectives: a
+// ring pass of k-1 steps moving (k-1)/k of the buffer over the busiest
+// edge (the Gloo profile gets its halving-doubling analogue,
+// ceil(log2 k) rounds). Edge bandwidth collapses across machine
+// boundaries exactly as in AllReduceSeconds.
+func (c Cluster) halfRingSeconds(b Backend, nBytes int, world int) float64 {
+	if world <= 1 {
+		return 0
+	}
+	k := float64(world)
+	volume := (k - 1) / k * float64(nBytes)
+	var t float64
+	switch b {
+	case NCCLLike:
+		steps := k - 1
+		edge := c.NVLinkBandwidth
+		if world > c.GPUsPerServer {
+			edge = c.NICBandwidth * c.CrossMachineEfficiency / float64(c.GPUsPerServer)
+		}
+		t = steps*c.NCCLStepLatency + volume/edge
+	case GlooLike:
+		rounds := math.Ceil(math.Log2(k))
+		bw := c.GlooBandwidth
+		if world > 2 {
+			bw *= 2 // distinct full-duplex paths per directed edge
+		}
+		t = rounds*c.GlooStepLatency + volume/bw
+	default:
+		panic("hw: unknown backend")
+	}
+	if c.SharedEntitlement {
+		t *= c.entitlementFactor(world)
+	}
+	return t
+}
+
 // Servers returns how many machines a world of the given size spans
 // (GPUs fill servers in rank order, GPUsPerServer per machine).
 func (c Cluster) Servers(world int) int {

@@ -307,3 +307,29 @@ func TestStringNames(t *testing.T) {
 		t.Fatal("names wrong")
 	}
 }
+
+func TestHalfCollectivesComposeToAllReduce(t *testing.T) {
+	// A ring ReduceScatter followed by a ring AllGather moves exactly
+	// the ring AllReduce's steps and volume, so without entitlement
+	// effects the halves must sum to the whole (NCCL profile; the Gloo
+	// profile splits the halving-doubling rounds the same way).
+	c := DefaultCluster()
+	for _, b := range []Backend{NCCLLike, GlooLike} {
+		for _, world := range []int{2, 8, 32} {
+			for _, bytes := range []int{4 << 10, 4 << 20} {
+				sum := c.ReduceScatterSeconds(b, bytes, world) + c.AllGatherSeconds(b, bytes, world)
+				whole := c.AllReduceSeconds(b, bytes, world)
+				if diff := math.Abs(sum - whole); diff > 1e-12*whole {
+					t.Fatalf("%v world %d %dB: RS+AG=%v, AllReduce=%v", b, world, bytes, sum, whole)
+				}
+			}
+		}
+	}
+}
+
+func TestHalfCollectivesWorldOfOneFree(t *testing.T) {
+	c := DefaultCluster()
+	if c.ReduceScatterSeconds(NCCLLike, 1<<20, 1) != 0 || c.AllGatherSeconds(GlooLike, 1<<20, 1) != 0 {
+		t.Fatal("single rank half-collectives are free")
+	}
+}

@@ -1,0 +1,26 @@
+package optim
+
+// ShardedMomentumStep applies one momentum-SGD update in place to a
+// contiguous shard of the flattened parameter vector: the update loop
+// ZeroSGD and internal/fsdp's sharded optimizers share. gradAvg holds
+// the already-averaged gradient shard and velocity this rank's
+// momentum shard; all three slices have equal length.
+//
+// The operation sequence is element-for-element the one SGD.Step
+// performs (v = momentum*v + g; p -= lr*v, with v = g on the first
+// step since velocity starts at zero), and p -= lr*v is bitwise
+// p += (-lr)*v in IEEE 754 — so a sharded optimizer whose gradient
+// shard is bitwise the AllReduce result produces bitwise the
+// parameters a replicated SGD would. That equivalence is what the
+// DDP-vs-ZeRO agreement suites assert; change this loop only in
+// lockstep with SGD.Step.
+func ShardedMomentumStep(shard, gradAvg, velocity []float32, lr, momentum float32) {
+	for i := range shard {
+		g := gradAvg[i]
+		if momentum != 0 {
+			velocity[i] = momentum*velocity[i] + g
+			g = velocity[i]
+		}
+		shard[i] -= lr * g
+	}
+}

@@ -105,14 +105,7 @@ func (z *ZeroSGD) Step() error {
 	rank := z.pg.Rank()
 	shardStart := rank * z.shardLen
 	shard := z.flatParams(shardStart)
-	for i := range shard {
-		g := z.shardAvg[i]
-		if z.Momentum != 0 {
-			z.velocity[i] = z.Momentum*z.velocity[i] + g
-			g = z.velocity[i]
-		}
-		shard[i] -= z.LR * g
-	}
+	ShardedMomentumStep(shard, z.shardAvg, z.velocity, z.LR, z.Momentum)
 
 	// Publish updated shards to everyone.
 	if err := z.pg.AllGather(z.gathered, shard).Wait(); err != nil {

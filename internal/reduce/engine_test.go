@@ -1,0 +1,170 @@
+package reduce
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/comm"
+)
+
+// fakeLaunch records launch order and completes immediately.
+type fakeLaunch struct {
+	order []int
+}
+
+func (f *fakeLaunch) launch(bucket int, flat, resFlat []float32) comm.Work {
+	f.order = append(f.order, bucket)
+	return comm.CompletedWork(nil)
+}
+
+func newTestEngine(t *testing.T, sizes []int, capBytes int, f *fakeLaunch, cfg Config) *Engine {
+	t.Helper()
+	cfg.Sizes = sizes
+	cfg.Launch = f.launch
+	e, err := NewEngine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assign, err := AssignBuckets(sizes, capBytes, 4, ReverseOrder(len(sizes)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Install(assign)
+	return e
+}
+
+// TestInOrderPrefixLaunch is the Fig 3(a) rule at the engine level:
+// a later bucket becoming ready first must not launch until every
+// earlier bucket has.
+func TestInOrderPrefixLaunch(t *testing.T) {
+	f := &fakeLaunch{}
+	e := newTestEngine(t, []int{2, 3, 4, 5}, -1, f, Config{})
+	// Reverse order: bucket0={3}, bucket1={2}, bucket2={1}, bucket3={0}.
+	e.Reset()
+	g := []float32{9, 9, 9, 9, 9}
+	e.CopyIn(0, g[:2])
+	e.MarkReady(0) // bucket 3: must wait
+	if len(f.order) != 0 {
+		t.Fatalf("bucket 3 launched before buckets 0-2: %v", f.order)
+	}
+	e.CopyIn(3, g)
+	e.MarkReady(3) // bucket 0: launches alone
+	e.CopyIn(2, g[:4])
+	e.MarkReady(2) // bucket 1: launches
+	e.CopyIn(1, g[:3])
+	e.MarkReady(1) // bucket 2 ready; pending bucket 3 launches too
+	if want := []int{0, 1, 2, 3}; len(f.order) != 4 || f.order[0] != 0 || f.order[1] != 1 || f.order[2] != 2 || f.order[3] != 3 {
+		t.Fatalf("launch order %v, want %v", f.order, want)
+	}
+	if e.Launched() != e.NumBuckets() {
+		t.Fatalf("Launched() = %d, want %d", e.Launched(), e.NumBuckets())
+	}
+	seen := 0
+	if err := e.WaitAll(func(b int, flat []float32) error { seen++; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if seen != 4 {
+		t.Fatalf("consume saw %d buckets, want 4", seen)
+	}
+}
+
+// TestDoubleMarkReadyPanics: double-firing a parameter's hook is a
+// wiring bug and must not be absorbed silently.
+func TestDoubleMarkReadyPanics(t *testing.T) {
+	f := &fakeLaunch{}
+	e := newTestEngine(t, []int{2, 2}, 1<<20, f, Config{})
+	e.Reset()
+	e.MarkReady(1)
+	e.MarkReady(0)
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("second MarkReady did not panic")
+		}
+		if !strings.Contains(r.(string), "marked ready twice") {
+			t.Fatalf("unexpected panic: %v", r)
+		}
+	}()
+	e.MarkReady(1)
+}
+
+// TestResidualsCarriedAcrossInstall: accumulated residuals survive a
+// bucket-layout swap, keyed by parameter identity; with the planted
+// testing bug they reset instead.
+func TestResidualsCarriedAcrossInstall(t *testing.T) {
+	sizes := []int{2, 3}
+	for _, planted := range []bool{false, true} {
+		f := &fakeLaunch{}
+		e := newTestEngine(t, sizes, 1<<20, f, Config{
+			TrackResiduals:                 true,
+			TestingResetResidualsOnInstall: planted,
+		})
+		if err := e.SetResidualState([]float32{1, 2, 3, 4, 5}); err != nil {
+			t.Fatal(err)
+		}
+		// Swap to per-parameter buckets (different layout).
+		assign, err := AssignBuckets(sizes, -1, 4, ReverseOrder(len(sizes)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		e.Install(assign)
+		got := e.ResidualState()
+		if planted {
+			for i, v := range got {
+				if v != 0 {
+					t.Fatalf("planted bug: residual %d = %v, want 0", i, v)
+				}
+			}
+			continue
+		}
+		for i, want := range []float32{1, 2, 3, 4, 5} {
+			if got[i] != want {
+				t.Fatalf("residual %d = %v, want %v after rebuild", i, got[i], want)
+			}
+		}
+	}
+}
+
+// TestTransientReleasesBuffers: a Transient engine holds zero bucket
+// bytes between iterations but still carries residuals.
+func TestTransientReleasesBuffers(t *testing.T) {
+	f := &fakeLaunch{}
+	e := newTestEngine(t, []int{4}, 1<<20, f, Config{Transient: true, TrackResiduals: true})
+	if err := e.SetResidualState([]float32{7, 8, 9, 10}); err != nil {
+		t.Fatal(err)
+	}
+	e.Reset()
+	if e.BucketBytes() == 0 {
+		t.Fatal("no buffers allocated after Reset")
+	}
+	e.CopyIn(0, []float32{1, 2, 3, 4})
+	e.MarkReady(0)
+	if err := e.WaitAll(nil); err != nil {
+		t.Fatal(err)
+	}
+	if e.BucketBytes() != 0 {
+		t.Fatalf("BucketBytes = %d after WaitAll, want 0", e.BucketBytes())
+	}
+	got := e.ResidualState()
+	for i, want := range []float32{7, 8, 9, 10} {
+		if got[i] != want {
+			t.Fatalf("residual %d = %v, want %v after transient release", i, got[i], want)
+		}
+	}
+	// The next iteration reallocates and re-scatters residuals.
+	e.Reset()
+	if e.BucketBytes() == 0 {
+		t.Fatal("buffers not reallocated by Reset")
+	}
+}
+
+// TestWaitAllRejectsUnlaunched: waiting with an incomplete prefix is a
+// caller bug surfaced as an error, not a hang.
+func TestWaitAllRejectsUnlaunched(t *testing.T) {
+	f := &fakeLaunch{}
+	e := newTestEngine(t, []int{2, 2}, -1, f, Config{})
+	e.Reset()
+	if err := e.WaitAll(nil); err == nil {
+		t.Fatal("WaitAll succeeded with no bucket launched")
+	}
+}

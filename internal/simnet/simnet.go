@@ -75,6 +75,16 @@ type Config struct {
 	// per-host last — matching comm.Topology's structured "/" labels.
 	// Only consulted when Hierarchical is set.
 	TopologyGroupSizes []int
+	// Strategy selects the data-parallel state layout: "" or "ddp" is
+	// replicated DDP (per-bucket AllReduce), "zero2" shards gradients
+	// and optimizer state (per-bucket ReduceScatter in backward, one
+	// parameter AllGather after the sharded optimizer step), "zero3"
+	// also shards parameters (per-bucket AllGather in forward, re-gather
+	// plus ReduceScatter in backward). The half-collectives are priced
+	// with the flat-ring model (hw.ReduceScatterSeconds /
+	// hw.AllGatherSeconds); Hierarchical/DoubleTree only affect
+	// AllReduce, matching comm's algorithm policy.
+	Strategy string
 	// Jitter enables the stochastic effects observed in the paper's
 	// box-whisker plots: per-iteration noise, stragglers growing with
 	// world size, and delay spikes at 100-iteration boundaries.
@@ -101,6 +111,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Cluster.GPUsPerServer == 0 {
 		c.Cluster = hw.DefaultCluster()
+	}
+	if c.Strategy == "ddp" {
+		c.Strategy = ""
 	}
 	return c
 }
@@ -216,6 +229,12 @@ func simulate(cfg Config, rng *rand.Rand, iter int) (Breakdown, []BucketEvent, e
 
 	forward := prof.ForwardSeconds * computeScale
 	backward := prof.BackwardSeconds * computeScale
+	optimizer := prof.OptimizerSeconds
+	if cfg.Strategy != "" {
+		// The sharded optimizer touches only the owned 1/world of the
+		// state (a memory-bound pass, so it scales with elements).
+		optimizer /= float64(cfg.World)
+	}
 
 	// Bucket ready times: gradients land in reverse registration order;
 	// a bucket is ready when its last (largest-cumulative) member lands.
@@ -233,9 +252,34 @@ func simulate(cfg Config, rng *rand.Rand, iter int) (Breakdown, []BucketEvent, e
 	commBusy := 0.0
 	lastCommEnd := 0.0
 	events := make([]BucketEvent, 0, assign.NumBuckets())
+	// Sharded strategies exchange state outside the backward stream
+	// loop too: ZeRO-3 gathers every parameter bucket in forward (fully
+	// exposed — compute cannot start on unmaterialized layers), ZeRO-2
+	// re-gathers replicated parameters once after the sharded optimizer
+	// step. Gathers move raw parameter bytes; gradient compression only
+	// applies to the reduction path.
+	var gatherExposed float64
+	if cfg.Strategy != "" {
+		for b := 0; b < assign.NumBuckets(); b++ {
+			raw := assign.BucketElems[b] * 4
+			gatherExposed += cfg.Cluster.AllGatherSeconds(cfg.Backend, raw, cfg.World)
+		}
+	}
 	for b := 0; b < assign.NumBuckets(); b++ {
 		bytes := int(float64(assign.BucketElems[b]*4) / cfg.CompressionRatio)
-		cost := cfg.allReduceCost(bytes)
+		var cost float64
+		switch cfg.Strategy {
+		case "zero2":
+			// Backward reduces each bucket to its owner shard only.
+			cost = cfg.Cluster.ReduceScatterSeconds(cfg.Backend, bytes, cfg.World)
+		case "zero3":
+			// Backward re-gathers the (freed) parameter bucket for
+			// gradient computation, then reduce-scatters the gradients.
+			cost = cfg.Cluster.AllGatherSeconds(cfg.Backend, assign.BucketElems[b]*4, cfg.World) +
+				cfg.Cluster.ReduceScatterSeconds(cfg.Backend, bytes, cfg.World)
+		default:
+			cost = cfg.allReduceCost(bytes)
+		}
 		commBusy += cost
 		s := b % cfg.CommStreams
 		start := readyAt[b]
@@ -265,14 +309,22 @@ func simulate(cfg Config, rng *rand.Rand, iter int) (Breakdown, []BucketEvent, e
 		backwardSpan = lastCommEnd
 	}
 	exposed := backwardSpan - backward
+	if cfg.World > 1 {
+		// Gather traffic never hides under backward compute: ZeRO-3
+		// pays it before forward can run, ZeRO-2 after the optimizer.
+		commBusy += gatherExposed
+		exposed += gatherExposed
+	} else {
+		gatherExposed = 0
+	}
 
-	totalLatency := forward + backwardSpan + prof.OptimizerSeconds + spike
+	totalLatency := forward + backwardSpan + optimizer + gatherExposed + spike
 	return Breakdown{
 		ForwardSeconds:         forward,
 		BackwardComputeSeconds: backward,
 		CommSeconds:            commBusy,
 		ExposedCommSeconds:     exposed,
-		OptimizerSeconds:       prof.OptimizerSeconds,
+		OptimizerSeconds:       optimizer,
 		TotalSeconds:           totalLatency,
 		Buckets:                assign.NumBuckets(),
 	}, events, nil

@@ -393,3 +393,57 @@ func TestHierarchicalCostModelReducesCommTime(t *testing.T) {
 		t.Fatalf("single-server mismatch: %v vs %v", hier8.TotalSeconds, flat8.TotalSeconds)
 	}
 }
+
+func TestShardedStrategiesChangeCostShape(t *testing.T) {
+	ddp, err := SimulateIteration(resnetCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	z2cfg := resnetCfg()
+	z2cfg.Strategy = "zero2"
+	z2, err := SimulateIteration(z2cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	z3cfg := resnetCfg()
+	z3cfg.Strategy = "zero3"
+	z3, err := SimulateIteration(z3cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sharding trades communication for memory: the parameter gathers
+	// are exposed traffic DDP never pays, and ZeRO-3's backward
+	// re-gather makes it the most expensive of the three.
+	if !(ddp.TotalSeconds < z2.TotalSeconds && z2.TotalSeconds < z3.TotalSeconds) {
+		t.Fatalf("latency order ddp < zero2 < zero3 violated: %v, %v, %v",
+			ddp.TotalSeconds, z2.TotalSeconds, z3.TotalSeconds)
+	}
+	// The sharded optimizer touches only the owned 1/world of the state.
+	if z2.OptimizerSeconds >= ddp.OptimizerSeconds {
+		t.Fatalf("sharded optimizer (%v) not cheaper than replicated (%v)",
+			z2.OptimizerSeconds, ddp.OptimizerSeconds)
+	}
+	// "ddp" is an alias for the replicated default.
+	alias := resnetCfg()
+	alias.Strategy = "ddp"
+	ab, err := SimulateIteration(alias)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ab.TotalSeconds != ddp.TotalSeconds {
+		t.Fatalf("strategy \"ddp\" (%v) differs from default (%v)", ab.TotalSeconds, ddp.TotalSeconds)
+	}
+}
+
+func TestShardedSingleGPUHasNoCommunication(t *testing.T) {
+	cfg := resnetCfg()
+	cfg.World = 1
+	cfg.Strategy = "zero3"
+	b, err := SimulateIteration(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.CommSeconds != 0 || b.ExposedCommSeconds != 0 {
+		t.Fatalf("single-rank sharded run should not communicate: %+v", b)
+	}
+}
